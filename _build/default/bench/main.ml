@@ -1,0 +1,472 @@
+(* The benchmark harness: regenerates every experiment of the
+   reproduction (the paper's worked examples and theorem instances —
+   its "tables and figures") and then measures engine performance with
+   Bechamel.
+
+   Run with:  dune exec bench/main.exe
+   Skip perf: dune exec bench/main.exe -- --no-perf *)
+
+open Rw_logic
+open Randworlds
+
+let parse s = Parser.formula_exn s
+
+let section title =
+  Fmt.pr "@.==========================================================@.";
+  Fmt.pr "%s@." title;
+  Fmt.pr "==========================================================@."
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: the KB zoo — every worked example, paper vs measured      *)
+(* ------------------------------------------------------------------ *)
+
+let matches expected (a : Answer.t) =
+  match (expected, a.Answer.result) with
+  | Rw_kbzoo.Kbzoo.Exactly v, _ -> (
+    match Answer.point_value a with
+    | Some got -> Float.abs (got -. v) < 0.01
+    | None -> false)
+  | Inside i, Answer.Within j -> Rw_prelude.Interval.subset j i
+  | Inside i, Answer.Point v -> Rw_prelude.Interval.mem ~eps:1e-6 v i
+  | Less_than v, _ -> (
+    match Answer.point_value a with Some got -> got < v | None -> false)
+  | NoLimit, Answer.No_limit _ -> true
+  | Inconsistent_kb, Answer.Inconsistent -> true
+  | _ -> false
+
+let table_zoo () =
+  section "Table 1 — the paper's worked examples (paper vs measured)";
+  Fmt.pr "%-5s %-15s %-22s %-28s %-6s@." "id" "source" "expected" "measured [engine]" "match";
+  let ok = ref 0 and total = ref 0 in
+  List.iter
+    (fun (e : Rw_kbzoo.Kbzoo.entry) ->
+      let a = Engine.degree_of_belief ~kb:e.kb e.query in
+      let hit = matches e.expected a in
+      incr total;
+      if hit then incr ok;
+      Fmt.pr "%-5s %-15s %-22s %-28s %-6s@." e.id e.source
+        (Fmt.str "%a" Rw_kbzoo.Kbzoo.pp_expectation e.expected)
+        (Fmt.str "%a" Answer.pp a)
+        (if hit then "yes" else "NO"))
+    Rw_kbzoo.Kbzoo.all;
+  Fmt.pr "-- %d/%d reproduced@." !ok !total
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: the Dempster grid (Theorem 5.26)                          *)
+(* ------------------------------------------------------------------ *)
+
+let nixon ~alpha ~beta ~i1 ~i2 =
+  parse
+    (Printf.sprintf
+       "||Pac(x) | Quaker(x)||_x ~=_%d %g /\\ ||Pac(x) | Repub(x)||_x ~=_%d %g /\\ \
+        ||Quaker(x) /\\ Repub(x)||_x <=_9 0.0001 /\\ Quaker(Nixon) /\\ Repub(Nixon)"
+       i1 alpha i2 beta)
+
+let table_dempster () =
+  section "Table 2 — evidence combination grid: δ(α,β) vs random worlds";
+  Fmt.pr "%6s %6s | %10s %12s %8s@." "α" "β" "δ(α,β)" "measured" "err";
+  List.iter
+    (fun (alpha, beta) ->
+      let expected = Dempster.combine2 alpha beta in
+      let a = Engine.degree_of_belief ~kb:(nixon ~alpha ~beta ~i1:1 ~i2:2) (parse "Pac(Nixon)") in
+      match Answer.point_value a with
+      | Some got ->
+        Fmt.pr "%6.2f %6.2f | %10.4f %12.4f %8.1e@." alpha beta expected got
+          (Float.abs (got -. expected))
+      | None -> Fmt.pr "%6.2f %6.2f | %10.4f %12s@." alpha beta expected "—")
+    [
+      (0.9, 0.9); (0.8, 0.8); (0.7, 0.5); (0.9, 0.3); (0.5, 0.5); (0.2, 0.2);
+      (0.3, 0.7); (1.0, 0.3); (1.0, 0.7);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: convergence of Pr_N to the asymptotic value              *)
+(* ------------------------------------------------------------------ *)
+
+let figure_convergence () =
+  section
+    "Figure 1 — exact Pr_N(Hep(Eric)) converging to the τ→0, N→∞ limit 0.8";
+  let kb = parse "Jaun(Eric) /\\ ||Hep(x) | Jaun(x)||_x ~=_1 0.8" in
+  let query = parse "Hep(Eric)" in
+  Fmt.pr "%6s" "N";
+  let taus = [ 0.05; 0.02; 0.01 ] in
+  List.iter (fun tau -> Fmt.pr " %12s" (Fmt.str "τ=%g" tau)) taus;
+  Fmt.pr "@.";
+  List.iter
+    (fun n ->
+      Fmt.pr "%6d" n;
+      List.iter
+        (fun tau ->
+          match Unary_engine.pr_n ~kb ~query ~n ~tol:(Tolerance.uniform tau) with
+          | Some v -> Fmt.pr " %12.6f" v
+          | None -> Fmt.pr " %12s" "—")
+        taus;
+      Fmt.pr "@.")
+    [ 10; 20; 40; 80; 120 ];
+  let a = Maxent_engine.estimate ~kb query in
+  Fmt.pr "%6s %a   (maximum-entropy asymptote)@." "N→∞" Answer.pp a
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: random worlds vs the baselines                            *)
+(* ------------------------------------------------------------------ *)
+
+let table_baselines () =
+  section "Table 3 — who solves which default-reasoning benchmark";
+  let open Rw_epsilon in
+  let v s = Prop.PVar s in
+  let nt a = Prop.PNot a in
+  let ( &&& ) a b = Prop.PAnd (a, b) in
+  let rules =
+    [
+      Defaults.rule (v "bird") (v "fly");
+      Defaults.rule (v "penguin") (nt (v "fly"));
+      Defaults.rule (v "penguin") (v "bird");
+      Defaults.rule (v "bird") (v "warm");
+      Defaults.rule (v "yellow") (v "easy");
+    ]
+  in
+  let fly_core =
+    "||Fly(x) | Bird(x)||_x ~=_1 1 /\\ ||Fly(x) | Penguin(x)||_x ~=_2 0 /\\ \
+     forall x (Penguin(x) => Bird(x)) /\\ ||Warm(x) | Bird(x)||_x ~=_3 1 /\\ \
+     ||Easy(x) | Yellow(x)||_x ~=_4 1"
+  in
+  let rw kb_extra phi =
+    Randworlds.Defaults.entails ~kb:(parse (fly_core ^ kb_extra)) (parse phi)
+  in
+  let yn b = if b then "yes" else "no" in
+  Fmt.pr "%-38s %-8s %-8s %-8s %-8s@." "benchmark" "ε-ent" "Z" "GMP-ME" "rand-w";
+  let row name eps z me rwv = Fmt.pr "%-38s %-8s %-8s %-8s %-8s@." name (yn eps) (yn z) (yn me) (yn rwv) in
+  row "specificity (penguin ⇒ ¬fly)"
+    (Defaults.p_entails rules (v "penguin", nt (v "fly")))
+    (Defaults.z_entails rules (v "penguin", nt (v "fly")))
+    (Me.me_plausible rules (v "penguin", nt (v "fly")))
+    (rw " /\\ Penguin(Tweety)" "~Fly(Tweety)");
+  row "irrelevance (yellow penguin ⇒ ¬fly)"
+    (Defaults.p_entails rules (v "penguin" &&& v "yellow", nt (v "fly")))
+    (Defaults.z_entails rules (v "penguin" &&& v "yellow", nt (v "fly")))
+    (Me.me_plausible rules (v "penguin" &&& v "yellow", nt (v "fly")))
+    (rw " /\\ Penguin(Tweety) /\\ Yellow(Tweety)" "~Fly(Tweety)");
+  row "inheritance (penguin ⇒ warm)"
+    (Defaults.p_entails rules (v "penguin", v "warm"))
+    (Defaults.z_entails rules (v "penguin", v "warm"))
+    (Me.me_plausible rules (v "penguin", v "warm"))
+    (rw " /\\ Penguin(Tweety)" "Warm(Tweety)");
+  row "drowning (yellow penguin ⇒ easy)"
+    (Defaults.p_entails rules (v "penguin" &&& v "yellow", v "easy"))
+    (Defaults.z_entails rules (v "penguin" &&& v "yellow", v "easy"))
+    (Me.me_plausible rules (v "penguin" &&& v "yellow", v "easy"))
+    (rw " /\\ Penguin(Tweety) /\\ Yellow(Tweety)" "Easy(Tweety)");
+
+  Fmt.pr "@.Reference classes vs random worlds on competing evidence:@.";
+  let kb =
+    parse
+      "||Heart(x) | Chol(x)||_x ~=_1 0.15 /\\ ||Heart(x) | Smoker(x)||_x ~=_2 0.09 /\\ \
+       ||Chol(x) /\\ Smoker(x)||_x <=_3 0.0001 /\\ Chol(Fred) /\\ Smoker(Fred)"
+  in
+  let o = Rw_refclass.Refclass.infer ~kb ~query_pred:"Heart" ~individual:"Fred" () in
+  Fmt.pr "  reference-class: %a (%s)@." Rw_prelude.Interval.pp o.value o.reason;
+  let a = Engine.degree_of_belief ~kb (parse "Heart(Fred)") in
+  Fmt.pr "  random worlds:   %a  (Dempster: δ(0.15, 0.09) = %.4f)@." Answer.pp a
+    (Dempster.combine2 0.15 0.09)
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: tolerance priorities (ablation, Section 5.3)              *)
+(* ------------------------------------------------------------------ *)
+
+let table_priorities () =
+  section "Table 4 — conflicting hard defaults under tolerance priorities";
+  let kb = nixon ~alpha:1.0 ~beta:0.0 ~i1:1 ~i2:2 in
+  let query = parse "Pac(Nixon)" in
+  let probe label powers =
+    let tols =
+      List.map
+        (fun scale -> Tolerance.make ~scale ~powers ())
+        [ 0.05; 0.025; 0.0125; 0.00625; 0.003125 ]
+    in
+    let a = Maxent_engine.estimate ~tols ~kb query in
+    Fmt.pr "  %-44s %a@." label (Fmt.of_to_string (Fmt.str "%a" Answer.pp)) a
+  in
+  Fmt.pr "  %-44s %a@." "syntactic verdict (rules engine):" Answer.pp
+    (Rules_engine.infer ~kb query);
+  probe "equal strengths (τ₁ = τ₂):" [];
+  probe "Quaker default stronger (τ₁ = τ²):" [ (1, 2.0) ];
+  probe "Republican default stronger (τ₂ = τ²):" [ (2, 2.0) ];
+  Fmt.pr "  → the limit depends on how τ̄ → 0: no robust degree of belief.@."
+
+(* ------------------------------------------------------------------ *)
+(* Table 5: representation dependence (Section 7.2)                   *)
+(* ------------------------------------------------------------------ *)
+
+let table_representation () =
+  section "Table 5 — representation dependence (Section 7.2)";
+  let show label kb q =
+    let a = Engine.degree_of_belief ~kb:(parse kb) (parse q) in
+    Fmt.pr "  %-52s %a@." label Answer.pp a
+  in
+  show "Pr(White(c)) over vocabulary {White}:" "White(C) \\/ ~White(C)" "White(C)";
+  show "Pr(White(c)) after refining ¬White into Red/Blue:"
+    "forall x ((White(x) \\/ Red(x) \\/ Blue(x)) /\\ ~(White(x) /\\ Red(x)) /\\ \
+     ~(White(x) /\\ Blue(x)) /\\ ~(Red(x) /\\ Blue(x)))"
+    "White(C)";
+  show "Pr(Fly(Tweety)), {Bird, Fly} encoding:"
+    "||Fly(x) | Bird(x)||_x ~=_1 0.5 /\\ Bird(Tweety)" "Fly(Tweety)";
+  show "Pr(FlyingBird(Tweety)), {Bird, FlyingBird}:"
+    "||FlyingBird(x) | Bird(x)||_x ~=_1 0.5 /\\ Bird(Tweety) /\\ forall x \
+     (FlyingBird(x) => Bird(x))"
+    "FlyingBird(Tweety)";
+  show "Pr(Bird(Opus)), {Bird, Fly} encoding:"
+    "||Fly(x) | Bird(x)||_x ~=_1 0.5 /\\ Bird(Tweety)" "Bird(Opus)";
+  show "Pr(Bird(Opus)), {Bird, FlyingBird} encoding:"
+    "||FlyingBird(x) | Bird(x)||_x ~=_1 0.5 /\\ Bird(Tweety) /\\ forall x \
+     (FlyingBird(x) => Bird(x))"
+    "Bird(Opus)";
+  Fmt.pr "  → the robust query (Fly ≙ FlyingBird: 0.5) survives reencoding;@.";
+  Fmt.pr "    the underdetermined one (Bird(Opus)) is language dependent.@."
+
+(* ------------------------------------------------------------------ *)
+(* Table 6: lottery paradox and unique names (Section 5.5)            *)
+(* ------------------------------------------------------------------ *)
+
+let table_lottery () =
+  section "Table 6 — the lottery paradox and unique names (enum engine)";
+  let tol = Tolerance.uniform 0.1 in
+  let vocab = Vocab.make ~preds:[ ("Winner", 1) ] ~funcs:[ ("C", 0) ] in
+  let kb = Syntax.exists_unique "x" (parse "Winner(x)") in
+  Fmt.pr "  lottery, known N:        ";
+  List.iter
+    (fun n ->
+      match Enum_engine.pr_n ~vocab ~n ~tol ~kb (parse "Winner(C)") with
+      | Some p -> Fmt.pr "N=%d: %.3f  " n p
+      | None -> ())
+    [ 2; 4; 8 ];
+  Fmt.pr "(= 1/N)@.";
+  (match Enum_engine.pr_n ~vocab ~n:8 ~tol ~kb (parse "exists x (Winner(x))") with
+  | Some p -> Fmt.pr "  Pr(someone wins):        %.3f@." p
+  | None -> ());
+  let vocab3 = Vocab.make ~preds:[] ~funcs:[ ("C1", 0); ("C2", 0); ("C3", 0) ] in
+  Fmt.pr "  unique names, Pr(C1=C2): ";
+  List.iter
+    (fun n ->
+      match Enum_engine.pr_n ~vocab:vocab3 ~n ~tol ~kb:Syntax.True (parse "C1 = C2") with
+      | Some p -> Fmt.pr "N=%d: %.3f  " n p
+      | None -> ())
+    [ 2; 4; 8 ];
+  Fmt.pr "(= 1/N → 0)@.";
+  Fmt.pr "  forced collision → 1/3:  ";
+  let kbd = parse "(C1 = C2) \\/ (C2 = C3) \\/ (C1 = C3)" in
+  List.iter
+    (fun n ->
+      match Enum_engine.pr_n ~vocab:vocab3 ~n ~tol ~kb:kbd (parse "C1 = C2") with
+      | Some p -> Fmt.pr "N=%d: %.3f  " n p
+      | None -> ())
+    [ 4; 8; 16 ];
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* Table 7: Poole's partition & sampling failure                      *)
+(* ------------------------------------------------------------------ *)
+
+let table_limits_of_method () =
+  section "Table 7 — the method's own limits, reproduced";
+  (* Poole's partition (Section 5.5): inconsistent under ≈1 reading. *)
+  let poole =
+    parse
+      "forall x (Bird(x) <=> Emu(x) \\/ Penguin(x)) /\\ \
+       ||Emu(x) | Bird(x)||_x ~=_1 0 /\\ ||Penguin(x) | Bird(x)||_x ~=_1 0 /\\ \
+       ||Bird(x)||_x >=_2 0.1"
+  in
+  let parts = Rw_unary.Analysis.analyze poole in
+  Fmt.pr "  Poole's exceptional partition consistent?   %b (expected: false)@."
+    (Rw_unary.Solver.consistent_at parts (Tolerance.uniform 1e-3));
+  (* Sampling failure (Section 7.3). *)
+  let a =
+    Engine.degree_of_belief
+      ~kb:(parse "||Fly(x) | Bird(x) /\\ S(x)||_x ~=_1 0.9 /\\ Bird(Tweety) /\\ ~S(Tweety)")
+      (parse "Fly(Tweety)")
+  in
+  Fmt.pr "  Sample statistic transfers outside S?       Pr = %a (expected 0.5: no)@."
+    Answer.pp a
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: engine cost scaling (Section 7.4)                        *)
+(* ------------------------------------------------------------------ *)
+
+let figure_scaling () =
+  section
+    "Figure 2 — engine cost vs domain size N (Section 7.4's computational story)";
+  let kb = parse "Jaun(Eric) /\\ ||Hep(x) | Jaun(x)||_x ~=_1 0.8" in
+  let query = parse "Hep(Eric)" in
+  let tol = Tolerance.uniform 0.05 in
+  let vocab = Vocab.of_formulas [ kb; query ] in
+  let time f =
+    let t0 = Sys.time () in
+    let (_ : float option) = f () in
+    Sys.time () -. t0
+  in
+  Fmt.pr "  %-8s %14s %14s@." "N" "enum (s)" "unary (s)";
+  List.iter
+    (fun n ->
+      let enum_t =
+        if Rw_model.Enum.log10_world_count vocab n <= 7.0 then
+          Fmt.str "%14.4f" (time (fun () -> Enum_engine.pr_n ~vocab ~n ~tol ~kb query))
+        else Fmt.str "%14s" "(> 10^7 worlds)"
+      in
+      let unary_t =
+        Fmt.str "%14.4f" (time (fun () -> Unary_engine.pr_n ~kb ~query ~n ~tol))
+      in
+      Fmt.pr "  %-8d %s %s@." n enum_t unary_t)
+    [ 3; 4; 5; 6; 20; 40; 80; 160 ];
+  let t0 = Sys.time () in
+  let (_ : Answer.t) = Maxent_engine.estimate ~kb query in
+  Fmt.pr "  %-8s %14s %14.4f   (whole τ-schedule, N-independent)@." "N→∞" "—"
+    (Sys.time () -. t0);
+  Fmt.pr
+    "  enumeration is exponential in N; exact unary counting is polynomial\n\
+    \  (profiles × assignments); the maxent asymptote does not depend on N.@."
+
+(* ------------------------------------------------------------------ *)
+(* Table 8: learning — random worlds vs random propensities (§7.3)    *)
+(* ------------------------------------------------------------------ *)
+
+let table_learning () =
+  section "Table 8 — learning ablation: uniform prior vs random propensities";
+  let open Rw_unary in
+  Fmt.pr "  observing m flying birds, then asking about a new one:@.";
+  Fmt.pr "  %4s %14s %14s %14s@." "m" "rand-worlds" "propensities" "Laplace";
+  List.iter
+    (fun m ->
+      let kb =
+        parse (String.concat " /\\ " (List.init m (fun i -> Printf.sprintf "Fly(C%d)" i)))
+      in
+      let query = parse "Fly(Cnew)" in
+      let parts = Analysis.analyze kb in
+      let rw =
+        let at n =
+          Option.get (Profile.pr_n parts ~query ~n ~tol:(Tolerance.uniform 0.05))
+        in
+        let i, _, _ =
+          Limits.linear_intercept
+            [ 1.0 /. 20.0; 1.0 /. 40.0; 1.0 /. 80.0 ]
+            [ at 20; at 40; at 80 ]
+        in
+        i
+      in
+      let prop =
+        match Propensity.estimate ~ns:[ 20; 30; 40 ] ~kb query with
+        | Some v -> v
+        | None -> Float.nan
+      in
+      Fmt.pr "  %4d %14.4f %14.4f %14.4f@." m rw prop
+        (float_of_int (m + 1) /. float_of_int (m + 2)))
+    [ 1; 3; 8 ];
+  let kb = parse "forall x (Giraffe(x) => Tall(x))" in
+  let rw =
+    match Answer.point_value (Maxent_engine.estimate ~kb (parse "Tall(C)")) with
+    | Some v -> v
+    | None -> Float.nan
+  in
+  let prop =
+    match Propensity.estimate ~ns:[ 20; 30; 40 ] ~kb (parse "Tall(C)") with
+    | Some v -> v
+    | None -> Float.nan
+  in
+  Fmt.pr "  'all giraffes are tall' only:  rand-worlds %.4f, propensities %.4f@."
+    rw prop;
+  Fmt.pr "  → propensities learn from samples (Laplace), and over-learn from@.";
+  Fmt.pr "    bare universals — both sides of the Section 7.3 discussion.@."
+
+(* ------------------------------------------------------------------ *)
+(* Performance benchmarks (Bechamel)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let perf_tests () =
+  let open Bechamel in
+  let hep_kb = parse "Jaun(Eric) /\\ ||Hep(x) | Jaun(x)||_x ~=_1 0.8" in
+  let hep_query = parse "Hep(Eric)" in
+  let penguin_kb =
+    parse
+      "||Fly(x) | Bird(x)||_x ~=_1 1 /\\ ||Fly(x) | Penguin(x)||_x ~=_2 0 /\\ \
+       forall x (Penguin(x) => Bird(x)) /\\ Penguin(Tweety)"
+  in
+  let penguin_query = parse "Fly(Tweety)" in
+  let parts = Rw_unary.Analysis.analyze hep_kb in
+  let vocab = Vocab.of_formulas [ hep_kb; hep_query ] in
+  let tol = Tolerance.uniform 0.05 in
+  Test.make_grouped ~name:"randworlds"
+    [
+      Test.make ~name:"parse-formula"
+        (Staged.stage (fun () ->
+             ignore (parse "||Hep(x) | Jaun(x)||_x ~=_1 0.8 /\\ Jaun(Eric)")));
+      Test.make ~name:"rules-engine"
+        (Staged.stage (fun () -> ignore (Rules_engine.infer ~kb:hep_kb hep_query)));
+      Test.make ~name:"maxent-solve-penguin"
+        (Staged.stage (fun () ->
+             ignore
+               (Rw_unary.Solver.solve
+                  (Rw_unary.Analysis.analyze penguin_kb)
+                  (Tolerance.uniform 0.01))));
+      Test.make ~name:"maxent-estimate-penguin"
+        (Staged.stage (fun () ->
+             ignore (Maxent_engine.estimate ~kb:penguin_kb penguin_query)));
+      Test.make ~name:"profile-prn-N20"
+        (Staged.stage (fun () ->
+             ignore (Rw_unary.Profile.pr_n parts ~query:hep_query ~n:20 ~tol)));
+      Test.make ~name:"enum-prn-N4"
+        (Staged.stage (fun () ->
+             ignore (Enum_engine.pr_n ~vocab ~n:4 ~tol ~kb:hep_kb hep_query)));
+      Test.make ~name:"dempster-combine"
+        (Staged.stage (fun () -> ignore (Dempster.combine [ 0.8; 0.7; 0.9 ])));
+      Test.make ~name:"dispatcher-E01"
+        (Staged.stage (fun () ->
+             ignore (Engine.degree_of_belief ~kb:hep_kb hep_query)));
+    ]
+
+let run_perf () =
+  section "Performance — Bechamel micro-benchmarks (monotonic clock)";
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances (perf_tests ()) in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = Analyze.merge ols instances results in
+  (* Print one row per test: nanoseconds per run. *)
+  let clock = Hashtbl.find results (Toolkit.Instance.monotonic_clock |> Measure.label) in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) clock [] in
+  Fmt.pr "%-40s %16s@." "benchmark" "time/run";
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] ->
+        let pretty =
+          if est > 1e9 then Fmt.str "%.3f s" (est /. 1e9)
+          else if est > 1e6 then Fmt.str "%.3f ms" (est /. 1e6)
+          else if est > 1e3 then Fmt.str "%.3f µs" (est /. 1e3)
+          else Fmt.str "%.0f ns" est
+        in
+        Fmt.pr "%-40s %16s@." name pretty
+      | _ -> Fmt.pr "%-40s %16s@." name "—")
+    (List.sort Stdlib.compare rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let no_perf = Array.exists (fun a -> a = "--no-perf") Sys.argv in
+  table_zoo ();
+  table_dempster ();
+  figure_convergence ();
+  table_baselines ();
+  table_priorities ();
+  table_representation ();
+  table_lottery ();
+  table_limits_of_method ();
+  table_learning ();
+  figure_scaling ();
+  if not no_perf then run_perf ();
+  Fmt.pr "@.done.@."

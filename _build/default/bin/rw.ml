@@ -1,0 +1,260 @@
+(* rw — command-line interface to the random-worlds library.
+
+   Subcommands:
+     rw query --kb FILE --query FORMULA [--engine ENGINE]
+     rw consistent --kb FILE
+     rw zoo [--id ID]
+     rw parse FORMULA
+
+   Knowledge-base files: the concrete syntax of L≈; lines starting with
+   '#' are comments; every non-empty, non-comment line is a conjunct. *)
+
+open Cmdliner
+open Rw_logic
+open Randworlds
+
+(* ------------------------------------------------------------------ *)
+(* KB file loading                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let load_kb path = Kb_file.validated_load path
+
+let parse_formula_arg s =
+  match Parser.formula s with
+  | Ok f -> Ok f
+  | Error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* query                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type engine_choice = Auto | Rules | Maxent | Unary | Enum
+
+let engine_conv =
+  let parse = function
+    | "auto" -> Ok Auto
+    | "rules" -> Ok Rules
+    | "maxent" -> Ok Maxent
+    | "unary" -> Ok Unary
+    | "enum" -> Ok Enum
+    | s -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
+  in
+  let print ppf = function
+    | Auto -> Fmt.string ppf "auto"
+    | Rules -> Fmt.string ppf "rules"
+    | Maxent -> Fmt.string ppf "maxent"
+    | Unary -> Fmt.string ppf "unary"
+    | Enum -> Fmt.string ppf "enum"
+  in
+  Arg.conv (parse, print)
+
+let run_query kb_path query_src engine verbose =
+  match load_kb kb_path with
+  | Error msg ->
+    Fmt.epr "error loading %s:@.%s@." kb_path msg;
+    1
+  | Ok kb -> (
+    match parse_formula_arg query_src with
+    | Error msg ->
+      Fmt.epr "error parsing query: %s@." msg;
+      1
+    | Ok query ->
+      let answer =
+        match engine with
+        | Auto -> Engine.degree_of_belief ~kb query
+        | Rules -> Rules_engine.infer ~kb query
+        | Maxent -> Maxent_engine.estimate ~kb query
+        | Unary -> Unary_engine.estimate ~kb query
+        | Enum ->
+          let vocab = Vocab.of_formulas [ kb; query ] in
+          Enum_engine.estimate ~vocab ~kb query
+      in
+      Fmt.pr "Pr( %a | KB ) = %a@." Pretty.pp_formula query Answer.pp answer;
+      if verbose then List.iter (Fmt.pr "  %s@.") answer.Answer.notes;
+      (match answer.Answer.result with Answer.Not_applicable _ -> 2 | _ -> 0))
+
+let kb_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "k"; "kb" ] ~docv:"FILE" ~doc:"Knowledge base file (L≈ syntax).")
+
+let query_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "q"; "query" ] ~docv:"FORMULA" ~doc:"Query formula.")
+
+let engine_arg =
+  Arg.(
+    value & opt engine_conv Auto
+    & info [ "e"; "engine" ] ~docv:"ENGINE"
+        ~doc:"Engine: auto, rules, maxent, unary, or enum.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print engine diagnostics.")
+
+let query_cmd =
+  let doc = "compute a degree of belief Pr(query | KB)" in
+  Cmd.v
+    (Cmd.info "query" ~doc)
+    Term.(const run_query $ kb_arg $ query_arg $ engine_arg $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
+(* consistent                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_consistent kb_path =
+  match load_kb kb_path with
+  | Error msg ->
+    Fmt.epr "error loading %s:@.%s@." kb_path msg;
+    1
+  | Ok kb -> (
+    let parts = Rw_unary.Analysis.analyze kb in
+    if not (Rw_unary.Analysis.fully_supported parts) then begin
+      Fmt.pr "KB outside the unary fragment; cannot decide consistency here.@.";
+      2
+    end
+    else begin
+      let schedule = Tolerance.schedule ~steps:4 (Tolerance.uniform 0.02) in
+      let ok =
+        List.for_all (fun tol -> Rw_unary.Solver.consistent_at parts tol) schedule
+      in
+      if ok then begin
+        Fmt.pr "KB is eventually consistent (feasible along the τ-schedule).@.";
+        0
+      end
+      else begin
+        Fmt.pr
+          "KB is NOT eventually consistent: no worlds at small tolerances.@.";
+        1
+      end
+    end)
+
+let consistent_cmd =
+  let doc = "check eventual consistency of a knowledge base" in
+  Cmd.v (Cmd.info "consistent" ~doc) Term.(const run_consistent $ kb_arg)
+
+(* ------------------------------------------------------------------ *)
+(* series                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_series kb_path query_src sizes tol_scale =
+  match load_kb kb_path with
+  | Error msg ->
+    Fmt.epr "error loading %s:@.%s@." kb_path msg;
+    1
+  | Ok kb -> (
+    match parse_formula_arg query_src with
+    | Error msg ->
+      Fmt.epr "error parsing query: %s@." msg;
+      1
+    | Ok query ->
+      let tol = Tolerance.uniform tol_scale in
+      Fmt.pr "# exact Pr_N( %a | KB ) at tau = %g@." Pretty.pp_formula query
+        tol_scale;
+      let printed = ref 0 in
+      List.iter
+        (fun n ->
+          match Unary_engine.pr_n ~kb ~query ~n ~tol with
+          | Some v ->
+            incr printed;
+            Fmt.pr "%6d %12.6f@." n v
+          | None -> Fmt.pr "%6d %12s@." n "(no worlds)"
+          | exception Rw_unary.Profile.Unsupported why ->
+            Fmt.epr "unary engine cannot handle this KB: %s@." why;
+            raise Exit)
+        sizes;
+      let a = Maxent_engine.estimate ~kb query in
+      Fmt.pr "# N->inf asymptote: %a@." Answer.pp a;
+      if !printed = 0 then 1 else 0)
+
+let run_series_safe kb_path query_src sizes tol_scale =
+  try run_series kb_path query_src sizes tol_scale with Exit -> 2
+
+let series_cmd =
+  let doc = "print the exact Pr_N convergence series for a unary KB" in
+  let sizes_arg =
+    Arg.(
+      value
+      & opt (list int) [ 10; 20; 40; 80 ]
+      & info [ "n"; "sizes" ] ~docv:"N,N,…" ~doc:"Domain sizes to evaluate.")
+  in
+  let tol_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "t"; "tolerance" ] ~docv:"TAU" ~doc:"Uniform tolerance scale.")
+  in
+  Cmd.v
+    (Cmd.info "series" ~doc)
+    Term.(const run_series_safe $ kb_arg $ query_arg $ sizes_arg $ tol_arg)
+
+(* ------------------------------------------------------------------ *)
+(* zoo                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_zoo id =
+  let entries =
+    match id with
+    | None -> Rw_kbzoo.Kbzoo.all
+    | Some id -> (
+      match Rw_kbzoo.Kbzoo.find id with
+      | Some e -> [ e ]
+      | None ->
+        Fmt.epr "unknown experiment id %s@." id;
+        [])
+  in
+  if entries = [] then 1
+  else begin
+    List.iter
+      (fun (e : Rw_kbzoo.Kbzoo.entry) ->
+        let a = Engine.degree_of_belief ~kb:e.kb e.query in
+        Fmt.pr "%-5s %-14s expected %a; got %a@." e.id e.source
+          Rw_kbzoo.Kbzoo.pp_expectation e.expected Answer.pp a)
+      entries;
+    0
+  end
+
+let zoo_cmd =
+  let doc = "run the paper's worked examples (the KB zoo)" in
+  let id_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "id" ] ~docv:"ID" ~doc:"Run a single experiment (e.g. E02).")
+  in
+  Cmd.v (Cmd.info "zoo" ~doc) Term.(const run_zoo $ id_arg)
+
+(* ------------------------------------------------------------------ *)
+(* parse                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_parse src =
+  match parse_formula_arg src with
+  | Ok f ->
+    Fmt.pr "%a@." Pretty.pp_formula f;
+    Fmt.pr "free variables: %a@." Fmt.(list ~sep:(any ", ") string) (Syntax.free_vars f);
+    Fmt.pr "constants: %a@."
+      Fmt.(list ~sep:(any ", ") string)
+      (Syntax.constants f);
+    Fmt.pr "unary fragment: %b@." (Syntax.is_unary_vocab f);
+    0
+  | Error msg ->
+    Fmt.epr "%s@." msg;
+    1
+
+let parse_cmd =
+  let doc = "parse a formula and print its analysis" in
+  let src_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FORMULA")
+  in
+  Cmd.v (Cmd.info "parse" ~doc) Term.(const run_parse $ src_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "degrees of belief from statistical knowledge bases (random worlds)" in
+  let info = Cmd.info "rw" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ query_cmd; consistent_cmd; series_cmd; zoo_cmd; parse_cmd ]))

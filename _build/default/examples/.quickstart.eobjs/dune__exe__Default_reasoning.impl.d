@@ -1,0 +1,1 @@
+examples/default_reasoning.ml: Defaults Fmt Me Parser Prop Randworlds Rw_epsilon Rw_logic

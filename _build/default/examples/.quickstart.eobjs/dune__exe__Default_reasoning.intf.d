@@ -1,0 +1,1 @@
+examples/default_reasoning.mli:

@@ -1,0 +1,1 @@
+examples/evidence_combination.ml: Answer Dempster Engine Fmt List Maxent_engine Parser Printf Randworlds Rw_logic Tolerance

@@ -1,0 +1,1 @@
+examples/evidence_combination.mli:

@@ -1,0 +1,1 @@
+examples/learning.ml: Analysis Float Fmt List Option Parser Printf Profile Propensity Randworlds Rw_logic Rw_unary String Tolerance

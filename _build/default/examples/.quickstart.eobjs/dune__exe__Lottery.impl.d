@@ -1,0 +1,1 @@
+examples/lottery.ml: Enum_engine Fmt List Parser Randworlds Rw_logic Syntax Tolerance Vocab

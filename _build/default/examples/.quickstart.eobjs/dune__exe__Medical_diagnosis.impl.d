@@ -1,0 +1,1 @@
+examples/medical_diagnosis.ml: Answer Engine Fmt Parser Randworlds Rw_logic Rw_prelude Rw_refclass

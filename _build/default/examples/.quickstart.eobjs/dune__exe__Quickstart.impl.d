@@ -1,0 +1,1 @@
+examples/quickstart.ml: Answer Defaults Engine Fmt List Parser Pretty Randworlds Rw_logic Syntax

@@ -1,0 +1,1 @@
+examples/taxonomy.ml: Answer Engine Fmt Parser Printf Randworlds Rw_logic

@@ -1,0 +1,1 @@
+examples/yale_shooting.ml: Answer Engine Fmt List Maxent_engine Parser Randworlds Rw_logic Tolerance

@@ -1,0 +1,1 @@
+examples/yale_shooting.mli:

@@ -1,0 +1,88 @@
+(* Random worlds as a default-reasoning system (Sections 3–5): the
+   classic Tweety benchmarks — specificity, irrelevance, inheritance by
+   exceptional subclasses, the drowning problem — plus the KLM
+   properties, side by side with the propositional baselines.
+
+   Run with:  dune exec examples/default_reasoning.exe *)
+
+open Rw_logic
+open Randworlds
+
+let fly_core =
+  "||Fly(x) | Bird(x)||_x ~=_1 1 /\\ ||Fly(x) | Penguin(x)||_x ~=_2 0 /\\ \
+   forall x (Penguin(x) => Bird(x))"
+
+let entails kb_src phi_src =
+  Defaults.entails ~kb:(Parser.formula_exn kb_src) (Parser.formula_exn phi_src)
+
+let show name verdict = Fmt.pr "  %-52s %s@." name (if verdict then "yes" else "no")
+
+let () =
+  Fmt.pr "Defaults read statistically: Bird(x) -> Fly(x) is ||Fly|Bird|| ~= 1.@.@.";
+
+  Fmt.pr "Specificity and irrelevance (random worlds):@.";
+  show "penguin Tweety doesn't fly"
+    (entails (fly_core ^ " /\\ Penguin(Tweety)") "~Fly(Tweety)");
+  show "the *yellow* penguin still doesn't fly"
+    (entails (fly_core ^ " /\\ Penguin(Tweety) /\\ Yellow(Tweety)") "~Fly(Tweety)");
+  show "exceptional subclass inherits: penguin is warm-blooded"
+    (entails
+       (fly_core ^ " /\\ ||Warm(x) | Bird(x)||_x ~=_3 1 /\\ Penguin(Tweety)")
+       "Warm(Tweety)");
+  show "no drowning: yellow penguin is easy to see"
+    (entails
+       (fly_core
+      ^ " /\\ ||Easy(x) | Yellow(x)||_x ~=_3 1 /\\ Penguin(Tweety) /\\ Yellow(Tweety)")
+       "Easy(Tweety)");
+
+  Fmt.pr "@.The propositional baselines on the same benchmarks:@.";
+  let open Rw_epsilon in
+  let v s = Prop.PVar s in
+  let rules =
+    [
+      Defaults.rule (v "bird") (v "fly");
+      Defaults.rule (v "penguin") (Prop.PNot (v "fly"));
+      Defaults.rule (v "penguin") (v "bird");
+      Defaults.rule (v "bird") (v "warm");
+    ]
+  in
+  show "ε-entailment: penguin doesn't fly"
+    (Defaults.p_entails rules (v "penguin", Prop.PNot (v "fly")));
+  show "ε-entailment: yellow penguin doesn't fly (irrelevance)"
+    (Defaults.p_entails rules
+       (Prop.PAnd (v "penguin", v "yellow"), Prop.PNot (v "fly")));
+  show "System Z: yellow penguin doesn't fly"
+    (Defaults.z_entails rules
+       (Prop.PAnd (v "penguin", v "yellow"), Prop.PNot (v "fly")));
+  show "System Z: penguin is warm-blooded (drowning!)"
+    (Defaults.z_entails rules (v "penguin", v "warm"));
+  show "GMP90 maxent: penguin is warm-blooded"
+    (Me.me_plausible rules (v "penguin", v "warm"));
+
+  Fmt.pr "@.KLM properties of |~rw on the penguin KB (Theorem 5.3):@.";
+  let kb = Parser.formula_exn (fly_core ^ " /\\ Penguin(Tweety)") in
+  let oracle = Randworlds.Defaults.engine_oracle ?options:None in
+  let verdict = function
+    | Randworlds.Defaults.Holds -> "holds"
+    | Randworlds.Defaults.Vacuous -> "vacuous"
+    | Randworlds.Defaults.Fails why -> "FAILS: " ^ why
+  in
+  let p = Parser.formula_exn in
+  Fmt.pr "  %-52s %s@." "Reflexivity"
+    (verdict (Randworlds.Defaults.reflexivity oracle ~kb));
+  Fmt.pr "  %-52s %s@." "Right Weakening"
+    (verdict
+       (Randworlds.Defaults.right_weakening oracle ~kb ~phi:(p "~Fly(Tweety)")
+          ~psi:(p "~Fly(Tweety) \\/ Warm(Tweety)")));
+  Fmt.pr "  %-52s %s@." "Cut"
+    (verdict
+       (Randworlds.Defaults.cut oracle ~kb ~theta:(p "~Fly(Tweety)")
+          ~phi:(p "Bird(Tweety)")));
+  Fmt.pr "  %-52s %s@." "Cautious Monotonicity"
+    (verdict
+       (Randworlds.Defaults.cautious_monotonicity oracle ~kb
+          ~theta:(p "~Fly(Tweety)") ~phi:(p "Bird(Tweety)")));
+  Fmt.pr "  %-52s %s@." "Rational Monotonicity (θ = Yellow(Tweety))"
+    (verdict
+       (Randworlds.Defaults.rational_monotonicity oracle ~kb
+          ~theta:(p "Yellow(Tweety)") ~phi:(p "~Fly(Tweety)")))

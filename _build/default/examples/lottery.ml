@@ -1,0 +1,78 @@
+(* The lottery paradox and unique names (Section 5.5), computed with
+   the literal enumeration engine — these knowledge bases need
+   equality, which only the exhaustive engine interprets.
+
+   Run with:  dune exec examples/lottery.exe *)
+
+open Rw_logic
+open Randworlds
+
+let tol = Tolerance.uniform 0.1
+
+let () =
+  Fmt.pr "THE LOTTERY (known size): everyone holds a ticket, exactly one wins.@.";
+  let vocab = Vocab.make ~preds:[ ("Winner", 1) ] ~funcs:[ ("C", 0) ] in
+  let kb = Syntax.exists_unique "x" (Parser.formula_exn "Winner(x)") in
+  List.iter
+    (fun n ->
+      match Enum_engine.pr_n ~vocab ~n ~tol ~kb (Parser.formula_exn "Winner(C)") with
+      | Some v -> Fmt.pr "  N=%2d  Pr(Winner(C)) = %.4f  (= 1/N)@." n v
+      | None -> ())
+    [ 2; 4; 8 ];
+  (match Enum_engine.pr_n ~vocab ~n:8 ~tol ~kb (Parser.formula_exn "exists x (Winner(x))") with
+  | Some v -> Fmt.pr "  …while Pr(someone wins) = %.4f@." v
+  | None -> ());
+  Fmt.pr
+    "  The 'paradox' dissolves: each individual is unlikely to win, someone \
+     certainly does.@.@.";
+
+  Fmt.pr "THE LOTTERY (unknown large size): winner among the ticket holders.@.";
+  let vocab = Vocab.make ~preds:[ ("Winner", 1); ("Ticket", 1) ] ~funcs:[ ("C", 0) ] in
+  let kb =
+    Syntax.conj
+      [
+        Syntax.exists_unique "x" (Parser.formula_exn "Winner(x)");
+        Parser.formula_exn "forall x (Winner(x) => Ticket(x))";
+        Parser.formula_exn "Ticket(C)";
+      ]
+  in
+  List.iter
+    (fun n ->
+      match Enum_engine.pr_n ~vocab ~n ~tol ~kb (Parser.formula_exn "Winner(C)") with
+      | Some v -> Fmt.pr "  N=%2d  Pr(Winner(C)) = %.4f@." n v
+      | None -> ())
+    [ 3; 5; 7; 9 ];
+  Fmt.pr "  → 0 as N grows: buy your ticket, plan your life as a non-winner.@.@.";
+
+  Fmt.pr "UNIQUE NAMES: the bias is automatic, no default needed.@.";
+  let vocab = Vocab.make ~preds:[] ~funcs:[ ("C1", 0); ("C2", 0); ("C3", 0) ] in
+  List.iter
+    (fun n ->
+      match
+        Enum_engine.pr_n ~vocab ~n ~tol ~kb:Syntax.True (Parser.formula_exn "C1 = C2")
+      with
+      | Some v -> Fmt.pr "  N=%2d  Pr(C1 = C2 | true) = %.4f  (= 1/N)@." n v
+      | None -> ())
+    [ 2; 4; 8 ];
+
+  Fmt.pr "@.…except when the KB forces some collision (Pr → 1/3):@.";
+  let kb = Parser.formula_exn "(C1 = C2) \\/ (C2 = C3) \\/ (C1 = C3)" in
+  List.iter
+    (fun n ->
+      match Enum_engine.pr_n ~vocab ~n ~tol ~kb (Parser.formula_exn "C1 = C2") with
+      | Some v -> Fmt.pr "  N=%2d  Pr(C1 = C2 | some pair equal) = %.4f@." n v
+      | None -> ())
+    [ 4; 8; 16 ];
+
+  Fmt.pr "@.LIFSCHITZ C1: Ray = Reiter, Drew = McDermott ⊢ Ray ≠ Drew.@.";
+  let vocab =
+    Vocab.make ~preds:[]
+      ~funcs:[ ("Ray", 0); ("Reiter", 0); ("Drew", 0); ("McDermott", 0) ]
+  in
+  let kb = Parser.formula_exn "Ray = Reiter /\\ Drew = McDermott" in
+  List.iter
+    (fun n ->
+      match Enum_engine.pr_n ~vocab ~n ~tol ~kb (Parser.formula_exn "Ray != Drew") with
+      | Some v -> Fmt.pr "  N=%2d  Pr(Ray ≠ Drew) = %.4f  (= 1 − 1/N)@." n v
+      | None -> ())
+    [ 2; 4; 8 ]

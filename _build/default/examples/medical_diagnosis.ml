@@ -1,0 +1,73 @@
+(* The paper's motivating scenario (Section 1): a doctor's knowledge
+   base holds statistics, first-order facts, defaults, and information
+   about the patient at hand — and the doctor must quantify her
+   uncertainty before choosing a treatment.
+
+   Run with:  dune exec examples/medical_diagnosis.exe *)
+
+open Rw_logic
+open Randworlds
+
+let kb_src =
+  (* 80% of jaundiced patients have hepatitis; hepatitis patients all
+     show jaundice; hepatitis patients typically have a fever; at most
+     5% of the population has hepatitis; 40% of patients are over 60. *)
+  "||Hep(x) | Jaun(x)||_x ~=_1 0.8 /\\ \
+   forall x (Hep(x) => Jaun(x)) /\\ \
+   ||Fever(x) | Hep(x)||_x ~=_2 1 /\\ \
+   ||Over60(x) | Patient(x)||_x ~=_3 0.4"
+
+let ask ~kb query_src =
+  let query = Parser.formula_exn query_src in
+  let a = Engine.degree_of_belief ~kb query in
+  Fmt.pr "  Pr( %-28s ) = %a@." query_src Answer.pp a
+
+let () =
+  Fmt.pr "The doctor's knowledge base:@.  %s@.@." kb_src;
+
+  (* Scenario 1: all we know about Eric is his jaundice. Direct
+     inference: the reference-class statistic transfers. *)
+  let kb1 = Parser.formula_exn (kb_src ^ " /\\ Jaun(Eric)") in
+  Fmt.pr "Eric presents with jaundice:@.";
+  ask ~kb:kb1 "Hep(Eric)";
+
+  (* Scenario 2: the record also says Eric is tall — irrelevant
+     information changes nothing (Theorem 5.16). *)
+  let kb2 = Parser.formula_exn (kb_src ^ " /\\ Jaun(Eric) /\\ Tall(Eric)") in
+  Fmt.pr "…and the chart notes he is tall (irrelevant):@.";
+  ask ~kb:kb2 "Hep(Eric)";
+
+  (* Scenario 3: default conclusions chain — hepatitis patients
+     typically run a fever, so the doctor's belief in fever is the
+     belief in hepatitis (via the conditional). *)
+  Fmt.pr "What about a fever (inherited through the hepatitis default)?@.";
+  ask ~kb:kb1 "Fever(Eric) /\\ Hep(Eric)";
+
+  (* Scenario 4: independent questions multiply (Theorem 5.27). *)
+  let kb3 = Parser.formula_exn (kb_src ^ " /\\ Jaun(Eric) /\\ Patient(Eric)") in
+  Fmt.pr "Hepatitis and age are independent concerns (0.8 × 0.4 = 0.32):@.";
+  ask ~kb:kb3 "Hep(Eric) /\\ Over60(Eric)";
+
+  (* Scenario 5: competing evidence from essentially disjoint risk
+     groups combines by Dempster's rule (Theorem 5.26). *)
+  let kb4 =
+    Parser.formula_exn
+      "||Heart(x) | Chol(x)||_x ~=_1 0.8 /\\ ||Heart(x) | Smoker(x)||_x ~=_2 0.8 /\\ \
+       ||Chol(x) /\\ Smoker(x)||_x <=_3 0.0001 /\\ Chol(Fred) /\\ Smoker(Fred)"
+  in
+  Fmt.pr
+    "Fred has two independent risk factors at 80%% each — combined they \
+     reinforce (δ(0.8, 0.8) = 16/17):@.";
+  ask ~kb:kb4 "Heart(Fred)";
+
+  (* The reference-class baseline gives up on competing classes; random
+     worlds does not (Section 2.3). *)
+  let kb5 =
+    Parser.formula_exn
+      "||Heart(x) | Chol(x)||_x ~=_1 0.15 /\\ ||Heart(x) | Smoker(x)||_x ~=_2 0.09 /\\ \
+       ||Chol(x) /\\ Smoker(x)||_x <=_3 0.0001 /\\ Chol(Fred) /\\ Smoker(Fred)"
+  in
+  Fmt.pr "@.Section 2.3's Fred (15%% vs 9%%, incomparable classes):@.";
+  let o = Rw_refclass.Refclass.infer ~kb:kb5 ~query_pred:"Heart" ~individual:"Fred" () in
+  Fmt.pr "  reference-class baseline: %a (%s)@." Rw_prelude.Interval.pp o.value o.reason;
+  ask ~kb:kb5 "Heart(Fred)"

@@ -1,0 +1,36 @@
+(* Quickstart: write a knowledge base in the concrete syntax of L≈,
+   ask for a degree of belief, inspect the answer.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Rw_logic
+open Randworlds
+
+let () =
+  (* A knowledge base mixing a fact about an individual with a
+     statistical generalisation: Eric has jaundice, and approximately
+     80% of jaundiced patients have hepatitis. *)
+  let kb =
+    Parser.formula_exn
+      "Jaun(Eric) /\\ ||Hep(x) | Jaun(x)||_x ~=_1 0.8"
+  in
+  let query = Parser.formula_exn "Hep(Eric)" in
+
+  (* Pr_∞(Hep(Eric) | KB) — the random-worlds degree of belief. *)
+  let answer = Engine.degree_of_belief ~kb query in
+  Fmt.pr "Pr( %a | KB ) = %a@." Pretty.pp_formula query Answer.pp answer;
+
+  (* The answer records which engine produced it and why. *)
+  List.iter (Fmt.pr "  note: %s@.") answer.Answer.notes;
+
+  (* Defaults are statistical statements with ≈ 1; the default-inference
+     relation KB |~ φ is just "degree of belief 1". *)
+  let kb_birds =
+    Parser.formula_exn
+      "||Fly(x) | Bird(x)||_x ~=_1 1 /\\ ||Fly(x) | Penguin(x)||_x ~=_2 0 /\\ \
+       forall x (Penguin(x) => Bird(x)) /\\ Penguin(Tweety)"
+  in
+  let flies = Parser.formula_exn "Fly(Tweety)" in
+  Fmt.pr "KB |~ Fly(Tweety)?  %b@." (Defaults.entails ~kb:kb_birds flies);
+  Fmt.pr "KB |~ ~Fly(Tweety)? %b@."
+    (Defaults.entails ~kb:kb_birds (Syntax.Not flies))

@@ -1,0 +1,1 @@
+lib/bignat/bignat.ml: Array Buffer Float Fmt List Listx Printf Rw_prelude Stdlib String

@@ -1,0 +1,1 @@
+lib/bignat/bignat.mli: Format

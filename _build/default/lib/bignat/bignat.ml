@@ -1,0 +1,278 @@
+(** Arbitrary-precision natural numbers.
+
+    The random-worlds method is defined through exact world counts —
+    [#worlds_N^τ(KB)] — which overflow native integers almost
+    immediately (a single binary predicate over a domain of size 8
+    already yields 2^64 interpretations). The sealed build environment
+    has no zarith, so this module provides the small slice of bignum
+    arithmetic the counting engines and their tests need: addition,
+    subtraction, multiplication, comparison, small division, powers,
+    binomial/multinomial coefficients, decimal I/O, and float ratios.
+
+    Representation: little-endian array of base-10^9 limbs with no
+    trailing zero limb ([zero] is the empty array). The decimal base
+    makes [to_string] trivial and keeps multiplication overflow-safe in
+    63-bit native ints. *)
+
+open Rw_prelude
+
+let base = 1_000_000_000
+let base_digits = 9
+
+type t = int array
+(* invariant: no trailing zero limb; every limb in [0, base). *)
+
+let zero : t = [||]
+let one : t = [| 1 |]
+
+let is_zero (a : t) = Array.length a = 0
+
+(* Strip trailing zero limbs to restore the representation invariant. *)
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+(** [of_int n] embeds a non-negative native integer. *)
+let of_int n : t =
+  if n < 0 then invalid_arg "Bignat.of_int: negative"
+  else if n = 0 then zero
+  else begin
+    let rec limbs n = if n = 0 then [] else (n mod base) :: limbs (n / base) in
+    Array.of_list (limbs n)
+  end
+
+(** [to_int a] converts back when the value fits in a native [int]. *)
+let to_int (a : t) =
+  let v =
+    Array.fold_right
+      (fun limb acc ->
+        if acc > (max_int - limb) / base then raise Exit
+        else (acc * base) + limb)
+      a 0
+  in
+  v
+
+let to_int_opt (a : t) = try Some (to_int a) with Exit -> None
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let n = 1 + max la lb in
+  let out = Array.make n 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s =
+      !carry + (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0)
+    in
+    out.(i) <- s mod base;
+    carry := s / base
+  done;
+  assert (!carry = 0);
+  normalize out
+
+(** [sub a b] computes [a - b]; raises [Invalid_argument] when [b > a]
+    (naturals only). *)
+let sub (a : t) (b : t) : t =
+  if compare a b < 0 then invalid_arg "Bignat.sub: negative result"
+  else begin
+    let la = Array.length a and lb = Array.length b in
+    let out = Array.make la 0 in
+    let borrow = ref 0 in
+    for i = 0 to la - 1 do
+      let d = a.(i) - !borrow - (if i < lb then b.(i) else 0) in
+      if d < 0 then begin
+        out.(i) <- d + base;
+        borrow := 1
+      end
+      else begin
+        out.(i) <- d;
+        borrow := 0
+      end
+    done;
+    assert (!borrow = 0);
+    normalize out
+  end
+
+let mul (a : t) (b : t) : t =
+  if is_zero a || is_zero b then zero
+  else begin
+    let la = Array.length a and lb = Array.length b in
+    let out = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        (* a.(i) * b.(j) < 10^18 < 2^62: safe in a 63-bit int. *)
+        let cur = out.(i + j) + (a.(i) * b.(j)) + !carry in
+        out.(i + j) <- cur mod base;
+        carry := cur / base
+      done;
+      let k = ref (i + lb) in
+      while !carry > 0 do
+        let cur = out.(!k) + !carry in
+        out.(!k) <- cur mod base;
+        carry := cur / base;
+        incr k
+      done
+    done;
+    normalize out
+  end
+
+let mul_int (a : t) (m : int) : t =
+  if m < 0 then invalid_arg "Bignat.mul_int: negative"
+  else if m = 0 || is_zero a then zero
+  else if m >= base then mul a (of_int m)
+  else begin
+    let la = Array.length a in
+    let out = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let cur = (a.(i) * m) + !carry in
+      out.(i) <- cur mod base;
+      carry := cur / base
+    done;
+    out.(la) <- !carry;
+    normalize out
+  end
+
+(** [divmod_int a d] divides by a small positive integer, returning
+    quotient and remainder. *)
+let divmod_int (a : t) (d : int) : t * int =
+  if d <= 0 then invalid_arg "Bignat.divmod_int: non-positive divisor"
+  else begin
+    let la = Array.length a in
+    let out = Array.make la 0 in
+    let rem = ref 0 in
+    for i = la - 1 downto 0 do
+      let cur = (!rem * base) + a.(i) in
+      out.(i) <- cur / d;
+      rem := cur mod d
+    done;
+    (normalize out, !rem)
+  end
+
+(** [div_exact_int a d] divides by a small integer known to divide [a]
+    exactly — the shape used when building binomials incrementally. *)
+let div_exact_int a d =
+  let q, r = divmod_int a d in
+  if r <> 0 then invalid_arg "Bignat.div_exact_int: not divisible" else q
+
+let pow (a : t) (k : int) : t =
+  if k < 0 then invalid_arg "Bignat.pow: negative exponent"
+  else begin
+    let rec go acc b k =
+      if k = 0 then acc
+      else begin
+        let acc = if k land 1 = 1 then mul acc b else acc in
+        go acc (mul b b) (k lsr 1)
+      end
+    in
+    go one a k
+  end
+
+let pow_int b k = pow (of_int b) k
+
+let to_string (a : t) =
+  if is_zero a then "0"
+  else begin
+    let la = Array.length a in
+    let buf = Buffer.create (la * base_digits) in
+    Buffer.add_string buf (string_of_int a.(la - 1));
+    for i = la - 2 downto 0 do
+      Buffer.add_string buf (Printf.sprintf "%0*d" base_digits a.(i))
+    done;
+    Buffer.contents buf
+  end
+
+let of_string (s : string) : t =
+  if s = "" then invalid_arg "Bignat.of_string: empty"
+  else begin
+    String.iter
+      (fun c -> if c < '0' || c > '9' then invalid_arg "Bignat.of_string: not a digit")
+      s;
+    let len = String.length s in
+    let nlimbs = (len + base_digits - 1) / base_digits in
+    let out = Array.make nlimbs 0 in
+    let rec fill i stop =
+      if stop > 0 then begin
+        let start = max 0 (stop - base_digits) in
+        out.(i) <- int_of_string (String.sub s start (stop - start));
+        fill (i + 1) start
+      end
+    in
+    fill 0 len;
+    normalize out
+  end
+
+(** [to_float a] converts with the usual double rounding; huge values
+    saturate to [infinity]. *)
+let to_float (a : t) =
+  Array.fold_right (fun limb acc -> (acc *. float_of_int base) +. float_of_int limb) a 0.0
+
+(** [log a] is the natural log as a float ([neg_infinity] for 0),
+    computed stably even when [to_float] would overflow. *)
+let log (a : t) =
+  let la = Array.length a in
+  if la = 0 then Float.neg_infinity
+  else begin
+    (* Use the top (up to) three limbs for the mantissa, the rest as an
+       exponent in units of log base. *)
+    let top = min la 3 in
+    let mant =
+      Listx.init_fold top
+        (fun acc i -> (acc *. float_of_int base) +. float_of_int a.(la - 1 - i))
+        0.0
+    in
+    Float.log mant +. (float_of_int (la - top) *. Float.log (float_of_int base))
+  end
+
+(** [ratio a b] is [a / b] as a float, computed via logs so that
+    astronomically large counts still give a usable probability. *)
+let ratio (a : t) (b : t) =
+  if is_zero b then Float.nan
+  else if is_zero a then 0.0
+  else Float.exp (log a -. log b)
+
+(** [binomial n k] is [n choose k], exactly. *)
+let binomial n k =
+  if k < 0 || k > n then zero
+  else begin
+    let k = min k (n - k) in
+    Listx.init_fold k
+      (fun acc i -> div_exact_int (mul_int acc (n - i)) (i + 1))
+      one
+  end
+
+(** [multinomial n parts] is [n! / (k1! … km!)] for non-negative [parts]
+    summing to [n], exactly — the weight of an atom-count vector in the
+    unary counting engine. *)
+let multinomial n parts =
+  let total = List.fold_left ( + ) 0 parts in
+  if total <> n then invalid_arg "Bignat.multinomial: parts do not sum"
+  else begin
+    (* Product of binomials: C(n, k1) * C(n-k1, k2) * …  *)
+    let acc, _ =
+      List.fold_left
+        (fun (acc, rem) k -> (mul acc (binomial rem k), rem - k))
+        (one, n) parts
+    in
+    acc
+  end
+
+(** [sum xs] adds a list. *)
+let sum xs = List.fold_left add zero xs
+
+let pp ppf a = Fmt.string ppf (to_string a)

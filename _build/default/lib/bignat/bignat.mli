@@ -1,0 +1,75 @@
+(** Arbitrary-precision natural numbers.
+
+    The random-worlds method is defined through exact world counts —
+    [#worlds_N^τ̄(KB)] — which overflow native integers almost
+    immediately (a single binary predicate over a domain of size 8
+    already yields [2^64] interpretations). This module provides the
+    slice of bignum arithmetic the counting engines and their tests
+    need; values are immutable. *)
+
+type t
+
+val zero : t
+val one : t
+val is_zero : t -> bool
+
+val of_int : int -> t
+(** Raises [Invalid_argument] on negative input. *)
+
+val to_int : t -> int
+(** Raises [Exit] when the value does not fit; prefer {!to_int_opt}. *)
+
+val to_int_opt : t -> int option
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+(** [sub a b] computes [a − b]; raises [Invalid_argument] when [b > a]
+    (naturals only). *)
+
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+
+val divmod_int : t -> int -> t * int
+(** [divmod_int a d] divides by a small positive integer, returning
+    quotient and remainder. *)
+
+val div_exact_int : t -> int -> t
+(** Division by a small integer known to divide exactly; raises
+    [Invalid_argument] otherwise. *)
+
+val pow : t -> int -> t
+val pow_int : int -> int -> t
+(** [pow_int b k] is [b^k]. *)
+
+val to_string : t -> string
+(** Decimal representation. *)
+
+val of_string : string -> t
+(** Parses a decimal string; raises [Invalid_argument] on junk. *)
+
+val to_float : t -> float
+(** Usual rounding; huge values saturate to [infinity]. *)
+
+val log : t -> float
+(** Natural log as a float ([neg_infinity] for 0), computed stably even
+    when {!to_float} would overflow. *)
+
+val ratio : t -> t -> float
+(** [ratio a b] is [a / b] as a float, computed via logs so that
+    astronomically large counts still give a usable probability; [nan]
+    when [b] is zero. *)
+
+val binomial : int -> int -> t
+(** [binomial n k] is [n choose k], exactly ({!zero} outside range). *)
+
+val multinomial : int -> int list -> t
+(** [multinomial n parts] is [n! / (k₁!…k_m!)] for non-negative [parts]
+    summing to [n] — the weight of an atom-count vector in the unary
+    counting engine. Raises [Invalid_argument] otherwise. *)
+
+val sum : t list -> t
+val pp : Format.formatter -> t -> unit

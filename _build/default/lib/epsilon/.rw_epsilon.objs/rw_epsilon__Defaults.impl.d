@@ -1,0 +1,1 @@
+lib/epsilon/defaults.ml: Fmt List Prop

@@ -1,0 +1,1 @@
+lib/epsilon/defaults.mli: Format Prop

@@ -1,0 +1,1 @@
+lib/epsilon/me.ml: Array Defaults Entropy_opt Float Fun List Prop Rw_numeric Rw_prelude Vec

@@ -1,0 +1,1 @@
+lib/epsilon/me.mli: Defaults Prop Rw_numeric

@@ -1,0 +1,1 @@
+lib/epsilon/prop.ml: Array Fmt Fun List Printf String

@@ -1,0 +1,1 @@
+lib/epsilon/prop.mli: Format

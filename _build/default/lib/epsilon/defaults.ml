@@ -1,0 +1,103 @@
+(** Propositional default rules and the Adams / Goldszmidt–Pearl
+    machinery: tolerance, ε-consistency, p-entailment (ε-entailment),
+    and the System-Z ranking.
+
+    These are the baselines the paper positions random worlds against:
+    ε-entailment validates exactly the five core KLM properties but
+    cannot ignore irrelevant information (so the yellow penguin stumps
+    it); System Z adds rational monotonicity but suffers the drowning
+    problem; GMP90's maximum-entropy consequence (in {!Me}) fixes the
+    drowning problem and is, by Theorem 6.1, the unary shadow of random
+    worlds. *)
+
+type rule = { antecedent : Prop.t; consequent : Prop.t }
+
+let rule b c = { antecedent = b; consequent = c }
+
+let material { antecedent; consequent } = Prop.PImplies (antecedent, consequent)
+
+(** [tolerated voc rules r] — is [r] tolerated by [rules]: some world
+    verifies [r] (antecedent ∧ consequent true) while falsifying no
+    rule in [rules] (each holds materially)? *)
+let tolerated voc rules r =
+  let constraint_ =
+    Prop.conj
+      (Prop.PAnd (r.antecedent, r.consequent) :: List.map material rules)
+  in
+  Prop.satisfiable voc constraint_
+
+(** [partition voc rules] computes the Z-partition: repeatedly peel off
+    the rules tolerated by the remainder. Returns [Ok ranks] (a list of
+    rule groups, rank 0 first) or [Error remaining] when the process
+    stalls — i.e. the rule set is ε-inconsistent. *)
+let partition voc rules =
+  let rec go remaining acc =
+    if remaining = [] then Ok (List.rev acc)
+    else begin
+      let tolerated_now, rest =
+        List.partition (fun r -> tolerated voc remaining r) remaining
+      in
+      if tolerated_now = [] then Error remaining
+      else go rest (tolerated_now :: acc)
+    end
+  in
+  go rules []
+
+(** [consistent voc rules] — ε-consistency (Adams): every non-empty
+    subset has a tolerated rule; equivalently the Z-partition exists. *)
+let consistent voc rules =
+  match partition voc rules with Ok _ -> true | Error _ -> false
+
+(** [p_entails rules (b, c)] — ε-entailment: [rules] p-entails [b → c]
+    iff adding the denial [b → ¬c] is ε-inconsistent. The vocabulary is
+    taken over all formulas involved. *)
+let p_entails rules (b, c) =
+  let denial = { antecedent = b; consequent = Prop.PNot c } in
+  let voc =
+    Prop.vocabulary_of
+      (List.concat_map (fun r -> [ r.antecedent; r.consequent ]) (denial :: rules))
+  in
+  not (consistent voc (denial :: rules))
+
+(* ------------------------------------------------------------------ *)
+(* System Z (rational closure)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** [z_ranks voc rules] assigns each rule its Z-rank (partition index).
+    @raise Invalid_argument when the rules are ε-inconsistent. *)
+let z_ranks voc rules =
+  match partition voc rules with
+  | Error _ -> invalid_arg "Defaults.z_ranks: inconsistent rule set"
+  | Ok groups ->
+    List.concat (List.mapi (fun i group -> List.map (fun r -> (r, i)) group) groups)
+
+(** [world_rank voc ranked world] — κ(w): 0 if no rule is falsified,
+    else 1 + the highest rank among falsified rules. *)
+let world_rank voc ranked world =
+  List.fold_left
+    (fun acc (r, rank) ->
+      if Prop.eval voc world r.antecedent && not (Prop.eval voc world r.consequent)
+      then max acc (rank + 1)
+      else acc)
+    0 ranked
+
+(** [z_entails rules (b, c)] — 1-entailment via System Z: among the
+    minimal-κ worlds satisfying [b], all satisfy [c]. *)
+let z_entails rules (b, c) =
+  let voc =
+    Prop.vocabulary_of
+      (b :: c :: List.concat_map (fun r -> [ r.antecedent; r.consequent ]) rules)
+  in
+  let ranked = z_ranks voc rules in
+  let b_worlds = Prop.models voc b in
+  match b_worlds with
+  | [] -> true (* vacuously: b is impossible *)
+  | _ ->
+    let min_rank =
+      List.fold_left (fun m w -> min m (world_rank voc ranked w)) max_int b_worlds
+    in
+    List.for_all
+      (fun w -> world_rank voc ranked w > min_rank || Prop.eval voc w c)
+      b_worlds
+
+let pp_rule ppf r = Fmt.pf ppf "%a => %a" Prop.pp r.antecedent Prop.pp r.consequent

@@ -1,0 +1,43 @@
+(** Propositional default rules and the Adams / Goldszmidt–Pearl
+    machinery: tolerance, ε-consistency, p-entailment, and System Z.
+
+    These are the baselines the paper positions random worlds against:
+    ε-entailment validates exactly the core KLM properties but cannot
+    ignore irrelevant information; System Z adds rational monotonicity
+    but suffers the drowning problem; GMP90's maximum-entropy
+    consequence (module {!Me}) fixes the drowning problem and is, by
+    Theorem 6.1, the unary shadow of random worlds. *)
+
+type rule = { antecedent : Prop.t; consequent : Prop.t }
+
+val rule : Prop.t -> Prop.t -> rule
+val material : rule -> Prop.t
+(** The material implication [B ⇒ C] of a rule. *)
+
+val tolerated : Prop.vocabulary -> rule list -> rule -> bool
+(** Some world verifies the rule while falsifying none in the list. *)
+
+val partition :
+  Prop.vocabulary -> rule list -> (rule list list, rule list) result
+(** The Z-partition: repeatedly peel off tolerated rules. [Error rest]
+    when the process stalls — the rule set is ε-inconsistent. *)
+
+val consistent : Prop.vocabulary -> rule list -> bool
+(** ε-consistency (Adams). *)
+
+val p_entails : rule list -> Prop.t * Prop.t -> bool
+(** ε-entailment: [rules] p-entails [b → c] iff adding the denial
+    [b → ¬c] is ε-inconsistent. *)
+
+val z_ranks : Prop.vocabulary -> rule list -> (rule * int) list
+(** Z-rank of each rule (partition index). Raises [Invalid_argument]
+    on inconsistent rule sets. *)
+
+val world_rank : Prop.vocabulary -> (rule * int) list -> int -> int
+(** κ(w): 0 if no rule falsified, else 1 + the highest falsified
+    rank. *)
+
+val z_entails : rule list -> Prop.t * Prop.t -> bool
+(** 1-entailment via System Z (rational closure). *)
+
+val pp_rule : Format.formatter -> rule -> unit

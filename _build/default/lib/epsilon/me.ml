@@ -1,0 +1,96 @@
+(** The GMP90 maximum-entropy consequence relation (ME-plausible
+    consequence), computed numerically.
+
+    For a rule set [R] and parameter [ε], the maximum-entropy PPD
+    [μ*_ε] maximises entropy over distributions on the propositional
+    worlds subject to [μ(C_i | B_i) ≥ 1 − ε] for every rule — i.e. the
+    linear constraints [μ(B_i ∧ ¬C_i) ≤ ε·μ(B_i)]. [B → C] is an
+    ME-plausible consequence of [R] iff [lim_{ε→0} μ*_ε(C | B) = 1].
+
+    All rules share the *same* ε — that sharing is precisely what
+    Theorem 6.1 identifies with using a single approximate-equality
+    connective [≈_1] on the random-worlds side, and what produces the
+    Geffner anomaly reproduced in the benchmark harness. *)
+
+open Rw_numeric
+
+(** [solve_at voc rules epsilon] — the maximum-entropy distribution
+    over the worlds of [voc] at parameter [epsilon], or [None] when the
+    constraints are infeasible. *)
+let solve_at voc rules epsilon =
+  let n = Prop.num_worlds voc in
+  let constraints =
+    List.map
+      (fun r ->
+        (* μ(B ∧ ¬C) − ε·μ(B) ≤ 0 *)
+        let coeffs = Vec.create n 0.0 in
+        List.iter
+          (fun w ->
+            let b = Prop.eval voc w r.Defaults.antecedent in
+            if b then begin
+              let c = Prop.eval voc w r.Defaults.consequent in
+              coeffs.(w) <- (if c then 0.0 else 1.0) -. epsilon
+            end)
+          (List.init n Fun.id);
+        Entropy_opt.Le (coeffs, 0.0))
+      rules
+  in
+  let r = Entropy_opt.solve ~dim:n constraints in
+  if r.Entropy_opt.max_violation > 1e-6 then None else Some r.Entropy_opt.point
+
+(** [conditional voc mu b c] — [μ(c | b)], or [None] when [μ(b) = 0]. *)
+let conditional voc mu b c =
+  let mass f =
+    List.fold_left (fun acc w -> acc +. mu.(w)) 0.0 (Prop.models voc f)
+  in
+  let mb = mass b in
+  if mb <= 0.0 then None else Some (mass (Prop.PAnd (b, c)) /. mb)
+
+let default_epsilons = [ 0.02; 0.01; 0.005; 0.0025; 0.00125 ]
+
+(** [me_conditional ?epsilons rules (b, c)] — the limiting value of
+    [μ*_ε(c | b)] along the ε-schedule (least-squares intercept at
+    [ε = 0]), or [None] when it cannot be computed. *)
+let me_conditional ?(epsilons = default_epsilons) rules (b, c) =
+  let voc =
+    Prop.vocabulary_of
+      (b :: c
+      :: List.concat_map
+           (fun r -> [ r.Defaults.antecedent; r.Defaults.consequent ])
+           rules)
+  in
+  let points =
+    List.filter_map
+      (fun eps ->
+        match solve_at voc rules eps with
+        | Some mu -> (
+          match conditional voc mu b c with
+          | Some v -> Some (eps, v)
+          | None -> None)
+        | None -> None)
+      epsilons
+  in
+  match points with
+  | [] -> None
+  | [ (_, v) ] -> Some v
+  | _ ->
+    let xs = List.map fst points and ys = List.map snd points in
+    (* Fit v ≈ a + b·ε and take the intercept; clamp into [0,1]. *)
+    let fn = float_of_int (List.length xs) in
+    let sx = List.fold_left ( +. ) 0.0 xs and sy = List.fold_left ( +. ) 0.0 ys in
+    let sxx = List.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+    let sxy = List.fold_left2 (fun acc x y -> acc +. (x *. y)) 0.0 xs ys in
+    let denom = (fn *. sxx) -. (sx *. sx) in
+    if Float.abs denom < 1e-18 then Some (List.nth ys (List.length ys - 1))
+    else begin
+      let slope = ((fn *. sxy) -. (sx *. sy)) /. denom in
+      let a = (sy -. (slope *. sx)) /. fn in
+      Some (Rw_prelude.Floats.clamp01 a)
+    end
+
+(** [me_plausible rules (b, c)] — is [b → c] an ME-plausible
+    consequence of [rules]? *)
+let me_plausible ?epsilons rules (b, c) =
+  match me_conditional ?epsilons rules (b, c) with
+  | Some v -> v >= 1.0 -. 5e-3
+  | None -> false

@@ -1,0 +1,29 @@
+(** The GMP90 maximum-entropy consequence relation (ME-plausible
+    consequence), computed numerically.
+
+    For a rule set [R] and parameter [ε], [μ*_ε] maximises entropy over
+    distributions on the propositional worlds subject to
+    [μ(Cᵢ | Bᵢ) ≥ 1 − ε] for every rule; [B → C] is ME-plausible iff
+    [lim_{ε→0} μ*_ε(C | B) = 1]. All rules share the {e same} ε — the
+    sharing Theorem 6.1 identifies with using a single [≈₁] connective
+    on the random-worlds side, and the source of the Geffner anomaly
+    reproduced in the benchmark harness. *)
+
+val solve_at :
+  Prop.vocabulary -> Defaults.rule list -> float -> Rw_numeric.Vec.t option
+(** The maximum-entropy distribution at one ε, or [None] when
+    infeasible. *)
+
+val conditional : Prop.vocabulary -> Rw_numeric.Vec.t -> Prop.t -> Prop.t -> float option
+(** [μ(c | b)], or [None] when [μ(b) = 0]. *)
+
+val default_epsilons : float list
+
+val me_conditional :
+  ?epsilons:float list -> Defaults.rule list -> Prop.t * Prop.t -> float option
+(** The limiting [μ*_ε(c | b)] along the schedule (least-squares
+    intercept at ε = 0). *)
+
+val me_plausible :
+  ?epsilons:float list -> Defaults.rule list -> Prop.t * Prop.t -> bool
+(** Is [b → c] an ME-plausible consequence? *)

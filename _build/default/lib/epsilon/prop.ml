@@ -1,0 +1,82 @@
+(** Propositional logic over a finite variable set — the substrate for
+    the ε-semantics / System-Z / GMP90 baselines (Sections 3 and 6 of
+    the paper discuss these propositional systems; Theorem 6.1 embeds
+    the GMP90 one into random worlds).
+
+    Worlds are truth assignments, encoded as bitmasks over the sorted
+    variable list of a {!vocabulary}. *)
+
+type t =
+  | PTrue
+  | PFalse
+  | PVar of string
+  | PNot of t
+  | PAnd of t * t
+  | POr of t * t
+  | PImplies of t * t
+  | PIff of t * t
+
+type vocabulary = { vars : string array (* sorted *) }
+
+let rec variables = function
+  | PTrue | PFalse -> []
+  | PVar v -> [ v ]
+  | PNot f -> variables f
+  | PAnd (f, g) | POr (f, g) | PImplies (f, g) | PIff (f, g) ->
+    variables f @ variables g
+
+(** [vocabulary_of fs] is the sorted variable set of a formula list. *)
+let vocabulary_of fs =
+  { vars = Array.of_list (List.sort_uniq String.compare (List.concat_map variables fs)) }
+
+let num_vars voc = Array.length voc.vars
+let num_worlds voc = 1 lsl num_vars voc
+
+let var_index voc v =
+  let rec go i =
+    if i >= Array.length voc.vars then
+      invalid_arg (Printf.sprintf "Prop.var_index: unknown variable %s" v)
+    else if voc.vars.(i) = v then i
+    else go (i + 1)
+  in
+  go 0
+
+(** [eval voc world f] evaluates [f] in the truth assignment encoded by
+    the bitmask [world]. *)
+let rec eval voc world = function
+  | PTrue -> true
+  | PFalse -> false
+  | PVar v -> world land (1 lsl var_index voc v) <> 0
+  | PNot f -> not (eval voc world f)
+  | PAnd (f, g) -> eval voc world f && eval voc world g
+  | POr (f, g) -> eval voc world f || eval voc world g
+  | PImplies (f, g) -> (not (eval voc world f)) || eval voc world g
+  | PIff (f, g) -> eval voc world f = eval voc world g
+
+(** [models voc f] lists the worlds satisfying [f]. *)
+let models voc f =
+  List.filter (fun w -> eval voc w f) (List.init (num_worlds voc) Fun.id)
+
+(** [satisfiable voc f] — propositional satisfiability by enumeration
+    (variable sets here are tiny). *)
+let satisfiable voc f = List.exists (fun w -> eval voc w f) (List.init (num_worlds voc) Fun.id)
+
+(** [valid voc f] — validity over the vocabulary. *)
+let valid voc f = not (satisfiable voc (PNot f))
+
+let conj = function [] -> PTrue | f :: rest -> List.fold_left (fun a b -> PAnd (a, b)) f rest
+
+let rec pp ppf = function
+  | PTrue -> Fmt.string ppf "true"
+  | PFalse -> Fmt.string ppf "false"
+  | PVar v -> Fmt.string ppf v
+  | PNot f -> Fmt.pf ppf "~%a" pp_atomic f
+  | PAnd (f, g) -> Fmt.pf ppf "%a & %a" pp_atomic f pp_atomic g
+  | POr (f, g) -> Fmt.pf ppf "%a | %a" pp_atomic f pp_atomic g
+  | PImplies (f, g) -> Fmt.pf ppf "%a -> %a" pp_atomic f pp_atomic g
+  | PIff (f, g) -> Fmt.pf ppf "%a <-> %a" pp_atomic f pp_atomic g
+
+and pp_atomic ppf f =
+  match f with
+  | PTrue | PFalse | PVar _ | PNot _ -> pp ppf f
+  | _ -> Fmt.pf ppf "(%a)" pp f

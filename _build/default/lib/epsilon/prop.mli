@@ -1,0 +1,33 @@
+(** Propositional logic over a finite variable set — the substrate for
+    the ε-semantics / System-Z / GMP90 baselines (Sections 3 and 6).
+    Worlds are truth assignments, encoded as bitmasks over the sorted
+    variable list of a {!vocabulary}. *)
+
+type t =
+  | PTrue
+  | PFalse
+  | PVar of string
+  | PNot of t
+  | PAnd of t * t
+  | POr of t * t
+  | PImplies of t * t
+  | PIff of t * t
+
+type vocabulary
+
+val variables : t -> string list
+val vocabulary_of : t list -> vocabulary
+val num_vars : vocabulary -> int
+val num_worlds : vocabulary -> int
+
+val var_index : vocabulary -> string -> int
+(** Raises [Invalid_argument] on unknown variables. *)
+
+val eval : vocabulary -> int -> t -> bool
+(** Truth in the assignment encoded by the bitmask. *)
+
+val models : vocabulary -> t -> int list
+val satisfiable : vocabulary -> t -> bool
+val valid : vocabulary -> t -> bool
+val conj : t list -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/kbzoo/kbzoo.ml: Floats Fmt Interval List Parser Printf Rw_logic Rw_prelude Syntax

@@ -1,0 +1,1 @@
+lib/kbzoo/kbzoo.mli: Format Interval Rw_logic Rw_prelude Syntax

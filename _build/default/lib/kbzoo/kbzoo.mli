@@ -1,0 +1,63 @@
+(** Every knowledge base from the paper, as a reusable corpus.
+
+    Each entry records the KB, the paper's query, the expected degree
+    of belief, and the source — the test suite and benchmark harness
+    iterate over this zoo. Tolerance-index conventions follow the
+    paper: distinct measurements get distinct [≈_i] subscripts unless
+    an example relies on equal strengths (the Nixon diamond's 1/2). *)
+
+open Rw_logic
+open Rw_prelude
+
+type expectation =
+  | Exactly of float
+  | Inside of Interval.t
+  | Less_than of float
+  | NoLimit
+  | Inconsistent_kb
+
+type entry = {
+  id : string;  (** experiment id, e.g. "E01" *)
+  source : string;  (** where in the paper *)
+  description : string;
+  kb : Syntax.formula;
+  query : Syntax.formula;
+  expected : expectation;
+  unary : bool;  (** inside the unary fragment *)
+}
+
+val hep_simple : Syntax.formula
+(** KB'_hep: the jaundice fact and its statistic (Example 5.8). *)
+
+val hep_full : Syntax.formula
+(** KB_hep: adds a general-population bound and a more specific
+    class. *)
+
+val kb_fly : Syntax.formula
+(** The Tweety defaults (Section 3.3). *)
+
+val kb_likes : Syntax.formula
+(** The elephant–zookeeper KB (Example 4.4). *)
+
+val kb_late : Syntax.formula
+(** Nested defaults: late risers (Example 4.6). *)
+
+val kb_arm : Syntax.formula
+(** Poole's broken-arm KB (Example 5.4). *)
+
+val nixon : alpha:float -> beta:float -> i1:int -> i2:int -> Syntax.formula
+(** The Nixon diamond with evidence strengths α, β and tolerance
+    indices [i1], [i2]. *)
+
+val kb_yale : Syntax.formula
+(** The naive temporal encoding of the Yale Shooting Problem
+    (Section 7.1's negative experiment). *)
+
+val all : entry list
+(** Every entry, in experiment order. *)
+
+val unary : entry list
+(** The unary subset (maxent / profile engines apply). *)
+
+val find : string -> entry option
+val pp_expectation : Format.formatter -> expectation -> unit

@@ -1,0 +1,1 @@
+lib/logic/atoms.ml: Array Fmt Fun List Printf String Syntax

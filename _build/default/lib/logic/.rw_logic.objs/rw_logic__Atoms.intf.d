@@ -1,0 +1,1 @@
+lib/logic/atoms.mli: Format Syntax

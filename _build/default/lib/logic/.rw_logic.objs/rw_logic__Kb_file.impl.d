@@ -1,0 +1,1 @@
+lib/logic/kb_file.ml: Fmt List Parser String Syntax Validate

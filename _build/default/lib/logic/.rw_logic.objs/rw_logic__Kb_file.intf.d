@@ -1,0 +1,1 @@
+lib/logic/kb_file.mli: Format Syntax

@@ -1,0 +1,1 @@
+lib/logic/parser.ml: Array Lexer List Printf String Syntax

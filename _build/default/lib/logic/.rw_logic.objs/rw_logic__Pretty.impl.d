@@ -1,0 +1,1 @@
+lib/logic/pretty.ml: Float Fmt Printf Syntax

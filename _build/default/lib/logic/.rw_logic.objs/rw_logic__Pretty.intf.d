@@ -1,0 +1,1 @@
+lib/logic/pretty.mli: Format Syntax

@@ -1,0 +1,1 @@
+lib/logic/syntax.ml: List Printf Set Stdlib String

@@ -1,0 +1,1 @@
+lib/logic/validate.ml: Fmt Hashtbl List Printf Sset String Syntax

@@ -1,0 +1,1 @@
+lib/logic/validate.mli: Format Syntax

@@ -1,0 +1,1 @@
+lib/logic/vocab.ml: Fmt List Stdlib String Syntax

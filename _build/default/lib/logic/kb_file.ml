@@ -1,0 +1,54 @@
+(** Knowledge-base files.
+
+    The on-disk format used by the CLI and examples: plain text in the
+    concrete syntax of [L≈], one conjunct per non-empty line, with [#]
+    line comments. The whole file denotes the conjunction of its
+    lines. *)
+
+type parse_error = { line : int; text : string; message : string }
+
+let pp_parse_error ppf e =
+  Fmt.pf ppf "line %d: %s@.  in: %s" e.line e.message e.text
+
+(** [of_string src] parses KB text. Returns the conjunction, or every
+    offending line. *)
+let of_string src =
+  let lines = String.split_on_char '\n' src in
+  let conjuncts, errors =
+    List.fold_left
+      (fun (cs, errs) (lineno, line) ->
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then (cs, errs)
+        else begin
+          match Parser.formula trimmed with
+          | Ok f -> (f :: cs, errs)
+          | Error message -> (cs, { line = lineno; text = trimmed; message } :: errs)
+        end)
+      ([], [])
+      (List.mapi (fun i l -> (i + 1, l)) lines)
+  in
+  match errors with
+  | [] -> Ok (Syntax.conj (List.rev conjuncts))
+  | _ -> Error (List.rev errors)
+
+(** [load path] reads and parses a KB file. I/O problems surface as the
+    usual [Sys_error]. *)
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  of_string src
+
+(** [validated_load path] — {!load} plus {!Validate.errors}: returns
+    the formula only when it parses {e and} is well-formed. The string
+    in the error case is display-ready. *)
+let validated_load path =
+  match load path with
+  | Error errs ->
+    Error (String.concat "\n" (List.map (Fmt.str "%a" pp_parse_error) errs))
+  | Ok kb -> (
+    match Validate.errors kb with
+    | [] -> Ok kb
+    | errs ->
+      Error (String.concat "\n" (List.map (Fmt.str "%a" Validate.pp_issue) errs)))

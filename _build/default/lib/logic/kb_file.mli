@@ -1,0 +1,17 @@
+(** Knowledge-base files: plain text in the concrete syntax of [L≈],
+    one conjunct per non-empty line, [#] line comments; the file
+    denotes the conjunction of its lines. *)
+
+type parse_error = { line : int; text : string; message : string }
+
+val pp_parse_error : Format.formatter -> parse_error -> unit
+
+val of_string : string -> (Syntax.formula, parse_error list) result
+(** Parse KB text; on failure every offending line is reported. *)
+
+val load : string -> (Syntax.formula, parse_error list) result
+(** Read and parse a file ([Sys_error] for I/O problems). *)
+
+val validated_load : string -> (Syntax.formula, string) result
+(** {!load} plus {!Validate.errors}; the error string is
+    display-ready. *)

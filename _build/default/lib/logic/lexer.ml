@@ -1,0 +1,208 @@
+(** Lexer for the concrete syntax of [L≈] (see {!Pretty} for the
+    grammar). Produces a token list with source offsets for error
+    reporting. *)
+
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | BARBAR  (** [||] — opens and closes proportion expressions *)
+  | BAR  (** [|] — the conditioning bar inside a proportion *)
+  | SUBSCRIPT of string list  (** [_x] or [_{x,y}] after a proportion *)
+  | AND  (** [/\] *)
+  | OR  (** [\/] *)
+  | IMPLIES  (** [=>] *)
+  | IFF  (** [<=>] *)
+  | NOT  (** [~] *)
+  | FORALL
+  | EXISTS
+  | TRUE
+  | FALSE
+  | EQ  (** [=] *)
+  | NEQ  (** [!=] *)
+  | APPROX_EQ of int  (** [~=] or [~=_i] *)
+  | APPROX_LE of int  (** [<=] or [<=_i] *)
+  | APPROX_GE of int  (** [>=] or [>=_i] — sugar, flipped by the parser *)
+  | PLUS
+  | STAR
+  | EOF
+
+exception Lex_error of string * int  (** message, character offset *)
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | NUMBER x -> Printf.sprintf "number %g" x
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | COMMA -> "','"
+  | BARBAR -> "'||'"
+  | BAR -> "'|'"
+  | SUBSCRIPT xs -> Printf.sprintf "subscript _{%s}" (String.concat "," xs)
+  | AND -> "'/\\'"
+  | OR -> "'\\/'"
+  | IMPLIES -> "'=>'"
+  | IFF -> "'<=>'"
+  | NOT -> "'~'"
+  | FORALL -> "'forall'"
+  | EXISTS -> "'exists'"
+  | TRUE -> "'true'"
+  | FALSE -> "'false'"
+  | EQ -> "'='"
+  | NEQ -> "'!='"
+  | APPROX_EQ i -> Printf.sprintf "'~=_%d'" i
+  | APPROX_LE i -> Printf.sprintf "'<=_%d'" i
+  | APPROX_GE i -> Printf.sprintf "'>=_%d'" i
+  | PLUS -> "'+'"
+  | STAR -> "'*'"
+  | EOF -> "end of input"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '_' || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+(** [tokenize src] lexes the whole input, returning tokens paired with
+    their starting offsets. Raises {!Lex_error} on malformed input. *)
+let tokenize src =
+  let n = String.length src in
+  let peek i = if i < n then Some src.[i] else None in
+  (* Read an identifier starting at [i] (assumes a letter at [i]). *)
+  let read_ident i =
+    let rec stop j = if j < n && is_ident_char src.[j] then stop (j + 1) else j in
+    let j = stop (i + 1) in
+    (String.sub src i (j - i), j)
+  in
+  let read_number i =
+    let rec stop j =
+      if j < n && (is_digit src.[j] || src.[j] = '.') then stop (j + 1) else j
+    in
+    let j = stop i in
+    (* Optional exponent part: e / E with an optional sign. *)
+    let j =
+      if j < n && (src.[j] = 'e' || src.[j] = 'E') then begin
+        let k = if j + 1 < n && (src.[j + 1] = '+' || src.[j + 1] = '-') then j + 2 else j + 1 in
+        let rec edigits m = if m < n && is_digit src.[m] then edigits (m + 1) else m in
+        let m = edigits k in
+        if m = k then j else m
+      end
+      else j
+    in
+    let text = String.sub src i (j - i) in
+    match float_of_string_opt text with
+    | Some x -> (x, j)
+    | None -> raise (Lex_error (Printf.sprintf "malformed number %S" text, i))
+  in
+  (* Read the optional [_i] tolerance subscript of an approx operator.
+     Defaults to tolerance index 1 when absent. *)
+  let read_tolerance i =
+    match peek i with
+    | Some '_' ->
+      let rec stop j = if j < n && is_digit src.[j] then stop (j + 1) else j in
+      let j = stop (i + 1) in
+      if j = i + 1 then raise (Lex_error ("expected digits after '_'", i))
+      else (int_of_string (String.sub src (i + 1) (j - i - 1)), j)
+    | _ -> (1, i)
+  in
+  (* Read a proportion subscript: [_x] or [_{x,y}]. *)
+  let read_subscript i =
+    match peek (i + 1) with
+    | Some '{' ->
+      let rec vars j acc =
+        match peek j with
+        | Some c when is_ident_start c ->
+          let name, j = read_ident j in
+          let acc = name :: acc in
+          (match peek j with
+          | Some ',' -> vars (j + 1) acc
+          | Some '}' -> (List.rev acc, j + 1)
+          | _ -> raise (Lex_error ("expected ',' or '}' in subscript", j)))
+        | _ -> raise (Lex_error ("expected variable in subscript", j))
+      in
+      let xs, j = vars (i + 2) [] in
+      (SUBSCRIPT xs, j)
+    | Some c when is_ident_start c ->
+      let name, j = read_ident (i + 1) in
+      (SUBSCRIPT [ name ], j)
+    | _ -> raise (Lex_error ("expected variable or '{' after '_'", i))
+  in
+  let rec go i acc =
+    if i >= n then List.rev ((EOF, i) :: acc)
+    else begin
+      let c = src.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1) acc
+      else if c = '(' then go (i + 1) ((LPAREN, i) :: acc)
+      else if c = ')' then go (i + 1) ((RPAREN, i) :: acc)
+      else if c = ',' then go (i + 1) ((COMMA, i) :: acc)
+      else if c = '+' then go (i + 1) ((PLUS, i) :: acc)
+      else if c = '*' then go (i + 1) ((STAR, i) :: acc)
+      else if c = '|' then begin
+        if peek (i + 1) = Some '|' then go (i + 2) ((BARBAR, i) :: acc)
+        else go (i + 1) ((BAR, i) :: acc)
+      end
+      else if c = '/' then begin
+        if peek (i + 1) = Some '\\' then go (i + 2) ((AND, i) :: acc)
+        else raise (Lex_error ("expected '\\' after '/'", i))
+      end
+      else if c = '\\' then begin
+        if peek (i + 1) = Some '/' then go (i + 2) ((OR, i) :: acc)
+        else raise (Lex_error ("expected '/' after '\\'", i))
+      end
+      else if c = '~' then begin
+        if peek (i + 1) = Some '=' then begin
+          let idx, j = read_tolerance (i + 2) in
+          go j ((APPROX_EQ idx, i) :: acc)
+        end
+        else go (i + 1) ((NOT, i) :: acc)
+      end
+      else if c = '=' then begin
+        if peek (i + 1) = Some '>' then go (i + 2) ((IMPLIES, i) :: acc)
+        else go (i + 1) ((EQ, i) :: acc)
+      end
+      else if c = '!' then begin
+        if peek (i + 1) = Some '=' then go (i + 2) ((NEQ, i) :: acc)
+        else raise (Lex_error ("expected '=' after '!'", i))
+      end
+      else if c = '<' then begin
+        if peek (i + 1) = Some '=' && peek (i + 2) = Some '>' then
+          go (i + 3) ((IFF, i) :: acc)
+        else if peek (i + 1) = Some '=' then begin
+          let idx, j = read_tolerance (i + 2) in
+          go j ((APPROX_LE idx, i) :: acc)
+        end
+        else raise (Lex_error ("expected '=' after '<'", i))
+      end
+      else if c = '>' then begin
+        if peek (i + 1) = Some '=' then begin
+          let idx, j = read_tolerance (i + 2) in
+          go j ((APPROX_GE idx, i) :: acc)
+        end
+        else raise (Lex_error ("expected '=' after '>'", i))
+      end
+      else if c = '_' then begin
+        let tok, j = read_subscript i in
+        go j ((tok, i) :: acc)
+      end
+      else if is_digit c then begin
+        let x, j = read_number i in
+        go j ((NUMBER x, i) :: acc)
+      end
+      else if is_ident_start c then begin
+        let name, j = read_ident i in
+        let tok =
+          match name with
+          | "forall" -> FORALL
+          | "exists" -> EXISTS
+          | "true" -> TRUE
+          | "false" -> FALSE
+          | _ -> IDENT name
+        in
+        go j ((tok, i) :: acc)
+      end
+      else raise (Lex_error (Printf.sprintf "unexpected character %C" c, i))
+    end
+  in
+  go 0 []

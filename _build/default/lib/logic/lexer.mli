@@ -1,0 +1,38 @@
+(** Lexer for the concrete syntax of [L≈]. Exposed mainly for the
+    parser and for tests; most users want {!Parser}. *)
+
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | BARBAR  (** [||] — opens and closes proportion expressions *)
+  | BAR  (** [|] — the conditioning bar inside a proportion *)
+  | SUBSCRIPT of string list  (** [_x] or [_{x,y}] after a proportion *)
+  | AND  (** [/\ ] *)
+  | OR  (** [\/ ] *)
+  | IMPLIES  (** [=>] *)
+  | IFF  (** [<=>] *)
+  | NOT  (** [~] *)
+  | FORALL
+  | EXISTS
+  | TRUE
+  | FALSE
+  | EQ  (** [=] *)
+  | NEQ  (** [!=] *)
+  | APPROX_EQ of int  (** [~=] or [~=_i] *)
+  | APPROX_LE of int  (** [<=] or [<=_i] *)
+  | APPROX_GE of int  (** [>=] or [>=_i] — sugar, flipped by the parser *)
+  | PLUS
+  | STAR
+  | EOF
+
+exception Lex_error of string * int
+(** Message and character offset. *)
+
+val token_to_string : token -> string
+
+val tokenize : string -> (token * int) list
+(** Lex the whole input into tokens paired with starting offsets,
+    terminated by [EOF]. Raises {!Lex_error} on malformed input. *)

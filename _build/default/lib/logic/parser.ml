@@ -1,0 +1,347 @@
+(** Recursive-descent parser for [L≈].
+
+    Grammar (loosest binding first):
+
+    {v
+      formula   := iff
+      iff       := implies ( '<=>' implies )*
+      implies   := or ( '=>' implies )?          (right associative)
+      or        := and ( '\/' and )*
+      and       := unary ( '/\' unary )*
+      unary     := '~' unary | quantified | atom
+      quantified:= ('forall'|'exists') var+ '(' formula ')'
+      atom      := 'true' | 'false'
+                 | '(' formula ')'               (backtracks to compare)
+                 | term ('=' | '!=') term
+                 | Pred '(' term, ... ')' | Pred
+                 | compare
+      compare   := propexpr ( cmpop propexpr )+  (chains conjoin)
+      cmpop     := '~=' | '~=_i' | '<=' | '<=_i' | '>=' | '>=_i'
+      propexpr  := propmul ( '+' propmul )*
+      propmul   := propatom ( '*' propatom )*
+      propatom  := number
+                 | '||' formula ( '|' formula )? '||' subscript
+                 | '(' propexpr ')'
+      term      := lowercase-ident                (variable)
+                 | Uppercase-ident ['(' term, ... ')']   (constant/function)
+    v}
+
+    The lowercase/uppercase convention matches the paper's examples:
+    [x], [y] are variables; [Eric], [Tweety], [Next_day(d)] are
+    constants and function applications. *)
+
+open Syntax
+
+exception Parse_error of string * int
+
+type state = { toks : (Lexer.token * int) array; mutable pos : int }
+
+let peek st = fst st.toks.(st.pos)
+let pos_of st = snd st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else
+    raise
+      (Parse_error
+         ( Printf.sprintf "expected %s but found %s" what
+             (Lexer.token_to_string (peek st)),
+           pos_of st ))
+
+let is_lowercase s = String.length s > 0 && s.[0] >= 'a' && s.[0] <= 'z'
+
+(* ------------------------------------------------------------------ *)
+(* Terms                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_term_st st =
+  match peek st with
+  | Lexer.IDENT name when is_lowercase name ->
+    advance st;
+    Var name
+  | Lexer.IDENT name ->
+    advance st;
+    if peek st = Lexer.LPAREN then begin
+      advance st;
+      let args = parse_term_list st in
+      expect st Lexer.RPAREN "')' after function arguments";
+      Fn (name, args)
+    end
+    else Fn (name, [])
+  | tok ->
+    raise
+      (Parse_error
+         ( Printf.sprintf "expected a term but found %s" (Lexer.token_to_string tok),
+           pos_of st ))
+
+and parse_term_list st =
+  let t = parse_term_st st in
+  if peek st = Lexer.COMMA then begin
+    advance st;
+    t :: parse_term_list st
+  end
+  else [ t ]
+
+(* ------------------------------------------------------------------ *)
+(* Formulas                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_iff st =
+  let lhs = parse_implies st in
+  if peek st = Lexer.IFF then begin
+    advance st;
+    Iff (lhs, parse_iff st)
+  end
+  else lhs
+
+and parse_implies st =
+  let lhs = parse_or st in
+  if peek st = Lexer.IMPLIES then begin
+    advance st;
+    Implies (lhs, parse_implies st)
+  end
+  else lhs
+
+and parse_or st =
+  let lhs = parse_and st in
+  let rec continue acc =
+    if peek st = Lexer.OR then begin
+      advance st;
+      continue (Or (acc, parse_and st))
+    end
+    else acc
+  in
+  continue lhs
+
+and parse_and st =
+  let lhs = parse_unary st in
+  let rec continue acc =
+    if peek st = Lexer.AND then begin
+      advance st;
+      continue (And (acc, parse_unary st))
+    end
+    else acc
+  in
+  continue lhs
+
+and parse_unary st =
+  match peek st with
+  | Lexer.NOT ->
+    advance st;
+    Not (parse_unary st)
+  | Lexer.FORALL | Lexer.EXISTS ->
+    let quantifier = peek st in
+    advance st;
+    let rec read_vars acc =
+      match peek st with
+      | Lexer.IDENT name when is_lowercase name ->
+        advance st;
+        read_vars (name :: acc)
+      | _ -> List.rev acc
+    in
+    let vars = read_vars [] in
+    if vars = [] then
+      raise (Parse_error ("expected variables after quantifier", pos_of st));
+    expect st Lexer.LPAREN "'(' after quantified variables";
+    let body = parse_iff st in
+    expect st Lexer.RPAREN "')' closing quantifier body";
+    List.fold_right
+      (fun x acc ->
+        if quantifier = Lexer.FORALL then Forall (x, acc) else Exists (x, acc))
+      vars body
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | Lexer.TRUE ->
+    advance st;
+    True
+  | Lexer.FALSE ->
+    advance st;
+    False
+  | Lexer.NUMBER _ | Lexer.BARBAR -> parse_compare st
+  | Lexer.LPAREN ->
+    (* Could be a parenthesised formula or a parenthesised proportion
+       expression opening a comparison chain; backtrack on failure. *)
+    let saved = st.pos in
+    (try
+       advance st;
+       let f = parse_iff st in
+       expect st Lexer.RPAREN "')'";
+       (* If a comparison operator follows, the parenthesised thing was
+          really a proportion expression; reparse. *)
+       match peek st with
+       | Lexer.APPROX_EQ _ | Lexer.APPROX_LE _ | Lexer.APPROX_GE _
+       | Lexer.PLUS | Lexer.STAR ->
+         st.pos <- saved;
+         parse_compare st
+       | _ -> f
+     with Parse_error _ ->
+       st.pos <- saved;
+       parse_compare st)
+  | Lexer.IDENT name ->
+    (* Term-initial: predicate application or an equality between
+       terms. *)
+    let t = parse_term_st st in
+    (match peek st with
+    | Lexer.EQ ->
+      advance st;
+      Eq (t, parse_term_st st)
+    | Lexer.NEQ ->
+      advance st;
+      Not (Eq (t, parse_term_st st))
+    | _ -> (
+      match t with
+      | Fn (p, args) -> Pred (p, args)
+      | Var _ ->
+        raise
+          (Parse_error
+             ( Printf.sprintf
+                 "variable %s cannot stand alone as a formula (predicates are \
+                  capitalised)"
+                 name,
+               pos_of st ))))
+  | tok ->
+    raise
+      (Parse_error
+         ( Printf.sprintf "expected a formula but found %s"
+             (Lexer.token_to_string tok),
+           pos_of st ))
+
+(* Comparison chains: z1 op z2 op z3 … become conjunctions of the
+   pairwise comparisons, supporting the paper's [α ⪯_i ||…|| ⪯_j β]
+   idiom directly. *)
+and parse_compare st =
+  let z1 = parse_propexpr st in
+  let read_op () =
+    match peek st with
+    | Lexer.APPROX_EQ i ->
+      advance st;
+      Some (fun a b -> Compare (a, Approx_eq i, b))
+    | Lexer.APPROX_LE i ->
+      advance st;
+      Some (fun a b -> Compare (a, Approx_le i, b))
+    | Lexer.APPROX_GE i ->
+      advance st;
+      Some (fun a b -> Compare (b, Approx_le i, a))
+    | _ -> None
+  in
+  match read_op () with
+  | None ->
+    raise
+      (Parse_error
+         ( Printf.sprintf "expected a comparison operator but found %s"
+             (Lexer.token_to_string (peek st)),
+           pos_of st ))
+  | Some mk ->
+    let z2 = parse_propexpr st in
+    let rec chain acc last =
+      match read_op () with
+      | None -> acc
+      | Some mk ->
+        let znext = parse_propexpr st in
+        chain (And (acc, mk last znext)) znext
+    in
+    chain (mk z1 z2) z2
+
+(* ------------------------------------------------------------------ *)
+(* Proportion expressions                                             *)
+(* ------------------------------------------------------------------ *)
+
+and parse_propexpr st =
+  let lhs = parse_propmul st in
+  let rec continue acc =
+    if peek st = Lexer.PLUS then begin
+      advance st;
+      continue (Add (acc, parse_propmul st))
+    end
+    else acc
+  in
+  continue lhs
+
+and parse_propmul st =
+  let lhs = parse_propatom st in
+  let rec continue acc =
+    if peek st = Lexer.STAR then begin
+      advance st;
+      continue (Mul (acc, parse_propatom st))
+    end
+    else acc
+  in
+  continue lhs
+
+and parse_propatom st =
+  match peek st with
+  | Lexer.NUMBER x ->
+    advance st;
+    Num x
+  | Lexer.LPAREN ->
+    advance st;
+    let z = parse_propexpr st in
+    expect st Lexer.RPAREN "')' closing proportion expression";
+    z
+  | Lexer.BARBAR ->
+    advance st;
+    let f = parse_iff st in
+    let cond =
+      if peek st = Lexer.BAR then begin
+        advance st;
+        Some (parse_iff st)
+      end
+      else None
+    in
+    expect st Lexer.BARBAR "'||' closing proportion";
+    let xs =
+      match peek st with
+      | Lexer.SUBSCRIPT xs ->
+        advance st;
+        xs
+      | tok ->
+        raise
+          (Parse_error
+             ( Printf.sprintf "expected subscript after '||' but found %s"
+                 (Lexer.token_to_string tok),
+               pos_of st ))
+    in
+    (match cond with None -> Prop (f, xs) | Some g -> Cond (f, g, xs))
+  | tok ->
+    raise
+      (Parse_error
+         ( Printf.sprintf "expected a proportion expression but found %s"
+             (Lexer.token_to_string tok),
+           pos_of st ))
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_parser production src =
+  match Lexer.tokenize src with
+  | exception Lexer.Lex_error (msg, pos) ->
+    Error (Printf.sprintf "lex error at offset %d: %s" pos msg)
+  | toks -> (
+    let st = { toks = Array.of_list toks; pos = 0 } in
+    match production st with
+    | exception Parse_error (msg, pos) ->
+      Error (Printf.sprintf "parse error at offset %d: %s" pos msg)
+    | result ->
+      if peek st = Lexer.EOF then Ok result
+      else
+        Error
+          (Printf.sprintf "parse error at offset %d: trailing %s" (pos_of st)
+             (Lexer.token_to_string (peek st))))
+
+(** [formula src] parses a formula from [src]. *)
+let formula src = run_parser parse_iff src
+
+(** [term src] parses a single term. *)
+let term src = run_parser parse_term_st src
+
+(** [proportion src] parses a proportion expression. *)
+let proportion src = run_parser parse_propexpr src
+
+(** [formula_exn src] parses a formula, raising [Failure] on error —
+    convenient for building the in-tree knowledge bases. *)
+let formula_exn src =
+  match formula src with Ok f -> f | Error msg -> failwith msg

@@ -1,0 +1,22 @@
+(** Recursive-descent parser for the concrete syntax of [L≈] (see
+    {!Pretty} for the grammar summary).
+
+    Conventions match the paper's examples: variables are lowercase
+    ([x], [y']); constants, functions and predicates are capitalised
+    ([Eric], [Next_day(d)], [Hep]). Comparison chains
+    [α <=_i z <=_j β] parse into conjunctions of pairwise comparisons. *)
+
+exception Parse_error of string * int
+(** Message and character offset; only escapes the low-level entry
+    points — the [result]-returning functions below catch it. *)
+
+val formula : string -> (Syntax.formula, string) result
+(** Parse a formula; errors carry an offset and description. *)
+
+val term : string -> (Syntax.term, string) result
+
+val proportion : string -> (Syntax.proportion, string) result
+
+val formula_exn : string -> Syntax.formula
+(** Like {!formula} but raises [Failure] — convenient for inline
+    knowledge bases. *)

@@ -1,0 +1,25 @@
+(** Pretty-printing of [L≈] formulas in the library's concrete syntax.
+
+    The printed form re-parses to the same AST (a property test checks
+    the round-trip). Syntax summary:
+
+    {v
+      ~f        negation                 f /\ g    conjunction
+      f \/ g    disjunction              f => g    implication
+      f <=> g   biconditional            t = t'    equality
+      forall x (f)   exists x (f)        true  false
+      ||f||_x   ||f | g||_{x,y}          proportion expressions
+      z ~=_i z'      approximately equal (tolerance i)
+      z <=_i z'      approximately at most
+      z + z'   z * z'                    proportion arithmetic
+    v} *)
+
+val pp_term : Format.formatter -> Syntax.term -> unit
+val pp_subscript : Format.formatter -> string list -> unit
+val pp_comparison : Format.formatter -> Syntax.comparison -> unit
+val pp_formula : Format.formatter -> Syntax.formula -> unit
+val pp_proportion : Format.formatter -> Syntax.proportion -> unit
+
+val term_to_string : Syntax.term -> string
+val to_string : Syntax.formula -> string
+val proportion_to_string : Syntax.proportion -> string

@@ -1,0 +1,128 @@
+(** Formula simplification: constant folding, double-negation
+    elimination, and negation normal form.
+
+    Simplification is semantics-preserving over every world (a property
+    test checks this against the evaluator); it is used to clean up
+    mechanically built formulas — e.g. instantiations and KB
+    combinations produced by the engines — before display or syntactic
+    matching. *)
+
+open Syntax
+
+(** [simplify f] folds boolean constants and double negations,
+    bottom-up. The result contains [True]/[False] only as a whole
+    formula, never as a proper subformula of a connective. *)
+let rec simplify f =
+  match f with
+  | True | False | Pred _ | Eq _ -> f
+  | Not g -> begin
+    match simplify g with
+    | True -> False
+    | False -> True
+    | Not h -> h
+    | h -> Not h
+  end
+  | And (g, h) -> begin
+    match (simplify g, simplify h) with
+    | False, _ | _, False -> False
+    | True, h' -> h'
+    | g', True -> g'
+    | g', h' -> And (g', h')
+  end
+  | Or (g, h) -> begin
+    match (simplify g, simplify h) with
+    | True, _ | _, True -> True
+    | False, h' -> h'
+    | g', False -> g'
+    | g', h' -> Or (g', h')
+  end
+  | Implies (g, h) -> begin
+    match (simplify g, simplify h) with
+    | False, _ -> True
+    | True, h' -> h'
+    | _, True -> True
+    | g', False -> simplify (Not g')
+    | g', h' -> Implies (g', h')
+  end
+  | Iff (g, h) -> begin
+    match (simplify g, simplify h) with
+    | True, h' -> h'
+    | g', True -> g'
+    | False, h' -> simplify (Not h')
+    | g', False -> simplify (Not g')
+    | g', h' -> Iff (g', h')
+  end
+  | Forall (x, g) -> begin
+    match simplify g with
+    | True -> True
+    | False -> False (* domains are non-empty *)
+    | g' -> Forall (x, g')
+  end
+  | Exists (x, g) -> begin
+    match simplify g with
+    | True -> True (* domains are non-empty *)
+    | False -> False
+    | g' -> Exists (x, g')
+  end
+  | Compare (z1, c, z2) -> Compare (simplify_prop z1, c, simplify_prop z2)
+
+and simplify_prop z =
+  match z with
+  | Num _ -> z
+  | Prop (f, xs) -> Prop (simplify f, xs)
+  | Cond (f, g, xs) -> Cond (simplify f, simplify g, xs)
+  | Add (z1, z2) -> begin
+    match (simplify_prop z1, simplify_prop z2) with
+    | Num a, Num b -> Num (a +. b)
+    | Num 0.0, z' | z', Num 0.0 -> z'
+    | z1', z2' -> Add (z1', z2')
+  end
+  | Mul (z1, z2) -> begin
+    match (simplify_prop z1, simplify_prop z2) with
+    | Num a, Num b -> Num (a *. b)
+    | Num 1.0, z' | z', Num 1.0 -> z'
+    | (Num 0.0 as zero), _ | _, (Num 0.0 as zero) -> zero
+    | z1', z2' -> Mul (z1', z2')
+  end
+
+(** [nnf f] pushes negations down to atoms (proportion comparisons and
+    predicate/equality atoms count as atoms; negation stops there).
+    [Implies] and [Iff] are expanded. The result is logically
+    equivalent in every world. *)
+let rec nnf f =
+  match f with
+  | True | False | Pred _ | Eq _ | Compare _ -> f
+  | And (g, h) -> And (nnf g, nnf h)
+  | Or (g, h) -> Or (nnf g, nnf h)
+  | Implies (g, h) -> Or (nnf (Not g), nnf h)
+  | Iff (g, h) -> And (Or (nnf (Not g), nnf h), Or (nnf (Not h), nnf g))
+  | Forall (x, g) -> Forall (x, nnf g)
+  | Exists (x, g) -> Exists (x, nnf g)
+  | Not g -> begin
+    match g with
+    | True -> False
+    | False -> True
+    | Pred _ | Eq _ | Compare _ -> Not g
+    | Not h -> nnf h
+    | And (h1, h2) -> Or (nnf (Not h1), nnf (Not h2))
+    | Or (h1, h2) -> And (nnf (Not h1), nnf (Not h2))
+    | Implies (h1, h2) -> And (nnf h1, nnf (Not h2))
+    | Iff (h1, h2) -> nnf (Not (And (Implies (h1, h2), Implies (h2, h1))))
+    | Forall (x, h) -> Exists (x, nnf (Not h))
+    | Exists (x, h) -> Forall (x, nnf (Not h))
+  end
+
+(** [size f] counts connectives, quantifiers and atoms — a rough
+    complexity measure used in tests. *)
+let rec size = function
+  | True | False | Pred _ | Eq _ -> 1
+  | Not g -> 1 + size g
+  | And (g, h) | Or (g, h) | Implies (g, h) | Iff (g, h) -> 1 + size g + size h
+  | Forall (_, g) | Exists (_, g) -> 1 + size g
+  | Compare (z1, _, z2) -> 1 + size_prop z1 + size_prop z2
+
+and size_prop = function
+  | Num _ -> 1
+  | Prop (f, _) -> 1 + size f
+  | Cond (f, g, _) -> 1 + size f + size g
+  | Add (z1, z2) | Mul (z1, z2) -> 1 + size_prop z1 + size_prop z2

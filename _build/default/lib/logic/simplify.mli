@@ -1,0 +1,20 @@
+(** Formula simplification: constant folding, double-negation
+    elimination, and negation normal form. All transformations preserve
+    truth in every world (property-tested against the evaluator). *)
+
+val simplify : Syntax.formula -> Syntax.formula
+(** Fold boolean constants and double negations, bottom-up. [True] and
+    [False] survive only as whole formulas. *)
+
+val simplify_prop : Syntax.proportion -> Syntax.proportion
+(** Constant-fold proportion arithmetic ([0 + z], [1 · z], numeral
+    folding). *)
+
+val nnf : Syntax.formula -> Syntax.formula
+(** Negation normal form: negations pushed to atoms (predicates,
+    equalities and proportion comparisons), [⇒]/[⟺] expanded. *)
+
+val size : Syntax.formula -> int
+(** Connective + atom count — a rough complexity measure. *)
+
+val size_prop : Syntax.proportion -> int

@@ -1,0 +1,16 @@
+(** Formula matching modulo alpha-renaming of bound variables and
+    associativity/commutativity of the symmetric connectives.
+
+    The syntactic rule engine (Theorems 5.6, 5.16, 5.23, 5.26) must
+    recognise that a knowledge base contains a statistic "about"
+    [||φ(x̄) | ψ(x̄)||] even when conjuncts are reordered or bound
+    variables renamed. The equivalence here is deliberately
+    {e syntactic} — AC plus alpha, no logical reasoning — so the rule
+    engine's hypothesis checks stay decidable and honest. *)
+
+val alpha_ac_equal : Syntax.formula -> Syntax.formula -> bool
+(** Identical modulo bound-variable names and AC of [∧], [∨], [⟺],
+    [=], [≈], [+], [×]. *)
+
+val prop_alpha_ac_equal : Syntax.proportion -> Syntax.proportion -> bool
+(** Likewise for proportion expressions (subscripts bind). *)

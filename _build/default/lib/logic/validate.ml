@@ -1,0 +1,130 @@
+(** Well-formedness checking for knowledge bases and queries.
+
+    The type system of [L≈] is minimal — the only static errors are
+    symbol misuse — but catching them early with a readable message
+    beats an [Invalid_argument] from deep inside an engine. The checker
+    reports {e errors} (the formula cannot be interpreted) and
+    {e warnings} (the formula is interpretable but suspicious — e.g. a
+    proportion compared against a number outside [[0,1]], which is
+    unsatisfiable for an unconditional proportion). *)
+
+open Syntax
+
+type issue = { severity : [ `Error | `Warning ]; message : string }
+
+let error fmt = Printf.ksprintf (fun m -> { severity = `Error; message = m }) fmt
+let warning fmt = Printf.ksprintf (fun m -> { severity = `Warning; message = m }) fmt
+
+(* Arity bookkeeping: symbol → (kind, arity) as first seen. *)
+type table = (string, [ `Pred | `Func ] * int) Hashtbl.t
+
+let record (tbl : table) issues kind name arity =
+  match Hashtbl.find_opt tbl name with
+  | None ->
+    Hashtbl.replace tbl name (kind, arity);
+    issues
+  | Some (kind', arity') ->
+    if kind <> kind' then
+      error "symbol %s used both as %s and %s" name
+        (match kind' with `Pred -> "a predicate" | `Func -> "a function")
+        (match kind with `Pred -> "a predicate" | `Func -> "a function")
+      :: issues
+    else if arity <> arity' then
+      error "symbol %s used with arities %d and %d" name arity' arity :: issues
+    else issues
+
+let rec check_term tbl issues = function
+  | Var _ -> issues
+  | Fn (f, args) ->
+    let issues = record tbl issues `Func f (List.length args) in
+    List.fold_left (check_term tbl) issues args
+
+let rec check_formula tbl bound issues f =
+  match f with
+  | True | False -> issues
+  | Pred (p, args) ->
+    let issues = record tbl issues `Pred p (List.length args) in
+    List.fold_left (check_term tbl) issues args
+  | Eq (t1, t2) -> check_term tbl (check_term tbl issues t1) t2
+  | Not g -> check_formula tbl bound issues g
+  | And (g, h) | Or (g, h) | Implies (g, h) | Iff (g, h) ->
+    check_formula tbl bound (check_formula tbl bound issues g) h
+  | Forall (x, g) | Exists (x, g) ->
+    let issues =
+      if Sset.mem x bound then
+        warning "variable %s shadows an enclosing binding" x :: issues
+      else issues
+    in
+    check_formula tbl (Sset.add x bound) issues g
+  | Compare (z1, c, z2) ->
+    let issues =
+      match c with
+      | Approx_eq i | Approx_le i ->
+        if i < 1 then error "tolerance subscript %d must be >= 1" i :: issues
+        else issues
+    in
+    check_prop tbl bound (check_prop tbl bound issues z1) z2
+
+and check_prop tbl bound issues z =
+  match z with
+  | Num x ->
+    if x < 0.0 || x > 1.0 then
+      warning "numeric proportion bound %g lies outside [0,1]" x :: issues
+    else issues
+  | Prop (f, xs) | Cond (f, _, xs) -> begin
+    let issues =
+      let sorted = List.sort_uniq String.compare xs in
+      if List.length sorted <> List.length xs then
+        error "proportion subscript repeats a variable (%s)" (String.concat "," xs)
+        :: issues
+      else issues
+    in
+    let issues =
+      List.fold_left
+        (fun issues x ->
+          if Sset.mem x bound then
+            warning "subscript variable %s shadows an enclosing binding" x :: issues
+          else issues)
+        issues xs
+    in
+    let bound = List.fold_left (fun b x -> Sset.add x b) bound xs in
+    let issues = check_formula tbl bound issues f in
+    match z with
+    | Cond (_, g, _) -> check_formula tbl bound issues g
+    | _ -> issues
+  end
+  | Add (z1, z2) | Mul (z1, z2) ->
+    check_prop tbl bound (check_prop tbl bound issues z1) z2
+
+(** [check f] returns the issues found in [f], errors first. *)
+let check f =
+  let tbl : table = Hashtbl.create 16 in
+  let issues = check_formula tbl Sset.empty [] f in
+  let issues =
+    (* Free variables in a would-be sentence are almost always a typo
+       (a lowercase constant). *)
+    match Syntax.free_vars f with
+    | [] -> issues
+    | vs ->
+      warning "free variables %s (did you mean capitalised constants?)"
+        (String.concat ", " vs)
+      :: issues
+  in
+  List.stable_sort
+    (fun a b ->
+      match (a.severity, b.severity) with
+      | `Error, `Warning -> -1
+      | `Warning, `Error -> 1
+      | _ -> 0)
+    (List.rev issues)
+
+(** [errors f] — just the fatal problems. *)
+let errors f = List.filter (fun i -> i.severity = `Error) (check f)
+
+(** [is_well_formed f] — no errors (warnings allowed). *)
+let is_well_formed f = errors f = []
+
+let pp_issue ppf i =
+  Fmt.pf ppf "%s: %s"
+    (match i.severity with `Error -> "error" | `Warning -> "warning")
+    i.message

@@ -1,0 +1,17 @@
+(** Well-formedness checking for knowledge bases and queries: symbol
+    arity/kind consistency, tolerance subscripts, subscript
+    distinctness, plus stylistic warnings (shadowing, out-of-range
+    numerals, free variables in would-be sentences). *)
+
+type issue = { severity : [ `Error | `Warning ]; message : string }
+
+val check : Syntax.formula -> issue list
+(** All issues, errors first. *)
+
+val errors : Syntax.formula -> issue list
+(** Just the fatal problems. *)
+
+val is_well_formed : Syntax.formula -> bool
+(** No errors (warnings allowed). *)
+
+val pp_issue : Format.formatter -> issue -> unit

@@ -1,0 +1,76 @@
+(** First-order vocabularies [Φ]: finite sets of predicate and function
+    symbols with arities (constants are nullary functions).
+
+    The set of worlds [W_N(Φ)] the random-worlds method quantifies over
+    is determined by the vocabulary, so engines take an explicit
+    vocabulary rather than inferring one per formula: the degree of
+    belief is unaffected by vocabulary *expansion* (footnote 8 of the
+    paper), but the count itself is not, and tests exploit exact
+    counts. *)
+
+type t = {
+  preds : (string * int) list;  (** predicate symbols with arities *)
+  funcs : (string * int) list;  (** function symbols; arity 0 = constant *)
+}
+
+let empty = { preds = []; funcs = [] }
+
+let norm xs = List.sort_uniq Stdlib.compare xs
+
+(** [make ~preds ~funcs] builds a vocabulary, checking that no symbol
+    occurs with two different arities or as both kinds. *)
+let make ~preds ~funcs =
+  let preds = norm preds and funcs = norm funcs in
+  let dup_arity xs =
+    let names = List.map fst xs in
+    List.length (List.sort_uniq String.compare names) <> List.length names
+  in
+  if dup_arity preds || dup_arity funcs then
+    invalid_arg "Vocab.make: symbol used with two arities"
+  else if
+    List.exists (fun (p, _) -> List.mem_assoc p funcs) preds
+  then invalid_arg "Vocab.make: symbol used as both predicate and function"
+  else { preds; funcs }
+
+(** [of_formula f] is the smallest vocabulary interpreting [f]. *)
+let of_formula f =
+  let preds, funcs = Syntax.symbols f in
+  make ~preds ~funcs
+
+(** [merge v1 v2] unions two vocabularies (checking arity coherence). *)
+let merge v1 v2 =
+  make ~preds:(v1.preds @ v2.preds) ~funcs:(v1.funcs @ v2.funcs)
+
+(** [of_formulas fs] covers all of [fs]. *)
+let of_formulas fs =
+  List.fold_left (fun acc f -> merge acc (of_formula f)) empty fs
+
+(** [add_preds v ps] extends with extra predicates. *)
+let add_preds v ps = make ~preds:(v.preds @ ps) ~funcs:v.funcs
+
+let constants v =
+  List.filter_map (fun (f, a) -> if a = 0 then Some f else None) v.funcs
+
+let pred_arity v p = List.assoc_opt p v.preds
+let func_arity v f = List.assoc_opt f v.funcs
+
+(** [is_unary v] holds when all predicates are unary (or nullary) and
+    all functions are constants — Section 6's setting. *)
+let is_unary v =
+  List.for_all (fun (_, a) -> a <= 1) v.preds
+  && List.for_all (fun (_, a) -> a = 0) v.funcs
+
+(** [covers v f] checks that every symbol of [f] appears in [v] with
+    the same arity. *)
+let covers v f =
+  let preds, funcs = Syntax.symbols f in
+  List.for_all (fun (p, a) -> pred_arity v p = Some a) preds
+  && List.for_all (fun (g, a) -> func_arity v g = Some a) funcs
+
+let pp ppf v =
+  let pp_sym ppf (name, arity) = Fmt.pf ppf "%s/%d" name arity in
+  Fmt.pf ppf "preds {%a} funcs {%a}"
+    Fmt.(list ~sep:(any ", ") pp_sym)
+    v.preds
+    Fmt.(list ~sep:(any ", ") pp_sym)
+    v.funcs

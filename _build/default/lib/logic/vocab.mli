@@ -1,0 +1,39 @@
+(** First-order vocabularies [Φ]: finite sets of predicate and function
+    symbols with arities (constants are nullary functions).
+
+    The set of worlds [W_N(Φ)] the random-worlds method quantifies over
+    is determined by the vocabulary, so engines take an explicit
+    vocabulary rather than inferring one per formula: degrees of belief
+    are unaffected by vocabulary expansion (footnote 8 of the paper),
+    but raw counts are not, and tests exploit exact counts. *)
+
+type t = {
+  preds : (string * int) list;  (** predicate symbols with arities *)
+  funcs : (string * int) list;  (** function symbols; arity 0 = constant *)
+}
+
+val empty : t
+
+val make : preds:(string * int) list -> funcs:(string * int) list -> t
+(** Sorted, deduplicated; raises [Invalid_argument] when a symbol
+    occurs with two arities or as both predicate and function. *)
+
+val of_formula : Syntax.formula -> t
+(** Smallest vocabulary interpreting the formula. *)
+
+val merge : t -> t -> t
+val of_formulas : Syntax.formula list -> t
+val add_preds : t -> (string * int) list -> t
+
+val constants : t -> string list
+val pred_arity : t -> string -> int option
+val func_arity : t -> string -> int option
+
+val is_unary : t -> bool
+(** All predicates unary (or nullary), all functions constants —
+    Section 6's setting. *)
+
+val covers : t -> Syntax.formula -> bool
+(** Does every symbol of the formula appear with the same arity? *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/model/enum.ml: Array Bignat Eval Float Hashtbl List Rw_bignat Rw_logic Rw_prelude Vocab World

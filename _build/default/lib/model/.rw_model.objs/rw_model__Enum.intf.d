@@ -1,0 +1,1 @@
+lib/model/enum.mli: Bignat Rw_bignat Rw_logic Syntax Tolerance Vocab World

@@ -1,0 +1,1 @@
+lib/model/eval.ml: Float List Printf Rw_logic Sset Syntax Tolerance World

@@ -1,0 +1,1 @@
+lib/model/eval.mli: Rw_logic Syntax Tolerance World

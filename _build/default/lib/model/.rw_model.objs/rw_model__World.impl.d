@@ -1,0 +1,1 @@
+lib/model/world.ml: Array Fmt Hashtbl List Printf Rw_logic Stdlib Vocab

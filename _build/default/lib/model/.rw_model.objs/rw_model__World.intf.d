@@ -1,0 +1,1 @@
+lib/model/world.mli: Format Hashtbl Rw_logic Vocab

@@ -1,0 +1,60 @@
+(** Exhaustive enumeration of [W_N(Φ)] — every first-order model of a
+    vocabulary over [{0, …, N−1}].
+
+    This engine implements the random-worlds definition {e literally}
+    at a fixed domain size and anchors the faster engines. The number
+    of worlds is [Π 2^(N^r) · Π N^(N^r)], so it is only usable for
+    small [N] and small vocabularies; a guard refuses hopeless
+    enumerations. *)
+
+open Rw_bignat
+open Rw_logic
+
+val count_worlds : Vocab.t -> int -> Bignat.t
+(** Exact [|W_N(Φ)|]. *)
+
+val log10_world_count : Vocab.t -> int -> float
+(** Decimal magnitude estimate, for the guard. *)
+
+exception Too_many_worlds of float
+(** Raised (with the estimated log10 world count) when enumeration
+    would be hopeless. *)
+
+val iter_worlds :
+  ?max_log10_worlds:float -> Vocab.t -> int -> (World.t -> unit) -> unit
+(** Call the function once per world. The world value is {e reused}
+    between calls (tables mutated in place); copy it to retain it.
+    Default guard: 10^8 worlds. @raise Too_many_worlds beyond the
+    guard. *)
+
+val count_sat :
+  ?max_log10_worlds:float ->
+  Vocab.t ->
+  int ->
+  Tolerance.t ->
+  Syntax.formula ->
+  Bignat.t
+(** [#worlds_N^τ̄(f)] for a sentence, exactly. Raises
+    [Invalid_argument] when the vocabulary does not cover the
+    formula. *)
+
+val count_sat2 :
+  ?max_log10_worlds:float ->
+  Vocab.t ->
+  int ->
+  Tolerance.t ->
+  Syntax.formula ->
+  Syntax.formula ->
+  Bignat.t * Bignat.t
+(** Count two sentences in a single enumeration pass — the shape needed
+    for [#(φ∧KB) / #KB]. *)
+
+val find_world :
+  ?max_log10_worlds:float ->
+  Vocab.t ->
+  int ->
+  Tolerance.t ->
+  Syntax.formula ->
+  World.t option
+(** Some world satisfying the sentence at this size, if any (a private
+    copy) — for satisfiability checks and counterexamples. *)

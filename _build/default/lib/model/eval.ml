@@ -1,0 +1,117 @@
+(** Semantics of [L≈] over finite worlds (Section 4.1).
+
+    [(W, V, τ̄) ⊨ φ] is decided by direct evaluation: proportion terms
+    are computed by iterating over tuples of domain elements, and the
+    approximate connectives compare the results within the tolerances
+    [τ_i].
+
+    Conditional proportions are primitive (the paper adds them to avoid
+    the multiplying-out pathology of Example 4.2). Our evaluation:
+    when the conditioning set is non-empty, [||φ | θ||_X] is the exact
+    ratio — equivalent to the paper's official translation, which
+    multiplies out *after* introducing the [ε_i] bounds, because
+    multiplying an inequality by a positive count is an equivalence.
+    When the conditioning set is empty, the enclosing comparison
+    evaluates to [true], which is precisely the convention stated in
+    Section 4.1. Undefinedness propagates through [+] and [×] to the
+    nearest enclosing comparison. *)
+
+open Rw_logic
+open Syntax
+
+type valuation = (string * int) list
+
+(** A proportion expression evaluates to a real number, or is
+    undefined because some conditional proportion conditions on an
+    empty set. *)
+type prop_value = Value of float | Undefined
+
+let rec eval_term w (v : valuation) = function
+  | Var x -> (
+    match List.assoc_opt x v with
+    | Some d -> d
+    | None -> invalid_arg (Printf.sprintf "Eval.eval_term: unbound variable %s" x))
+  | Fn (f, args) -> World.func_value w f (List.map (eval_term w v) args)
+
+(* Iterate [f] over all assignments of domain elements to [xs],
+   threading an accumulator. *)
+let fold_tuples w xs (v : valuation) f init =
+  let rec go xs v acc =
+    match xs with
+    | [] -> f v acc
+    | x :: rest ->
+      let acc = ref acc in
+      for d = 0 to w.World.size - 1 do
+        acc := go rest ((x, d) :: v) !acc
+      done;
+      !acc
+  in
+  go xs v init
+
+let rec eval_formula w tol (v : valuation) = function
+  | True -> true
+  | False -> false
+  | Pred (p, args) -> World.pred_holds w p (List.map (eval_term w v) args)
+  | Eq (t1, t2) -> eval_term w v t1 = eval_term w v t2
+  | Not f -> not (eval_formula w tol v f)
+  | And (f, g) -> eval_formula w tol v f && eval_formula w tol v g
+  | Or (f, g) -> eval_formula w tol v f || eval_formula w tol v g
+  | Implies (f, g) -> (not (eval_formula w tol v f)) || eval_formula w tol v g
+  | Iff (f, g) -> eval_formula w tol v f = eval_formula w tol v g
+  | Forall (x, f) ->
+    let rec go d = d >= w.World.size || (eval_formula w tol ((x, d) :: v) f && go (d + 1)) in
+    go 0
+  | Exists (x, f) ->
+    let rec go d = d < w.World.size && (eval_formula w tol ((x, d) :: v) f || go (d + 1)) in
+    go 0
+  | Compare (z1, cmp, z2) -> (
+    match (eval_prop w tol v z1, eval_prop w tol v z2) with
+    | Value a, Value b -> (
+      match cmp with
+      | Approx_eq i -> Float.abs (a -. b) <= Tolerance.get tol i
+      | Approx_le i -> a <= b +. Tolerance.get tol i)
+    | Undefined, _ | _, Undefined ->
+      (* Conditioning on an empty set: the comparison holds vacuously
+         (Section 4.1's convention). *)
+      true)
+
+and eval_prop w tol (v : valuation) = function
+  | Num x -> Value x
+  | Prop (f, xs) ->
+    let sat =
+      fold_tuples w xs v
+        (fun v acc -> if eval_formula w tol v f then acc + 1 else acc)
+        0
+    in
+    Value (float_of_int sat /. float_of_int (World.table_size w.World.size (List.length xs)))
+  | Cond (f, g, xs) ->
+    let sat_g, sat_fg =
+      fold_tuples w xs v
+        (fun v (sg, sfg) ->
+          if eval_formula w tol v g then
+            (sg + 1, if eval_formula w tol v f then sfg + 1 else sfg)
+          else (sg, sfg))
+        (0, 0)
+    in
+    if sat_g = 0 then Undefined
+    else Value (float_of_int sat_fg /. float_of_int sat_g)
+  | Add (z1, z2) -> (
+    match (eval_prop w tol v z1, eval_prop w tol v z2) with
+    | Value a, Value b -> Value (a +. b)
+    | _ -> Undefined)
+  | Mul (z1, z2) -> (
+    match (eval_prop w tol v z1, eval_prop w tol v z2) with
+    | Value a, Value b -> Value (a *. b)
+    | _ -> Undefined)
+
+(** [sat w tol f] decides [(W, τ̄) ⊨ f] for a sentence [f]. Raises
+    [Invalid_argument] if [f] has free variables. *)
+let sat w tol f =
+  if not (Syntax.is_closed f) then invalid_arg "Eval.sat: formula is not closed"
+  else eval_formula w tol [] f
+
+(** [proportion w tol z] evaluates a closed proportion expression. *)
+let proportion w tol z =
+  if not Syntax.(Sset.is_empty (free_vars_prop z)) then
+    invalid_arg "Eval.proportion: proportion expression is not closed"
+  else eval_prop w tol [] z

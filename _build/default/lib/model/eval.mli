@@ -1,0 +1,39 @@
+(** Semantics of [L≈] over finite worlds (Section 4.1).
+
+    [(W, V, τ̄) ⊨ φ] by direct evaluation: proportion terms are
+    computed by iterating over tuples of domain elements; approximate
+    connectives compare within the tolerances [τ_i].
+
+    Conditional proportions are primitive (the paper adds them to avoid
+    the multiplying-out pathology of Example 4.2): when the
+    conditioning set is non-empty, [||φ | θ||_X] is the exact ratio —
+    equivalent to the paper's official translation, since multiplying
+    an inequality by a positive count is an equivalence; when it is
+    empty, the enclosing comparison is vacuously true (the Section 4.1
+    convention). Undefinedness propagates through [+] and [×] to the
+    nearest enclosing comparison. *)
+
+open Rw_logic
+
+type valuation = (string * int) list
+(** Assignment of domain elements to variables. *)
+
+type prop_value = Value of float | Undefined
+(** A proportion expression's value, or undefinedness from conditioning
+    on an empty set. *)
+
+val eval_term : World.t -> valuation -> Syntax.term -> int
+(** Raises [Invalid_argument] on unbound variables. *)
+
+val eval_formula :
+  World.t -> Tolerance.t -> valuation -> Syntax.formula -> bool
+
+val eval_prop :
+  World.t -> Tolerance.t -> valuation -> Syntax.proportion -> prop_value
+
+val sat : World.t -> Tolerance.t -> Syntax.formula -> bool
+(** [(W, τ̄) ⊨ f] for a sentence; raises [Invalid_argument] on open
+    formulas. *)
+
+val proportion : World.t -> Tolerance.t -> Syntax.proportion -> prop_value
+(** Evaluate a closed proportion expression. *)

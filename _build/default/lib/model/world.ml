@@ -1,0 +1,135 @@
+(** Finite first-order models ("possible worlds") over the domain
+    [{0, …, N−1}].
+
+    A world fixes, for each predicate of arity [r], a truth table over
+    [N^r] tuples, and for each function symbol of arity [r] a value
+    table. Tables are dense arrays indexed by mixed-radix encoding of
+    the argument tuple (least-significant argument first), which makes
+    the exhaustive enumeration engine a sequence of counter increments. *)
+
+open Rw_logic
+
+type t = {
+  size : int;  (** the domain size [N] *)
+  vocab : Vocab.t;
+  pred_tables : (string, int * bool array) Hashtbl.t;  (** arity, table *)
+  func_tables : (string, int * int array) Hashtbl.t;  (** arity, table *)
+}
+
+(** [table_size n arity] is [n^arity] — the number of entries in a
+    table. *)
+let table_size n arity =
+  let rec go acc k = if k = 0 then acc else go (acc * n) (k - 1) in
+  go 1 arity
+
+(** [create vocab n] is the world of size [n] with all predicates false
+    and all functions constantly 0. *)
+let create vocab n =
+  if n <= 0 then invalid_arg "World.create: size must be positive"
+  else begin
+    let pred_tables = Hashtbl.create 16 and func_tables = Hashtbl.create 16 in
+    List.iter
+      (fun (p, arity) ->
+        Hashtbl.replace pred_tables p (arity, Array.make (table_size n arity) false))
+      vocab.Vocab.preds;
+    List.iter
+      (fun (f, arity) ->
+        Hashtbl.replace func_tables f (arity, Array.make (table_size n arity) 0))
+      vocab.Vocab.funcs;
+    { size = n; vocab; pred_tables; func_tables }
+  end
+
+let copy w =
+  {
+    w with
+    pred_tables =
+      (let h = Hashtbl.create 16 in
+       Hashtbl.iter (fun k (a, t) -> Hashtbl.replace h k (a, Array.copy t)) w.pred_tables;
+       h);
+    func_tables =
+      (let h = Hashtbl.create 16 in
+       Hashtbl.iter (fun k (a, t) -> Hashtbl.replace h k (a, Array.copy t)) w.func_tables;
+       h);
+  }
+
+(* Mixed-radix index of an argument tuple. *)
+let index w args =
+  List.fold_right (fun d acc -> (acc * w.size) + d) args 0
+
+(** [pred_holds w p args] looks up the truth value of [p(args)] (domain
+    elements). *)
+let pred_holds w p args =
+  match Hashtbl.find_opt w.pred_tables p with
+  | Some (arity, table) ->
+    if List.length args <> arity then
+      invalid_arg (Printf.sprintf "World.pred_holds: %s arity mismatch" p)
+    else table.(index w args)
+  | None -> invalid_arg (Printf.sprintf "World.pred_holds: unknown predicate %s" p)
+
+(** [func_value w f args] looks up the value of [f(args)]. *)
+let func_value w f args =
+  match Hashtbl.find_opt w.func_tables f with
+  | Some (arity, table) ->
+    if List.length args <> arity then
+      invalid_arg (Printf.sprintf "World.func_value: %s arity mismatch" f)
+    else table.(index w args)
+  | None -> invalid_arg (Printf.sprintf "World.func_value: unknown function %s" f)
+
+(** [set_pred w p args b] updates the truth table in place (used by
+    builders and the enumeration engine). *)
+let set_pred w p args b =
+  match Hashtbl.find_opt w.pred_tables p with
+  | Some (_, table) -> table.(index w args) <- b
+  | None -> invalid_arg (Printf.sprintf "World.set_pred: unknown predicate %s" p)
+
+(** [set_func w f args v] updates a function table in place. *)
+let set_func w f args v =
+  if v < 0 || v >= w.size then invalid_arg "World.set_func: value out of domain"
+  else begin
+    match Hashtbl.find_opt w.func_tables f with
+    | Some (_, table) -> table.(index w args) <- v
+    | None -> invalid_arg (Printf.sprintf "World.set_func: unknown function %s" f)
+  end
+
+(** [set_constant w c v] interprets constant [c] as domain element [v]. *)
+let set_constant w c v = set_func w c [] v
+
+(** [constant w c] is the interpretation of constant [c]. *)
+let constant w c = func_value w c []
+
+(** [count_pred w p] is the number of true entries of a unary
+    predicate's table. *)
+let count_pred w p =
+  match Hashtbl.find_opt w.pred_tables p with
+  | Some (_, table) ->
+    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 table
+  | None -> invalid_arg (Printf.sprintf "World.count_pred: unknown predicate %s" p)
+
+let pp ppf w =
+  Fmt.pf ppf "@[<v>world N=%d@," w.size;
+  let preds = Hashtbl.fold (fun p (a, t) acc -> (p, a, t) :: acc) w.pred_tables [] in
+  List.iter
+    (fun (p, arity, table) ->
+      let truths = ref [] in
+      Array.iteri
+        (fun i b ->
+          if b then begin
+            (* Decode the mixed-radix index back into a tuple. *)
+            let rec decode i k acc =
+              if k = 0 then List.rev acc
+              else decode (i / w.size) (k - 1) ((i mod w.size) :: acc)
+            in
+            truths := decode i arity [] :: !truths
+          end)
+        table;
+      Fmt.pf ppf "  %s: {%a}@," p
+        Fmt.(list ~sep:(any "; ") (list ~sep:(any ",") int))
+        (List.rev !truths))
+    (List.sort Stdlib.compare preds);
+  let funcs = Hashtbl.fold (fun f (a, t) acc -> (f, a, t) :: acc) w.func_tables [] in
+  List.iter
+    (fun (f, arity, table) ->
+      if arity = 0 then Fmt.pf ppf "  %s = %d@," f table.(0)
+      else Fmt.pf ppf "  %s: [%a]@," f Fmt.(array ~sep:(any ";") int) table)
+    (List.sort Stdlib.compare funcs);
+  Fmt.pf ppf "@]"

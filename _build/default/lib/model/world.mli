@@ -1,0 +1,46 @@
+(** Finite first-order models ("possible worlds") over the domain
+    [{0, …, N−1}].
+
+    A world fixes, for each predicate of arity [r], a truth table over
+    [N^r] tuples, and for each function symbol a value table. Tables
+    are dense arrays indexed by mixed-radix encoding of the argument
+    tuple, which makes exhaustive enumeration a sequence of counter
+    increments. The tables are mutable: {!Enum} reuses one world value
+    while iterating; use {!copy} to retain a snapshot. *)
+
+open Rw_logic
+
+type t = {
+  size : int;  (** the domain size [N] *)
+  vocab : Vocab.t;
+  pred_tables : (string, int * bool array) Hashtbl.t;  (** arity, table *)
+  func_tables : (string, int * int array) Hashtbl.t;  (** arity, table *)
+}
+
+val table_size : int -> int -> int
+(** [table_size n arity] is [n^arity]. *)
+
+val create : Vocab.t -> int -> t
+(** The world of the given size with all predicates false and all
+    functions constantly 0. Raises [Invalid_argument] for size ≤ 0. *)
+
+val copy : t -> t
+(** Deep copy (fresh tables). *)
+
+val pred_holds : t -> string -> int list -> bool
+(** Truth of a predicate at a tuple of domain elements. Raises
+    [Invalid_argument] on unknown symbols or arity mismatch. *)
+
+val func_value : t -> string -> int list -> int
+
+val set_pred : t -> string -> int list -> bool -> unit
+val set_func : t -> string -> int list -> int -> unit
+(** Raises [Invalid_argument] when the value is outside the domain. *)
+
+val set_constant : t -> string -> int -> unit
+val constant : t -> string -> int
+
+val count_pred : t -> string -> int
+(** Number of true entries of a (unary) predicate's table. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/numeric/entropy_opt.ml: Array Float Fun List Printf Vec

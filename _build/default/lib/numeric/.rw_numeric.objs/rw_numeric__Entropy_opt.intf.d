@@ -1,0 +1,1 @@
+lib/numeric/entropy_opt.mli: Vec

@@ -1,0 +1,67 @@
+(** Entropy maximisation over the probability simplex subject to linear
+    constraints — the numeric core of Section 6 of the paper.
+
+    A unary knowledge base induces linear constraints on the vector of
+    atom proportions; degrees of belief concentrate at the
+    maximum-entropy point of the constrained set. Two solvers share an
+    interface:
+
+    - a {e dual} fast path, applicable when the system is inequality
+      constraints plus zero-pinning equalities (exactly the shape unary
+      KBs produce): the dual is a smooth low-dimensional convex
+      problem and the primal point is recovered in closed form — near
+      machine precision, which matters when later computations
+      condition on sets whose mass is of the order of the tolerances;
+    - an augmented-Lagrangian projected-gradient {e primal} solver for
+      everything else.
+
+    The simplex constraints ([p ≥ 0], [Σp = 1]) are implicit. *)
+
+type constraint_ =
+  | Eq of Vec.t * float  (** [a·p = b] *)
+  | Le of Vec.t * float  (** [a·p ≤ b] *)
+
+type result = {
+  point : Vec.t;  (** the maximum-entropy point found *)
+  entropy : float;  (** its entropy *)
+  max_violation : float;  (** worst constraint violation at [point] *)
+  iterations : int;  (** total inner iterations used *)
+}
+
+val violation : constraint_ -> Vec.t -> float
+(** How far a point is from satisfying one constraint (0 when
+    satisfied; equality violations are absolute values). *)
+
+val max_violation : constraint_ list -> Vec.t -> float
+
+val solve_via_dual : dim:int -> constraint_ list -> result option
+(** The dual fast path; [None] when the constraint system is not of
+    the supported shape. Exposed for tests. *)
+
+val solve :
+  ?outer_iters:int ->
+  ?inner_iters:int ->
+  ?tol:float ->
+  ?feas_tol:float ->
+  ?initial:Vec.t ->
+  dim:int ->
+  constraint_ list ->
+  result
+(** [solve ~dim cs] maximises entropy over the simplex of dimension
+    [dim] subject to [cs], dispatching to the dual fast path when
+    possible. Raises [Invalid_argument] on dimension mismatches. An
+    infeasible system yields a [result] with large [max_violation] —
+    callers decide the threshold (see {!solve_feasible}). *)
+
+val solve_feasible :
+  ?outer_iters:int ->
+  ?inner_iters:int ->
+  ?tol:float ->
+  ?feas_tol:float ->
+  ?initial:Vec.t ->
+  dim:int ->
+  constraint_ list ->
+  result
+(** Like {!solve} but raises [Failure] when the solver cannot reach
+    feasibility — for callers that must distinguish "inconsistent KB"
+    from a numeric answer. *)

@@ -1,0 +1,87 @@
+(** Small dense vector operations over float arrays.
+
+    The maximum-entropy engine works in the space of atom proportions —
+    vectors of dimension [2^k] for [k] unary predicates. [k] is tiny in
+    every knowledge base in the paper, so plain float arrays are the
+    right representation. *)
+
+type t = float array
+
+let create n x : t = Array.make n x
+let dim (v : t) = Array.length v
+let copy (v : t) : t = Array.copy v
+
+let map f (v : t) : t = Array.map f v
+let mapi f (v : t) : t = Array.mapi f v
+
+let map2 f (a : t) (b : t) : t =
+  if dim a <> dim b then invalid_arg "Vec.map2: dimension mismatch"
+  else Array.init (dim a) (fun i -> f a.(i) b.(i))
+
+let add a b = map2 ( +. ) a b
+let sub a b = map2 ( -. ) a b
+let scale c (v : t) = map (fun x -> c *. x) v
+
+(** [axpy a x y] is [a·x + y]. *)
+let axpy a x y = add (scale a x) y
+
+let dot (a : t) (b : t) =
+  if dim a <> dim b then invalid_arg "Vec.dot: dimension mismatch"
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to dim a - 1 do
+      acc := !acc +. (a.(i) *. b.(i))
+    done;
+    !acc
+  end
+
+let sum (v : t) = Array.fold_left ( +. ) 0.0 v
+
+let norm_inf (v : t) = Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0.0 v
+
+let norm2 (v : t) = Float.sqrt (dot v v)
+
+(** [linf_dist a b] is the L∞ distance. *)
+let linf_dist a b = norm_inf (sub a b)
+
+(** [entropy p] is [-Σ p_i ln p_i] with the [0 ln 0 = 0] convention. *)
+let entropy (p : t) =
+  let acc = ref 0.0 in
+  for i = 0 to dim p - 1 do
+    if p.(i) > 0.0 then acc := !acc -. (p.(i) *. Float.log p.(i))
+  done;
+  !acc
+
+(** [entropy_grad p] is the gradient of the entropy, [-(1 + ln p_i)];
+    entries near [p_i = 0] are evaluated at a small floor so the
+    gradient stays bounded while still pushing mass back into the
+    simplex interior. *)
+let entropy_grad (p : t) : t =
+  let floor = 1e-12 in
+  map (fun x -> -.(1.0 +. Float.log (Float.max x floor))) p
+
+(** [project_simplex v] is the Euclidean projection of [v] onto the
+    probability simplex [{p : p_i >= 0, Σ p_i = 1}]
+    (Held–Wolfe–Crowder / Duchi et al. algorithm). *)
+let project_simplex (v : t) : t =
+  let n = dim v in
+  if n = 0 then invalid_arg "Vec.project_simplex: empty"
+  else begin
+    let sorted = copy v in
+    Array.sort (fun a b -> Stdlib.compare b a) sorted;
+    (* Find rho = max { j : sorted_j - (cumsum_j - 1)/j > 0 }. *)
+    let rec find j cumsum best_theta =
+      if j > n then best_theta
+      else begin
+        let cumsum = cumsum +. sorted.(j - 1) in
+        let theta = (cumsum -. 1.0) /. float_of_int j in
+        if sorted.(j - 1) -. theta > 0.0 then find (j + 1) cumsum theta
+        else best_theta
+      end
+    in
+    let theta = find 1 0.0 ((sum v -. 1.0) /. float_of_int n) in
+    map (fun x -> Float.max 0.0 (x -. theta)) v
+  end
+
+let pp ppf (v : t) =
+  Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any "; ") (fun ppf -> Fmt.pf ppf "%.4g")) v

@@ -1,0 +1,1 @@
+lib/prelude/floats.ml: Float Fmt List

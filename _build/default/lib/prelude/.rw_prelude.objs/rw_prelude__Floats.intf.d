@@ -1,0 +1,1 @@
+lib/prelude/floats.mli: Format

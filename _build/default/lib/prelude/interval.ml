@@ -1,0 +1,69 @@
+(** Closed real intervals.
+
+    The paper's theorems (5.6, 5.16, 5.23) state their conclusions as
+    interval memberships [Pr_∞(φ|KB) ∈ [α, β]]; reference-class systems
+    likewise report interval-valued beliefs (with the vacuous [[0,1]]
+    signalling failure). This module is the shared representation. *)
+
+type t = { lo : float; hi : float }
+
+(** [make lo hi] builds the closed interval [[lo, hi]]. Raises
+    [Invalid_argument] if [lo > hi]. *)
+let make lo hi =
+  if lo > hi then invalid_arg "Interval.make: lo > hi" else { lo; hi }
+
+(** [point x] is the degenerate interval [[x, x]]. *)
+let point x = { lo = x; hi = x }
+
+(** The vacuous interval [[0, 1]] — what a reference-class system
+    reports when it has no usable class. *)
+let vacuous = { lo = 0.0; hi = 1.0 }
+
+let lo t = t.lo
+let hi t = t.hi
+
+(** [width t] is [hi - lo]. *)
+let width t = t.hi -. t.lo
+
+(** [is_point t] recognises degenerate intervals. *)
+let is_point t = t.lo = t.hi
+
+(** [is_vacuous t] recognises (approximately) the trivial interval
+    [[0,1]], i.e. "no information". *)
+let is_vacuous t = t.lo <= 1e-12 && t.hi >= 1.0 -. 1e-12
+
+(** [mem ?eps x t] tests membership with slack [eps] on both ends. *)
+let mem ?(eps = 0.0) x t = x >= t.lo -. eps && x <= t.hi +. eps
+
+(** [subset a b] is true when [a ⊆ b]. *)
+let subset a b = a.lo >= b.lo && a.hi <= b.hi
+
+(** [inter a b] is the intersection, or [None] when disjoint. *)
+let inter a b =
+  let lo = Float.max a.lo b.lo and hi = Float.min a.hi b.hi in
+  if lo > hi then None else Some { lo; hi }
+
+(** [hull a b] is the smallest interval containing both. *)
+let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+(** [widen t eps] grows both ends by [eps] (clamped to stay an
+    interval; [eps >= 0]). Used when turning an [≈_i] comparison into
+    hard bounds under a concrete tolerance. *)
+let widen t eps =
+  if eps < 0.0 then invalid_arg "Interval.widen: negative eps"
+  else { lo = t.lo -. eps; hi = t.hi +. eps }
+
+(** [clamp01 t] intersects with [[0, 1]]; raises if the result would be
+    empty (cannot happen for intervals that originated as proportion
+    bounds widened by a tolerance). *)
+let clamp01 t =
+  match inter t vacuous with
+  | Some r -> r
+  | None -> invalid_arg "Interval.clamp01: interval outside [0,1]"
+
+let equal ?(eps = 0.0) a b =
+  Float.abs (a.lo -. b.lo) <= eps && Float.abs (a.hi -. b.hi) <= eps
+
+let pp ppf t =
+  if is_point t then Fmt.pf ppf "%a" Floats.pp_prob t.lo
+  else Fmt.pf ppf "[%a, %a]" Floats.pp_prob t.lo Floats.pp_prob t.hi

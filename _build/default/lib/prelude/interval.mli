@@ -1,0 +1,49 @@
+(** Closed real intervals.
+
+    The paper's theorems (5.6, 5.16, 5.23) state their conclusions as
+    interval memberships [Pr_∞(φ|KB) ∈ [α, β]]; reference-class systems
+    likewise report interval-valued beliefs, with the vacuous [[0,1]]
+    signalling failure. This module is the shared representation. *)
+
+type t
+
+val make : float -> float -> t
+(** [make lo hi] builds the closed interval [[lo, hi]]. Raises
+    [Invalid_argument] if [lo > hi]. *)
+
+val point : float -> t
+(** [point x] is the degenerate interval [[x, x]]. *)
+
+val vacuous : t
+(** The trivial interval [[0, 1]] — what a reference-class system
+    reports when it has no usable class. *)
+
+val lo : t -> float
+val hi : t -> float
+val width : t -> float
+
+val is_point : t -> bool
+val is_vacuous : t -> bool
+(** Recognises (approximately) the trivial interval [[0,1]]. *)
+
+val mem : ?eps:float -> float -> t -> bool
+(** [mem ?eps x t] tests membership with slack [eps] on both ends. *)
+
+val subset : t -> t -> bool
+(** [subset a b] is true when [a ⊆ b]. *)
+
+val inter : t -> t -> t option
+(** Intersection, or [None] when disjoint. *)
+
+val hull : t -> t -> t
+(** Smallest interval containing both. *)
+
+val widen : t -> float -> t
+(** [widen t eps] grows both ends by [eps >= 0] — e.g. turning an
+    [≈_i] comparison into hard bounds under a concrete tolerance. *)
+
+val clamp01 : t -> t
+(** Intersect with [[0,1]]; raises [Invalid_argument] if empty. *)
+
+val equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,98 @@
+(** List utilities used across the library. *)
+
+(** [range a b] is [[a; a+1; …; b-1]] (empty when [a >= b]). *)
+let range a b =
+  let rec go i acc = if i < a then acc else go (i - 1) (i :: acc) in
+  go (b - 1) []
+
+(** [init_fold n f init] folds [f] over [0..n-1] threading an
+    accumulator — a loop without mutation. *)
+let init_fold n f init =
+  let rec go i acc = if i >= n then acc else go (i + 1) (f acc i) in
+  go 0 init
+
+(** [cartesian xss] is the cartesian product of a list of lists, in
+    lexicographic order of the inputs. [cartesian [] = [[]]]. *)
+let rec cartesian = function
+  | [] -> [ [] ]
+  | xs :: rest ->
+    let tails = cartesian rest in
+    List.concat_map (fun x -> List.map (fun tl -> x :: tl) tails) xs
+
+(** [compositions n k] enumerates all length-[k] lists of non-negative
+    integers summing to [n] — the atom-count vectors of the unary
+    counting engine. Order is lexicographic on the first components. *)
+let compositions n k =
+  if k <= 0 then invalid_arg "Listx.compositions: k must be positive"
+  else
+    let rec go n k =
+      if k = 1 then [ [ n ] ]
+      else
+        List.concat_map
+          (fun first -> List.map (fun rest -> first :: rest) (go (n - first) (k - 1)))
+          (range 0 (n + 1))
+    in
+    go n k
+
+(** [iter_compositions n k f] calls [f counts] for every length-[k]
+    non-negative integer array summing to [n], reusing one buffer.
+    The buffer must not escape [f]. This is the allocation-free variant
+    backing the unary engine's hot loop. *)
+let iter_compositions n k f =
+  if k <= 0 then invalid_arg "Listx.iter_compositions: k must be positive"
+  else begin
+    let counts = Array.make k 0 in
+    let rec go idx remaining =
+      if idx = k - 1 then begin
+        counts.(idx) <- remaining;
+        f counts
+      end
+      else
+        for v = 0 to remaining do
+          counts.(idx) <- v;
+          go (idx + 1) (remaining - v)
+        done
+    in
+    go 0 n
+  end
+
+(** [count_compositions n k] is the number of such vectors,
+    [C(n+k-1, k-1)], as a float (used for cost estimates). *)
+let count_compositions n k =
+  Float.exp (Logspace.log_binomial (n + k - 1) (k - 1))
+
+(** [find_index p xs] is the index of the first element satisfying [p]. *)
+let find_index p xs =
+  let rec go i = function
+    | [] -> None
+    | x :: _ when p x -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 xs
+
+(** [dedup_sorted cmp xs] removes adjacent duplicates from a list sorted
+    by [cmp]. *)
+let dedup_sorted cmp xs =
+  let rec go = function
+    | x :: y :: rest when cmp x y = 0 -> go (y :: rest)
+    | x :: rest -> x :: go rest
+    | [] -> []
+  in
+  go xs
+
+(** [sort_uniq_strings xs] sorts and deduplicates a string list. *)
+let sort_uniq_strings xs = List.sort_uniq String.compare xs
+
+(** [all_subsets xs] enumerates all subsets (as lists, preserving input
+    order). Exponential; intended for small inputs such as atom sets. *)
+let rec all_subsets = function
+  | [] -> [ [] ]
+  | x :: rest ->
+    let tails = all_subsets rest in
+    tails @ List.map (fun tl -> x :: tl) tails
+
+(** [take n xs] is the first [n] elements (or all of [xs] if shorter). *)
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest

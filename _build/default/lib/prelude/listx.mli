@@ -1,0 +1,32 @@
+(** List utilities used across the library. *)
+
+val range : int -> int -> int list
+(** [range a b] is [[a; a+1; …; b−1]] (empty when [a >= b]). *)
+
+val init_fold : int -> ('a -> int -> 'a) -> 'a -> 'a
+(** [init_fold n f init] folds [f] over [0..n−1] threading an
+    accumulator. *)
+
+val cartesian : 'a list list -> 'a list list
+(** Cartesian product of a list of lists; [cartesian [] = [[]]]. *)
+
+val compositions : int -> int -> int list list
+(** [compositions n k] enumerates all length-[k] lists of non-negative
+    integers summing to [n] — the atom-count vectors of the unary
+    counting engine. Raises [Invalid_argument] when [k <= 0]. *)
+
+val iter_compositions : int -> int -> (int array -> unit) -> unit
+(** Allocation-free variant of {!compositions}: calls the callback with
+    a reused buffer that must not escape it. *)
+
+val count_compositions : int -> int -> float
+(** The number of such vectors, [C(n+k−1, k−1)], as a float (used for
+    cost estimates). *)
+
+val find_index : ('a -> bool) -> 'a list -> int option
+val dedup_sorted : ('a -> 'a -> int) -> 'a list -> 'a list
+val sort_uniq_strings : string list -> string list
+val all_subsets : 'a list -> 'a list list
+(** All subsets; exponential, intended for small inputs. *)
+
+val take : int -> 'a list -> 'a list

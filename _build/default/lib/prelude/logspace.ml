@@ -1,0 +1,114 @@
+(** Log-domain arithmetic.
+
+    World counts in the random-worlds method grow like [2^(k·N)] and
+    multinomial coefficients like [N!]; ratios of such counts are the
+    degrees of belief we care about. Working in the log domain keeps the
+    unary counting engine exact-enough at domain sizes in the hundreds
+    without arbitrary-precision rationals on the hot path (the [Bignat]
+    library provides the exact counterpart used in tests).
+
+    A value [x : t] represents the non-negative real [exp x]; [zero] is
+    represented by [neg_infinity]. *)
+
+type t = float
+
+(** The log-domain representation of 0. *)
+let zero : t = Float.neg_infinity
+
+(** The log-domain representation of 1. *)
+let one : t = 0.0
+
+(** [of_float x] embeds a non-negative float. Raises [Invalid_argument]
+    on negative input. *)
+let of_float x : t =
+  if x < 0.0 then invalid_arg "Logspace.of_float: negative"
+  else if x = 0.0 then zero
+  else Float.log x
+
+(** [to_float x] leaves the log domain; may overflow to [infinity]. *)
+let to_float (x : t) = Float.exp x
+
+(** [is_zero x] recognises the representation of 0. *)
+let is_zero (x : t) = x = Float.neg_infinity
+
+(** [mul a b] multiplies two log-domain values. *)
+let mul (a : t) (b : t) : t =
+  if is_zero a || is_zero b then zero else a +. b
+
+(** [div a b] divides; division by log-zero raises. *)
+let div (a : t) (b : t) : t =
+  if is_zero b then invalid_arg "Logspace.div: division by zero"
+  else if is_zero a then zero
+  else a -. b
+
+(** [add a b] adds two log-domain values stably (log-sum-exp). *)
+let add (a : t) (b : t) : t =
+  if is_zero a then b
+  else if is_zero b then a
+  else
+    let hi = Float.max a b and lo = Float.min a b in
+    hi +. Float.log1p (Float.exp (lo -. hi))
+
+(** [sub a b] computes [log (exp a - exp b)]; requires [a >= b].
+    Small negative slack from rounding is treated as zero. *)
+let sub (a : t) (b : t) : t =
+  if is_zero b then a
+  else if a < b then
+    if b -. a < 1e-9 then zero
+    else invalid_arg "Logspace.sub: negative result"
+  else if a = b then zero
+  else a +. Float.log1p (-.Float.exp (b -. a))
+
+(** [sum xs] adds a list of log-domain values stably. *)
+let sum (xs : t list) : t = List.fold_left add zero xs
+
+(** [ratio a b] is [exp (a - b)] as an ordinary float — the typical
+    final step when a degree of belief is a ratio of world counts. *)
+let ratio (a : t) (b : t) =
+  if is_zero b then Float.nan
+  else if is_zero a then 0.0
+  else Float.exp (a -. b)
+
+(** [pow a k] raises a log-domain value to integer power [k >= 0]. *)
+let pow (a : t) k : t =
+  if k < 0 then invalid_arg "Logspace.pow: negative exponent"
+  else if k = 0 then one
+  else if is_zero a then zero
+  else a *. float_of_int k
+
+(* Memoised table of log-factorials: ubiquitous in the unary counting
+   engine, so computed once and grown on demand. *)
+let log_fact_table = ref [| 0.0 |]
+
+(** [log_factorial n] is [log n!], memoised. *)
+let log_factorial n =
+  if n < 0 then invalid_arg "Logspace.log_factorial: negative"
+  else begin
+    let tbl = !log_fact_table in
+    if n < Array.length tbl then tbl.(n)
+    else begin
+      let old_len = Array.length tbl in
+      let len = max (n + 1) (2 * old_len) in
+      let fresh = Array.make len 0.0 in
+      Array.blit tbl 0 fresh 0 old_len;
+      for i = old_len to len - 1 do
+        fresh.(i) <- fresh.(i - 1) +. Float.log (float_of_int i)
+      done;
+      log_fact_table := fresh;
+      fresh.(n)
+    end
+  end
+
+(** [log_binomial n k] is [log (n choose k)]; [zero] outside the valid
+    range. *)
+let log_binomial n k : t =
+  if k < 0 || k > n then zero
+  else log_factorial n -. log_factorial k -. log_factorial (n - k)
+
+(** [log_multinomial n ks] is [log (n! / (k1! … km!))]. Requires the
+    [ks] to be non-negative and sum to [n]. *)
+let log_multinomial n ks : t =
+  let total = List.fold_left ( + ) 0 ks in
+  if total <> n then invalid_arg "Logspace.log_multinomial: parts do not sum"
+  else
+    List.fold_left (fun acc k -> acc -. log_factorial k) (log_factorial n) ks

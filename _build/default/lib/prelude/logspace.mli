@@ -1,0 +1,59 @@
+(** Log-domain arithmetic.
+
+    World counts in the random-worlds method grow like [2^(k·N)] and
+    multinomial coefficients like [N!]; ratios of such counts are the
+    degrees of belief we care about. Working in the log domain keeps
+    the unary counting engine accurate at domain sizes in the hundreds
+    without arbitrary-precision rationals on the hot path ({!Rw_bignat}
+    provides the exact counterpart used in tests).
+
+    A value [x : t] represents the non-negative real [exp x]; zero is
+    represented by [neg_infinity]. *)
+
+type t = float
+
+val zero : t
+(** The representation of 0. *)
+
+val one : t
+(** The representation of 1. *)
+
+val of_float : float -> t
+(** [of_float x] embeds a non-negative float. Raises [Invalid_argument]
+    on negative input. *)
+
+val to_float : t -> float
+(** [to_float x] leaves the log domain; may overflow to [infinity]. *)
+
+val is_zero : t -> bool
+
+val mul : t -> t -> t
+val div : t -> t -> t
+(** [div a b] divides; division by log-zero raises [Invalid_argument]. *)
+
+val add : t -> t -> t
+(** Stable log-sum-exp addition. *)
+
+val sub : t -> t -> t
+(** [sub a b] computes [log (exp a − exp b)]; requires [a >= b] (small
+    negative slack from rounding is treated as zero). *)
+
+val sum : t list -> t
+
+val ratio : t -> t -> float
+(** [ratio a b] is [exp (a − b)] as an ordinary float — the typical
+    final step when a degree of belief is a ratio of world counts.
+    [nan] when [b] is zero. *)
+
+val pow : t -> int -> t
+(** [pow a k] raises to an integer power [k >= 0]. *)
+
+val log_factorial : int -> float
+(** [log_factorial n] is [log n!], memoised. *)
+
+val log_binomial : int -> int -> t
+(** [log_binomial n k] is [log (n choose k)]; {!zero} outside range. *)
+
+val log_multinomial : int -> int list -> t
+(** [log_multinomial n ks] is [log (n! / (k₁!…k_m!))] for non-negative
+    [ks] summing to [n]. Raises [Invalid_argument] otherwise. *)

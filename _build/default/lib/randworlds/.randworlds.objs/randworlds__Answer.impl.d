@@ -1,0 +1,1 @@
+lib/randworlds/answer.ml: Floats Fmt Interval Rw_prelude

@@ -1,0 +1,1 @@
+lib/randworlds/answer.mli: Format Interval Rw_prelude

@@ -1,0 +1,1 @@
+lib/randworlds/defaults.ml: Answer Engine Float Fmt List Pretty Rw_logic Syntax

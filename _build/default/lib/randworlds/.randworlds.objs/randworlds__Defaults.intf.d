@@ -1,0 +1,1 @@
+lib/randworlds/defaults.mli: Engine Format Rw_logic Syntax

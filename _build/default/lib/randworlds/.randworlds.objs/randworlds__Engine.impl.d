@@ -1,0 +1,1 @@
+lib/randworlds/engine.ml: Answer Array Enum_engine Fun List Maxent_engine Option Printf Rules_engine Rw_logic Rw_model Rw_prelude Rw_unary Stdlib Syntax Tolerance Unary_engine Vocab

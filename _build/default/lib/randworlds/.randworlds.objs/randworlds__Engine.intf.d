@@ -1,0 +1,1 @@
+lib/randworlds/engine.mli: Answer Rw_logic Syntax Tolerance

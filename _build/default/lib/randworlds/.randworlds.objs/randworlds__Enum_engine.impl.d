@@ -1,0 +1,1 @@
+lib/randworlds/enum_engine.ml: Answer Bignat Fmt Limits List Option Rw_bignat Rw_logic Rw_model Rw_prelude Syntax Tolerance

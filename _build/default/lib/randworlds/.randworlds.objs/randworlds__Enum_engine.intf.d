@@ -1,0 +1,1 @@
+lib/randworlds/enum_engine.mli: Answer Rw_logic Syntax Tolerance Vocab

@@ -1,0 +1,1 @@
+lib/randworlds/limits.mli:

@@ -1,0 +1,1 @@
+lib/randworlds/maxent_engine.ml: Analysis Answer Atoms Constraints Float Fmt Limits List Pretty Printf Profile Rw_logic Rw_prelude Rw_unary Solver Syntax Tolerance Unary_engine

@@ -1,0 +1,1 @@
+lib/randworlds/maxent_engine.mli: Answer Rw_logic Syntax Tolerance

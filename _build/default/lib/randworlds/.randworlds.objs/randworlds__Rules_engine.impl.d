@@ -1,0 +1,1 @@
+lib/randworlds/rules_engine.ml: Answer Atoms Dempster Floats Interval List Listx Rw_logic Rw_prelude Rw_unary Stdlib String Syntax Unify

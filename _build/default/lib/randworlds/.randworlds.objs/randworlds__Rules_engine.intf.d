@@ -1,0 +1,1 @@
+lib/randworlds/rules_engine.mli: Answer Rw_logic Syntax

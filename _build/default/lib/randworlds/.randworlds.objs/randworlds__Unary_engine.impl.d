@@ -1,0 +1,1 @@
+lib/randworlds/unary_engine.ml: Analysis Answer Fmt Limits List Profile Rw_logic Rw_prelude Rw_unary Syntax Tolerance

@@ -1,0 +1,53 @@
+(** Results of a degree-of-belief computation.
+
+    The random-worlds degree of belief [Pr_∞(φ | KB)] is a double limit
+    that may fail to exist (Definition 4.3); theorems sometimes pin it
+    only to an interval (Theorems 5.6, 5.23); and any given engine may
+    simply not apply to a given KB. The [result] type keeps those four
+    outcomes distinct so callers can dispatch honestly. *)
+
+open Rw_prelude
+
+type result =
+  | Point of float  (** the limit exists and equals this value *)
+  | Within of Interval.t
+      (** the limit (or its limsup/liminf) provably lies in this
+          interval *)
+  | No_limit of string
+      (** the limit does not exist; the string explains why (e.g.
+          conflicting defaults of unstated relative strength) *)
+  | Inconsistent
+      (** the KB is not eventually consistent — no degrees of belief *)
+  | Not_applicable of string
+      (** this engine cannot handle the KB/query; try another *)
+
+(** An answer bundles the result with provenance. *)
+type t = {
+  result : result;
+  engine : string;  (** which engine produced it *)
+  notes : string list;  (** diagnostics: schedules used, residuals, … *)
+}
+
+let make ?(notes = []) ~engine result = { result; engine; notes }
+
+(** [point_value a] extracts a point value when the result is a point
+    (or a degenerate interval). *)
+let point_value a =
+  match a.result with
+  | Point v -> Some v
+  | Within i when Interval.is_point i -> Some (Interval.lo i)
+  | Within _ | No_limit _ | Inconsistent | Not_applicable _ -> None
+
+(** [definitive a] — did the engine reach a verdict (point, interval,
+    no-limit, inconsistent), as opposed to declining? *)
+let definitive a =
+  match a.result with Not_applicable _ -> false | _ -> true
+
+let pp_result ppf = function
+  | Point v -> Fmt.pf ppf "%a" Floats.pp_prob v
+  | Within i -> Fmt.pf ppf "∈ %a" Interval.pp i
+  | No_limit why -> Fmt.pf ppf "no limit (%s)" why
+  | Inconsistent -> Fmt.string ppf "KB not eventually consistent"
+  | Not_applicable why -> Fmt.pf ppf "n/a (%s)" why
+
+let pp ppf a = Fmt.pf ppf "%a [%s]" pp_result a.result a.engine

@@ -1,0 +1,37 @@
+(** Results of a degree-of-belief computation.
+
+    The random-worlds degree of belief [Pr_∞(φ | KB)] is a double limit
+    that may fail to exist (Definition 4.3); theorems sometimes pin it
+    only to an interval (Theorems 5.6, 5.23); and an engine may simply
+    not apply to a KB. The {!result} type keeps those outcomes
+    distinct so callers can dispatch honestly. *)
+
+open Rw_prelude
+
+type result =
+  | Point of float  (** the limit exists and equals this value *)
+  | Within of Interval.t
+      (** the limit (or its limsup/liminf) provably lies here *)
+  | No_limit of string
+      (** the limit does not exist; the string explains why *)
+  | Inconsistent
+      (** the KB is not eventually consistent — no degrees of belief *)
+  | Not_applicable of string
+      (** this engine cannot handle the KB/query; try another *)
+
+type t = {
+  result : result;
+  engine : string;  (** which engine produced it *)
+  notes : string list;  (** diagnostics: schedules, residuals, theorems *)
+}
+
+val make : ?notes:string list -> engine:string -> result -> t
+
+val point_value : t -> float option
+(** The value when the result is a point (or degenerate interval). *)
+
+val definitive : t -> bool
+(** Did the engine reach a verdict (vs. declining)? *)
+
+val pp_result : Format.formatter -> result -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,136 @@
+(** Default inference with random worlds (Sections 4.3 and 5.1).
+
+    [KB |~_rw φ] iff [Pr_∞(φ | KB) = 1]. This module exposes the
+    relation and checkers for the KLM-style properties of Theorem 5.3
+    (and the weakened Rational Monotonicity of Theorem 5.5), used by
+    the test suite and the benchmark harness to verify the properties
+    on concrete knowledge bases. *)
+
+open Rw_logic
+open Syntax
+
+type oracle = kb:formula -> formula -> float option
+(** An oracle computes [Pr_∞(φ | KB)] when it exists. *)
+
+(** The standard oracle, backed by {!Engine.degree_of_belief}. *)
+let engine_oracle ?options ~kb query =
+  Answer.point_value (Engine.degree_of_belief ?options ~kb query)
+
+(** [entails ?oracle ~kb φ] — the default-inference relation
+    [KB |~_rw φ]. *)
+let entails ?(oracle = engine_oracle ?options:None) ~kb phi =
+  match oracle ~kb phi with
+  | Some v -> v >= 1.0 -. 1e-6
+  | None -> false
+
+(* A property check either holds, fails with a witness explanation, or
+   is vacuous for the given instance (its premise did not hold). *)
+type verdict = Holds | Fails of string | Vacuous
+
+let pp_verdict ppf = function
+  | Holds -> Fmt.string ppf "holds"
+  | Fails why -> Fmt.pf ppf "FAILS: %s" why
+  | Vacuous -> Fmt.string ppf "vacuous"
+
+let is_one = function Some v -> v >= 1.0 -. 1e-6 | None -> false
+
+(** Right Weakening — caller guarantees [⊨ φ ⇒ ψ]:
+    if [KB |~ φ] then [KB |~ ψ]. *)
+let right_weakening (oracle : oracle) ~kb ~phi ~psi =
+  if not (is_one (oracle ~kb phi)) then Vacuous
+  else if is_one (oracle ~kb psi) then Holds
+  else Fails (Fmt.str "|~ %a but not |~ %a" Pretty.pp_formula phi Pretty.pp_formula psi)
+
+(** Reflexivity: [KB |~ KB]. *)
+let reflexivity (oracle : oracle) ~kb =
+  if is_one (oracle ~kb kb) then Holds else Fails "KB |~ KB failed"
+
+(** Left Logical Equivalence — caller guarantees [⊨ KB ⟺ KB']:
+    same conclusions from both. *)
+let left_logical_equivalence (oracle : oracle) ~kb ~kb' ~phi =
+  let a = oracle ~kb phi and b = oracle ~kb:kb' phi in
+  match (a, b) with
+  | Some x, Some y when Float.abs (x -. y) < 1e-6 -> Holds
+  | None, None -> Holds
+  | _ ->
+    Fails
+      (Fmt.str "Pr(%a) differs across equivalent KBs" Pretty.pp_formula phi)
+
+(** Cut: if [KB |~ θ] and [KB ∧ θ |~ φ] then [KB |~ φ]. *)
+let cut (oracle : oracle) ~kb ~theta ~phi =
+  if not (is_one (oracle ~kb theta)) then Vacuous
+  else if not (is_one (oracle ~kb:(And (kb, theta)) phi)) then Vacuous
+  else if is_one (oracle ~kb phi) then Holds
+  else Fails (Fmt.str "cut failed for %a" Pretty.pp_formula phi)
+
+(** Cautious Monotonicity: if [KB |~ θ] and [KB |~ φ] then
+    [KB ∧ θ |~ φ]. *)
+let cautious_monotonicity (oracle : oracle) ~kb ~theta ~phi =
+  if not (is_one (oracle ~kb theta) && is_one (oracle ~kb phi)) then Vacuous
+  else if is_one (oracle ~kb:(And (kb, theta)) phi) then Holds
+  else Fails (Fmt.str "CM failed for %a" Pretty.pp_formula phi)
+
+(** The strong form (Proposition 5.2): if [KB |~ θ] then
+    [Pr(φ | KB) = Pr(φ | KB ∧ θ)] for every φ. *)
+let conditioning_invariance (oracle : oracle) ~kb ~theta ~phi =
+  if not (is_one (oracle ~kb theta)) then Vacuous
+  else begin
+    match (oracle ~kb phi, oracle ~kb:(And (kb, theta)) phi) with
+    | Some a, Some b when Float.abs (a -. b) < 1e-3 -> Holds
+    | Some a, Some b -> Fails (Fmt.str "Pr changed: %.4f vs %.4f" a b)
+    | None, None -> Holds
+    | _ -> Fails "existence changed"
+  end
+
+(** And: if [KB |~ φ] and [KB |~ ψ] then [KB |~ φ ∧ ψ]. *)
+let and_rule (oracle : oracle) ~kb ~phi ~psi =
+  if not (is_one (oracle ~kb phi) && is_one (oracle ~kb psi)) then Vacuous
+  else if is_one (oracle ~kb (And (phi, psi))) then Holds
+  else Fails (Fmt.str "And failed for %a, %a" Pretty.pp_formula phi Pretty.pp_formula psi)
+
+(** Or: if [KB |~ φ] and [KB' |~ φ] then [KB ∨ KB' |~ φ]. *)
+let or_rule (oracle : oracle) ~kb ~kb' ~phi =
+  if not (is_one (oracle ~kb phi) && is_one (oracle ~kb:kb' phi)) then Vacuous
+  else if is_one (oracle ~kb:(Or (kb, kb')) phi) then Holds
+  else Fails (Fmt.str "Or failed for %a" Pretty.pp_formula phi)
+
+(** [saturate ?oracle ?max_rounds ~kb candidates] augments the KB with
+    every candidate conclusion it defaults to, iterating to a fixpoint:
+    the Cut / Cautious Monotonicity workflow of Proposition 5.2, which
+    licenses adding [θ] to the KB whenever [KB |~ θ] without changing
+    any degree of belief. This automates derivation chains like
+    Example 5.14's nested default: first conclude that Alice normally
+    rises late, add it, then conclude she rises late tomorrow.
+
+    Returns the augmented KB and the list of conclusions added, in
+    derivation order. *)
+let saturate ?(oracle = engine_oracle ?options:None) ?(max_rounds = 4) ~kb
+    candidates =
+  let rec round kb pending added rounds =
+    if rounds = 0 || pending = [] then (kb, List.rev added)
+    else begin
+      let newly, rest =
+        List.partition (fun c -> is_one (oracle ~kb c)) pending
+      in
+      if newly = [] then (kb, List.rev added)
+      else begin
+        let kb = List.fold_left (fun acc c -> Syntax.And (acc, c)) kb newly in
+        round kb rest (List.rev_append newly added) (rounds - 1)
+      end
+    end
+  in
+  round kb candidates [] max_rounds
+
+(** Rational Monotonicity (weak form, Theorem 5.5): if [KB |~ φ] and
+    not [KB |~ ¬θ], then [KB ∧ θ |~ φ] — *provided* the degree of
+    belief [Pr_∞(φ | KB ∧ θ)] exists. When it does not exist the
+    property is vacuous (that is exactly the paper's weakening). *)
+let rational_monotonicity (oracle : oracle) ~kb ~theta ~phi =
+  if not (is_one (oracle ~kb phi)) then Vacuous
+  else if is_one (oracle ~kb (Not theta)) then Vacuous
+  else begin
+    match oracle ~kb:(And (kb, theta)) phi with
+    | None -> Vacuous (* limit does not exist: permitted by Theorem 5.5 *)
+    | Some v when v >= 1.0 -. 1e-6 -> Holds
+    | Some v -> Fails (Fmt.str "RM: Pr dropped to %.4f" v)
+  end

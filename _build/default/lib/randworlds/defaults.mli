@@ -1,0 +1,65 @@
+(** Default inference with random worlds (Sections 4.3 and 5.1):
+    [KB |~_rw φ] iff [Pr_∞(φ | KB) = 1], plus checkers for the KLM
+    properties of Theorem 5.3 and the weakened Rational Monotonicity of
+    Theorem 5.5 — used by the test suite and benchmark harness to
+    verify the properties on concrete knowledge bases. *)
+
+open Rw_logic
+
+type oracle = kb:Syntax.formula -> Syntax.formula -> float option
+(** Computes [Pr_∞(φ | KB)] when it exists. *)
+
+val engine_oracle : ?options:Engine.options -> oracle
+(** The standard oracle, backed by {!Engine.degree_of_belief}. *)
+
+val entails : ?oracle:oracle -> kb:Syntax.formula -> Syntax.formula -> bool
+(** The default-inference relation [KB |~_rw φ]. *)
+
+(** A property check holds, fails with an explanation, or is vacuous
+    (its premise did not hold for the given instance). *)
+type verdict = Holds | Fails of string | Vacuous
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val right_weakening :
+  oracle -> kb:Syntax.formula -> phi:Syntax.formula -> psi:Syntax.formula -> verdict
+(** Caller guarantees [⊨ φ ⇒ ψ]: if [KB |~ φ] then [KB |~ ψ]. *)
+
+val reflexivity : oracle -> kb:Syntax.formula -> verdict
+
+val left_logical_equivalence :
+  oracle -> kb:Syntax.formula -> kb':Syntax.formula -> phi:Syntax.formula -> verdict
+(** Caller guarantees [⊨ KB ⟺ KB']. *)
+
+val cut :
+  oracle -> kb:Syntax.formula -> theta:Syntax.formula -> phi:Syntax.formula -> verdict
+
+val cautious_monotonicity :
+  oracle -> kb:Syntax.formula -> theta:Syntax.formula -> phi:Syntax.formula -> verdict
+
+val conditioning_invariance :
+  oracle -> kb:Syntax.formula -> theta:Syntax.formula -> phi:Syntax.formula -> verdict
+(** The strong form (Proposition 5.2): if [KB |~ θ] then
+    [Pr(φ | KB) = Pr(φ | KB ∧ θ)] for every [φ]. *)
+
+val and_rule :
+  oracle -> kb:Syntax.formula -> phi:Syntax.formula -> psi:Syntax.formula -> verdict
+
+val or_rule :
+  oracle -> kb:Syntax.formula -> kb':Syntax.formula -> phi:Syntax.formula -> verdict
+
+val rational_monotonicity :
+  oracle -> kb:Syntax.formula -> theta:Syntax.formula -> phi:Syntax.formula -> verdict
+(** The weak form of Theorem 5.5: vacuous when the limit for
+    [KB ∧ θ] does not exist — exactly the paper's weakening. *)
+
+val saturate :
+  ?oracle:oracle ->
+  ?max_rounds:int ->
+  kb:Syntax.formula ->
+  Syntax.formula list ->
+  Syntax.formula * Syntax.formula list
+(** Augment the KB with every candidate it defaults to, iterating to a
+    fixpoint — the Cut/CM workflow of Proposition 5.2, automating
+    derivation chains like Example 5.14's nested default. Returns the
+    augmented KB and the conclusions added, in derivation order. *)

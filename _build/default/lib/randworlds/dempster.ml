@@ -1,0 +1,38 @@
+(** Dempster's rule of combination (Theorem 5.26).
+
+    When an individual belongs to [m] essentially-disjoint reference
+    classes with statistics [α_1, …, α_m] for a property [P], random
+    worlds combines the evidence exactly as Dempster's rule does:
+
+    [δ(α₁,…,α_m) = Π α_i / (Π α_i + Π (1 − α_i))]
+
+    The function is undefined when some [α_i = 1] while another
+    [α_j = 0] (hard conflicting defaults — the random-worlds limit
+    does not exist there either, see Section 5.3). *)
+
+exception Conflicting_certainties
+(** Raised for the undefined case: some [α_i = 1] and some [α_j = 0]. *)
+
+(** [combine alphas] applies Dempster's rule. Raises
+    [Invalid_argument] on an empty list or values outside [[0,1]];
+    raises {!Conflicting_certainties} on the undefined 0-vs-1 case. *)
+let combine = function
+  | [] -> invalid_arg "Dempster.combine: empty evidence list"
+  | alphas ->
+    List.iter
+      (fun a ->
+        if a < 0.0 || a > 1.0 then
+          invalid_arg "Dempster.combine: evidence outside [0,1]")
+      alphas;
+    let has_one = List.exists (fun a -> a = 1.0) alphas in
+    let has_zero = List.exists (fun a -> a = 0.0) alphas in
+    if has_one && has_zero then raise Conflicting_certainties
+    else begin
+      let p = List.fold_left (fun acc a -> acc *. a) 1.0 alphas in
+      let q = List.fold_left (fun acc a -> acc *. (1.0 -. a)) 1.0 alphas in
+      p /. (p +. q)
+    end
+
+(** [combine2 a b] — the binary case highlighted in the Nixon diamond
+    discussion: [αβ / (αβ + (1−α)(1−β))]. *)
+let combine2 a b = combine [ a; b ]

@@ -1,0 +1,18 @@
+(** Dempster's rule of combination (Theorem 5.26).
+
+    When an individual belongs to [m] essentially-disjoint reference
+    classes with statistics [α₁, …, α_m] for a property, random worlds
+    combines the evidence exactly as Dempster's rule does:
+
+    [δ(ᾱ) = Π αᵢ / (Π αᵢ + Π (1 − αᵢ))]. *)
+
+exception Conflicting_certainties
+(** The undefined case: some [αᵢ = 1] while another [αⱼ = 0] — the
+    random-worlds limit does not exist there either (Section 5.3). *)
+
+val combine : float list -> float
+(** Raises [Invalid_argument] on an empty list or values outside
+    [[0,1]]; {!Conflicting_certainties} on the undefined case. *)
+
+val combine2 : float -> float -> float
+(** The binary case: [αβ / (αβ + (1−α)(1−β))]. *)

@@ -1,0 +1,166 @@
+(** The top-level degree-of-belief engine: dispatch across the four
+    computation strategies, most exact/cheapest first.
+
+    1. {b rules} — syntactic theorems (sound intervals, any arity);
+    2. {b independence decomposition} — Theorem 5.27 splits queries
+       over disjoint sub-vocabularies into products;
+    3. {b maxent} — asymptotic values for unary KBs;
+    4. {b unary} — exact finite-[N] counting with extrapolation;
+    5. {b enum} — literal world enumeration at small [N].
+
+    A rule-engine interval is refined by the maxent point when the two
+    agree (the point falls inside the interval); disagreement keeps the
+    provably-sound interval and notes the conflict. *)
+
+open Rw_logic
+open Syntax
+
+type options = {
+  tols : Tolerance.t list option;  (** tolerance schedule override *)
+  unary_sizes : int list option;  (** domain sizes for the unary engine *)
+  enum_sizes : int list option;  (** domain sizes for the enumeration engine *)
+  use_enum : bool;  (** allow the (expensive) literal engine *)
+}
+
+let default_options =
+  { tols = None; unary_sizes = None; enum_sizes = None; use_enum = true }
+
+(* Symbols of a formula, for the independence split: predicates and
+   non-constant functions always separate; constants are listed apart. *)
+let split_symbols f =
+  let preds, funcs = Syntax.symbols f in
+  let hard =
+    List.map (fun (p, a) -> ("P:" ^ p, a)) preds
+    @ List.filter_map
+        (fun (g, a) -> if a > 0 then Some ("F:" ^ g, a) else None)
+        funcs
+  in
+  (List.map fst hard, Syntax.constants f)
+
+(* Theorem 5.27: try to split query = q1 ∧ q2 and KB = kb1 ∧ kb2 with
+   vocabularies disjoint except for (at most) one shared constant. *)
+let independence_split ~kb query =
+  let qs = Rw_unary.Analysis.split_conjuncts query in
+  if List.length qs < 2 then None
+  else begin
+    let kbs = Rw_unary.Analysis.split_conjuncts kb in
+    let items = List.map (fun f -> (f, split_symbols f)) (qs @ kbs) in
+    (* Union-find over items: connect when sharing a predicate/function
+       symbol or sharing more than the single allowed constant. *)
+    let n = List.length items in
+    let arr = Array.of_list items in
+    let parent = Array.init n Fun.id in
+    let rec find i = if parent.(i) = i then i else find parent.(i) in
+    let union i j = parent.(find i) <- find j in
+    (* Only a single shared constant is covered by Theorem 5.27. *)
+    let shared_allowed =
+      match Syntax.constants query with [ c ] -> [ c ] | _ -> []
+    in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let _, (hi, ci) = arr.(i) and _, (hj, cj) = arr.(j) in
+        let share_hard = List.exists (fun s -> List.mem s hj) hi in
+        let share_const =
+          List.exists (fun c -> List.mem c cj && not (List.mem c shared_allowed)) ci
+        in
+        if share_hard || share_const then union i j
+      done
+    done;
+    (* Group query conjuncts by component. *)
+    let comp_of i = find i in
+    let q_indices = List.mapi (fun i _ -> i) qs in
+    let q_comps = List.sort_uniq Stdlib.compare (List.map comp_of q_indices) in
+    if List.length q_comps < 2 then None
+    else begin
+      let nq = List.length qs in
+      let groups =
+        List.map
+          (fun comp ->
+            let in_comp_q = ref [] and in_comp_kb = ref [] in
+            Array.iteri
+              (fun i (f, _) ->
+                if comp_of i = comp then
+                  if i < nq then in_comp_q := f :: !in_comp_q
+                  else in_comp_kb := f :: !in_comp_kb)
+              arr;
+            (conj (List.rev !in_comp_q), conj (List.rev !in_comp_kb)))
+          q_comps
+      in
+      (* KB conjuncts in components with no query conjunct are ignored:
+         by Theorem 5.27 they multiply both numerator and denominator. *)
+      Some groups
+    end
+  end
+
+let rec infer ?(options = default_options) ~kb query =
+  let rules_answer = Rules_engine.infer ~kb query in
+  match rules_answer.Answer.result with
+  | Answer.Point _ | Answer.No_limit _ | Answer.Inconsistent -> rules_answer
+  | Answer.Within interval -> begin
+    (* Try to refine the interval to a point with the maxent engine. *)
+    match refine ~options ~kb query with
+    | Some a -> begin
+      match Answer.point_value a with
+      | Some v when Rw_prelude.Interval.mem ~eps:1e-6 v interval ->
+        { a with Answer.notes = a.Answer.notes @ rules_answer.Answer.notes }
+      | _ -> rules_answer
+    end
+    | None -> rules_answer
+  end
+  | Answer.Not_applicable _ -> begin
+    match independence_split ~kb query with
+    | Some groups when List.length groups > 1 -> begin
+      let sub_answers =
+        List.map (fun (q, k) -> infer ~options ~kb:k q) groups
+      in
+      let values = List.map Answer.point_value sub_answers in
+      if List.for_all Option.is_some values then begin
+        let v =
+          List.fold_left (fun acc o -> acc *. Option.get o) 1.0 values
+        in
+        Answer.make
+          ~notes:
+            ("Theorem 5.27 (independent sub-vocabularies): product of parts"
+            :: List.concat_map (fun a -> a.Answer.notes) sub_answers)
+          ~engine:"independence" (Answer.Point v)
+      end
+      else fallback ~options ~kb query
+    end
+    | _ -> fallback ~options ~kb query
+  end
+
+and refine ~options ~kb query =
+  let a = Maxent_engine.estimate ?tols:options.tols ~kb query in
+  if Answer.definitive a then Some a else None
+
+and fallback ~options ~kb query =
+  let a = Maxent_engine.estimate ?tols:options.tols ~kb query in
+  if Answer.definitive a then a
+  else begin
+    let a =
+      try Unary_engine.estimate ?ns:options.unary_sizes ~kb query
+      with _ ->
+        Answer.make ~engine:"unary" (Answer.Not_applicable "engine error")
+    in
+    if Answer.definitive a then a
+    else if not options.use_enum then
+      Answer.make ~engine:"dispatch"
+        (Answer.Not_applicable "no engine applicable (enum disabled)")
+    else begin
+      let vocab = Vocab.of_formulas [ kb; query ] in
+      (* A tighter guard than the raw engine's: the dispatcher is a
+         default code path and must stay responsive; callers wanting
+         heroic enumerations can invoke Enum_engine directly. *)
+      try
+        Enum_engine.estimate ~max_log10_worlds:6.5 ?ns:options.enum_sizes ~vocab
+          ~kb query
+      with Rw_model.Enum.Too_many_worlds m ->
+        Answer.make ~engine:"dispatch"
+          (Answer.Not_applicable
+             (Printf.sprintf "enumeration infeasible (10^%.0f worlds)" m))
+    end
+  end
+
+(** [degree_of_belief ~kb query] — the headline API:
+    [Pr_∞(query | kb)] computed by the best applicable engine. *)
+let degree_of_belief ?options ~kb query = infer ?options ~kb query

@@ -1,0 +1,39 @@
+(** The top-level degree-of-belief engine: dispatch across the four
+    computation strategies, most exact/cheapest first.
+
+    1. {b rules} — syntactic theorems (sound intervals, any arity);
+    2. {b independence decomposition} — Theorem 5.27 splits queries
+       over disjoint sub-vocabularies into products;
+    3. {b maxent} — asymptotic values for unary KBs;
+    4. {b unary} — exact finite-[N] counting with extrapolation;
+    5. {b enum} — literal world enumeration at small [N].
+
+    A rule-engine interval is refined by the maxent point when the two
+    agree; disagreement keeps the provably-sound interval. *)
+
+open Rw_logic
+
+type options = {
+  tols : Tolerance.t list option;  (** tolerance schedule override *)
+  unary_sizes : int list option;  (** domain sizes for the unary engine *)
+  enum_sizes : int list option;  (** domain sizes for enumeration *)
+  use_enum : bool;  (** allow the (expensive) literal engine *)
+}
+
+val default_options : options
+
+val independence_split :
+  kb:Syntax.formula ->
+  Syntax.formula ->
+  (Syntax.formula * Syntax.formula) list option
+(** Theorem 5.27: split query and KB into components over disjoint
+    sub-vocabularies sharing at most the single query constant.
+    Returns [(query_part, kb_part)] pairs, or [None] when no split
+    exists. Exposed for tests. *)
+
+val infer : ?options:options -> kb:Syntax.formula -> Syntax.formula -> Answer.t
+
+val degree_of_belief :
+  ?options:options -> kb:Syntax.formula -> Syntax.formula -> Answer.t
+(** The headline API: [Pr_∞(query | kb)] by the best applicable
+    engine. *)

@@ -1,0 +1,82 @@
+(** The literal engine: [Pr_N^τ̄(φ | KB)] by exhaustive world
+    enumeration (Section 4.2, computed verbatim).
+
+    Applicable to any vocabulary — binary predicates, functions,
+    equality — but only at small domain sizes. Serves as ground truth
+    for the other engines and as the only engine for the genuinely
+    non-unary experiments (elephant–zookeeper, unique names). *)
+
+open Rw_logic
+open Rw_bignat
+
+(** [pr_n ~vocab ~n ~tol ~kb query] is the exact
+    [#worlds(φ∧KB)/#worlds(KB)] at size [n]; [None] when no world
+    satisfies the KB. *)
+let pr_n ?max_log10_worlds ~vocab ~n ~tol ~kb query =
+  let num, den =
+    Rw_model.Enum.count_sat2 ?max_log10_worlds vocab n tol
+      (Syntax.And (query, kb))
+      kb
+  in
+  if Bignat.is_zero den then None else Some (Bignat.ratio num den)
+
+(** [series ~vocab ~ns ~tol ~kb query] computes [Pr_N] along a list of
+    domain sizes (skipping sizes with no KB-worlds). *)
+let series ?max_log10_worlds ~vocab ~ns ~tol ~kb query =
+  List.filter_map
+    (fun n ->
+      match pr_n ?max_log10_worlds ~vocab ~n ~tol ~kb query with
+      | Some v -> Some (n, v)
+      | None -> None)
+    ns
+
+(** [estimate ?ns ?tols ~vocab ~kb query] estimates the double limit
+    from an (N, τ̄) grid: for each tolerance in the (shrinking)
+    schedule take the largest-[N] value, then look for convergence
+    across tolerances. Enumeration reaches only small [N], so this is
+    an *estimate* — the answer reports its evidence in [notes]. *)
+let estimate ?max_log10_worlds ?(ns = [ 3; 4; 5; 6 ]) ?tols ~vocab ~kb query =
+  let tols =
+    match tols with
+    | Some ts -> ts
+    | None -> Tolerance.schedule ~steps:3 (Tolerance.uniform 0.2)
+  in
+  let ns =
+    (* Keep only sizes under the guard, so one oversized grid point
+       does not abort the whole estimate. *)
+    let cap = Option.value max_log10_worlds ~default:8.0 in
+    List.filter (fun n -> Rw_model.Enum.log10_world_count vocab n <= cap) ns
+  in
+  let per_tol =
+    List.filter_map
+      (fun tol ->
+        match List.rev (series ?max_log10_worlds ~vocab ~ns ~tol ~kb query) with
+        | (n, v) :: _ -> Some (tol, n, v)
+        | [] -> None)
+      tols
+  in
+  if ns = [] then
+    Answer.make ~engine:"enum"
+      (Answer.Not_applicable "every domain size exceeds the enumeration guard")
+  else
+  match per_tol with
+  | [] -> Answer.make ~engine:"enum" Answer.Inconsistent
+  | _ ->
+    let values = List.map (fun (_, _, v) -> v) per_tol in
+    let notes =
+      List.map
+        (fun (tol, n, v) -> Fmt.str "%a N=%d -> %.6f" Tolerance.pp tol n v)
+        per_tol
+    in
+    (match Limits.detect ~atol:0.02 values with
+    | Limits.Converged v -> Answer.make ~notes ~engine:"enum" (Answer.Point v)
+    | Limits.Oscillating (a, b) ->
+      Answer.make ~notes ~engine:"enum"
+        (Answer.No_limit (Fmt.str "oscillates between %.4f and %.4f" a b))
+    | Limits.Insufficient ->
+      (* Report the trend without committing. *)
+      let last = List.nth values (List.length values - 1) in
+      Answer.make ~notes ~engine:"enum"
+        (Answer.Within
+           (Rw_prelude.Interval.clamp01
+              (Rw_prelude.Interval.widen (Rw_prelude.Interval.point last) 0.1))))

@@ -1,0 +1,43 @@
+(** The literal engine: [Pr_N^τ̄(φ | KB)] by exhaustive world
+    enumeration (Section 4.2 computed verbatim).
+
+    Applicable to any vocabulary — binary predicates, functions,
+    equality — but only at small domain sizes. Ground truth for the
+    other engines, and the only engine for the genuinely non-unary
+    experiments (unique names, lottery). *)
+
+open Rw_logic
+
+val pr_n :
+  ?max_log10_worlds:float ->
+  vocab:Vocab.t ->
+  n:int ->
+  tol:Tolerance.t ->
+  kb:Syntax.formula ->
+  Syntax.formula ->
+  float option
+(** Exact [#worlds(φ∧KB)/#worlds(KB)] at one size; [None] when no world
+    satisfies the KB. *)
+
+val series :
+  ?max_log10_worlds:float ->
+  vocab:Vocab.t ->
+  ns:int list ->
+  tol:Tolerance.t ->
+  kb:Syntax.formula ->
+  Syntax.formula ->
+  (int * float) list
+(** [Pr_N] along a list of domain sizes (sizes with no KB-worlds are
+    skipped). *)
+
+val estimate :
+  ?max_log10_worlds:float ->
+  ?ns:int list ->
+  ?tols:Tolerance.t list ->
+  vocab:Vocab.t ->
+  kb:Syntax.formula ->
+  Syntax.formula ->
+  Answer.t
+(** Estimate the double limit from an (N, τ̄) grid. Enumeration reaches
+    only small [N], so the answer reports its evidence in its notes and
+    widens to an interval when the trend is unclear. *)

@@ -1,0 +1,85 @@
+(** Numeric limit detection for the double limit of Definition 4.3.
+
+    Engines produce sequences of values — over growing [N] at a fixed
+    tolerance, then over a shrinking tolerance schedule. This module
+    classifies such sequences: converged, oscillating between two
+    accumulation points, or not informative. *)
+
+type verdict =
+  | Converged of float
+  | Oscillating of float * float  (** two distinct accumulation points *)
+  | Insufficient  (** not enough data / no discernible trend *)
+
+(** [detect ?atol values] classifies a sequence (oldest first).
+
+    Converged: the last values agree within [atol].
+    Oscillating: the last values alternate between two clusters
+    separated by much more than [atol]. *)
+let detect ?(atol = 1e-3) values =
+  let n = List.length values in
+  if n < 3 then Insufficient
+  else begin
+    let arr = Array.of_list values in
+    let last = arr.(n - 1) and prev = arr.(n - 2) and prev2 = arr.(n - 3) in
+    if Float.abs (last -. prev) <= atol && Float.abs (prev -. prev2) <= atol then
+      Converged last
+    else if
+      (* Alternation: a,b,a,b with |a−b| large. *)
+      Float.abs (last -. prev2) <= atol && Float.abs (last -. prev) > 10.0 *. atol
+    then Oscillating (Float.min last prev, Float.max last prev)
+    else Insufficient
+  end
+
+(** [detect_with_band ?atol ~target values] — convergence where each
+    value [v_k] is only constrained to a band of width [band_k] around
+    the limit (the fixed-τ inner limit lands within τ of the true
+    value). Accepts the run as converged-to-[t] when the deviations
+    shrink along with the bands. *)
+let within_shrinking_band ~bands ~target values =
+  List.for_all2
+    (fun band v -> Float.abs (v -. target) <= band +. 1e-9)
+    bands values
+
+(** [linear_intercept xs ys] — least-squares fit [y ≈ a + b·x] and
+    return [(a, b, max_residual)]. Used for the [τ̄ → 0] limit: the
+    fixed-tolerance values of a well-behaved query differ from the
+    limit by [O(τ)], so the intercept at [τ = 0] *is* the limit, and
+    the fit is robust to the solver's per-point noise in a way that
+    Aitken extrapolation is not. *)
+let linear_intercept xs ys =
+  let n = List.length xs in
+  if n <> List.length ys || n = 0 then
+    invalid_arg "Limits.linear_intercept: bad input"
+  else if n = 1 then (List.hd ys, 0.0, 0.0)
+  else begin
+    let fn = float_of_int n in
+    let sx = List.fold_left ( +. ) 0.0 xs in
+    let sy = List.fold_left ( +. ) 0.0 ys in
+    let sxx = List.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+    let sxy = List.fold_left2 (fun acc x y -> acc +. (x *. y)) 0.0 xs ys in
+    let denom = (fn *. sxx) -. (sx *. sx) in
+    if Float.abs denom < 1e-18 then (List.nth ys (n - 1), 0.0, 0.0)
+    else begin
+      let b = ((fn *. sxy) -. (sx *. sy)) /. denom in
+      let a = (sy -. (b *. sx)) /. fn in
+      let resid =
+        List.fold_left2
+          (fun acc x y -> Float.max acc (Float.abs (y -. (a +. (b *. x)))))
+          0.0 xs ys
+      in
+      (a, b, resid)
+    end
+  end
+
+(** [richardson values] — when a sequence converges linearly (errors
+    shrinking by a constant factor), extrapolate the limit from the
+    last three points via Aitken's Δ². Returns the plain last value
+    when the update is degenerate. *)
+let richardson values =
+  match List.rev values with
+  | x2 :: x1 :: x0 :: _ ->
+    let d1 = x1 -. x0 and d2 = x2 -. x1 in
+    let denom = d2 -. d1 in
+    if Float.abs denom < 1e-12 then x2 else x0 -. ((d1 *. d1) /. denom)
+  | [ x ] | [ x; _ ] -> x
+  | [] -> invalid_arg "Limits.richardson: empty"

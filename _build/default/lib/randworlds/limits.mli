@@ -1,0 +1,31 @@
+(** Numeric limit detection for the double limit of Definition 4.3.
+
+    Engines produce value sequences — over growing [N] at a fixed
+    tolerance, then over a shrinking tolerance schedule. This module
+    classifies and extrapolates such sequences. *)
+
+type verdict =
+  | Converged of float
+  | Oscillating of float * float  (** two distinct accumulation points *)
+  | Insufficient  (** not enough data / no discernible trend *)
+
+val detect : ?atol:float -> float list -> verdict
+(** Classify a sequence (oldest first): converged when the tail agrees
+    within [atol]; oscillating on a two-cluster alternation. *)
+
+val within_shrinking_band :
+  bands:float list -> target:float -> float list -> bool
+(** Convergence where each value is only constrained to a band around
+    the limit (the fixed-τ inner limit lands within τ of the true
+    value). *)
+
+val linear_intercept : float list -> float list -> float * float * float
+(** [linear_intercept xs ys] — least-squares [y ≈ a + b·x]; returns
+    [(a, b, max_residual)]. Used for the [τ̄ → 0] limit: fixed-τ values
+    of a well-behaved query differ from the limit by [O(τ)], so the
+    intercept at [τ = 0] is the limit, robustly against per-point
+    solver noise. *)
+
+val richardson : float list -> float
+(** Aitken Δ² extrapolation of a geometrically converging sequence
+    (falls back to the last value when degenerate). *)

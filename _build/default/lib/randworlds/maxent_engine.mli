@@ -1,0 +1,40 @@
+(** The asymptotic engine for unary knowledge bases: degrees of belief
+    via maximum entropy (Section 6).
+
+    By the concentration phenomenon, as [N → ∞] almost all KB-worlds
+    lie near the maximum-entropy point of [S(KB)], so queries about
+    named individuals are answered from the atom distribution at that
+    point (constants are asymptotically independent given the
+    proportions), and closed statistical / quantified queries get
+    degree of belief 1 or 0 according to their truth at the point. The
+    [τ̄ → 0] limit is taken numerically over a shrinking schedule with
+    least-squares intercept extrapolation.
+
+    Disjunctive KBs are handled through the same concentration
+    argument: disjuncts of maximal entropy dominate the world count;
+    when every dominant disjunct yields the same belief, that is the
+    answer (validating the Or rule — e.g. Example 5.4's broken arm). *)
+
+open Rw_logic
+
+val default_tols : Tolerance.t list
+
+exception Outside_fragment of string
+(** KB or query outside the unary fragment; caught by {!estimate}. *)
+
+val belief_at :
+  kb:Syntax.formula -> query:Syntax.formula -> Tolerance.t -> float option
+(** The degree of belief at one fixed tolerance vector; [None] when
+    conditioning is impossible there.
+    @raise Outside_fragment outside the unary fragment.
+    @raise Rw_unary.Solver.Infeasible when the KB is inconsistent at
+    this tolerance. *)
+
+val estimate :
+  ?tols:Tolerance.t list -> kb:Syntax.formula -> Syntax.formula -> Answer.t
+(** The [τ̄ → 0] limit over the schedule. Never raises: fragment
+    violations yield [Not_applicable]; infeasibility along the whole
+    schedule yields [Inconsistent]; non-convergence yields [No_limit]
+    or a widened interval. Pass structured tolerance vectors (with
+    per-index powers) to probe default priorities — Section 5.3's
+    non-robustness ablation. *)

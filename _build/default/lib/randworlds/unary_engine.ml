@@ -1,0 +1,99 @@
+(** The exact unary engine: [Pr_N^τ̄] by multinomial aggregation over
+    atom-count profiles, then the double limit along an (N, τ̄)
+    schedule.
+
+    Exact at each (N, τ̄) like the enumeration engine, but reaching
+    domain sizes in the tens-to-hundreds, which makes the [N → ∞]
+    trend actually visible. Fragment: unary predicates + constants,
+    no equality. *)
+
+open Rw_logic
+open Rw_unary
+
+let default_sizes = [ 20; 40; 60 ]
+
+let unary_preds_of f =
+  let preds, _ = Syntax.symbols f in
+  List.filter_map (fun (p, a) -> if a = 1 then Some p else None) preds
+
+(** [pr_n ~kb ~query ~n ~tol] — exact finite-[N] degree of belief. *)
+let pr_n ~kb ~query ~n ~tol =
+  let parts = Analysis.analyze ~extra_preds:(unary_preds_of query) kb in
+  Profile.pr_n parts ~query ~n ~tol
+
+(** [series ~kb ~query ~ns ~tol] — [Pr_N] along domain sizes. *)
+let series ~kb ~query ~ns ~tol =
+  let parts = Analysis.analyze ~extra_preds:(unary_preds_of query) kb in
+  List.filter_map
+    (fun n ->
+      match Profile.pr_n parts ~query ~n ~tol with
+      | Some v -> Some (n, v)
+      | None -> None)
+    ns
+
+(** [estimate ?ns ?tols ~kb query] — the double limit over a grid, with
+    Aitken extrapolation of the inner [N→∞] limit at each tolerance.
+
+    @raise Profile.Unsupported outside the unary fragment. *)
+let estimate ?(ns = default_sizes) ?tols ~kb query =
+  let parts = Analysis.analyze ~extra_preds:(unary_preds_of query) kb in
+  if not (Analysis.fully_supported parts) then
+    Answer.make ~engine:"unary"
+      (Answer.Not_applicable "KB outside the unary fragment")
+  else begin
+    let tols =
+      match tols with
+      | Some ts -> ts
+      | None -> Tolerance.schedule ~steps:3 (Tolerance.uniform 0.1)
+    in
+    (* Keep the computation feasible: shrink N list if the profile
+       space is too large. *)
+    let ns =
+      List.filter (fun n -> Profile.cost_estimate parts ~n < 5e6) ns
+    in
+    if ns = [] then
+      Answer.make ~engine:"unary"
+        (Answer.Not_applicable "atom space too large for exact counting")
+    else begin
+      let inner_limit tol =
+        let vals =
+          List.filter_map
+            (fun n ->
+              match Profile.pr_n parts ~query ~n ~tol with
+              | Some v -> Some v
+              | None -> None)
+            ns
+        in
+        match vals with
+        | [] -> None
+        | [ v ] -> Some v
+        | vs -> Some (Limits.richardson vs)
+      in
+      let per_tol =
+        List.filter_map
+          (fun tol ->
+            match inner_limit tol with Some v -> Some (tol, v) | None -> None)
+          tols
+      in
+      match per_tol with
+      | [] -> Answer.make ~engine:"unary" Answer.Inconsistent
+      | _ ->
+        let values = List.map snd per_tol in
+        let notes =
+          List.map (fun (tol, v) -> Fmt.str "%a -> %.6f" Tolerance.pp tol v) per_tol
+        in
+        (match Limits.detect ~atol:0.02 values with
+        | Limits.Converged v ->
+          Answer.make ~notes ~engine:"unary"
+            (Answer.Point (Rw_prelude.Floats.clamp01 v))
+        | Limits.Oscillating (a, b) ->
+          Answer.make ~notes ~engine:"unary"
+            (Answer.No_limit (Fmt.str "oscillates between %.4f and %.4f" a b))
+        | Limits.Insufficient ->
+          let last = List.nth values (List.length values - 1) in
+          Answer.make ~notes ~engine:"unary"
+            (Answer.Within
+               (Rw_prelude.Interval.clamp01
+                  (Rw_prelude.Interval.widen (Rw_prelude.Interval.point last) 0.05))))
+    end
+  end

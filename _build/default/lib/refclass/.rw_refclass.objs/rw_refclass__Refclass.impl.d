@@ -1,0 +1,1 @@
+lib/refclass/refclass.ml: Atoms Floats Interval List Listx Rw_logic Rw_prelude Rw_unary Syntax Unify

@@ -1,0 +1,1 @@
+lib/refclass/refclass.mli: Interval Rw_logic Rw_prelude Syntax

@@ -1,0 +1,38 @@
+(** A Reichenbach-style reference-class reasoner (Section 2) — the
+    baseline random worlds is compared against.
+
+    Pipeline: collect candidate reference classes for a query
+    [P(c)] (statistics whose class provably contains [c]); optionally
+    exclude gerrymandered disjunctive classes (the Kyburg/Pollock
+    restriction that blocks the Section 2.2 pathology — and with it the
+    legitimate Tay-Sachs class); prefer more specific classes when
+    their statistics conflict; apply Kyburg's strength rule; otherwise
+    report the vacuous [[0,1]] — the failure mode Section 2.3
+    criticises. The module reproduces the baseline's documented
+    failures; see the benchmark harness for the comparison. *)
+
+open Rw_prelude
+open Rw_logic
+
+type candidate = {
+  class_formula : Syntax.formula;  (** ψ(x), boolean over the class variable *)
+  bounds : Interval.t;
+  disjunctive : bool;  (** syntactically contains a disjunction *)
+}
+
+type outcome = {
+  value : Interval.t;
+  chosen : candidate option;  (** the class whose statistics were used *)
+  reason : string;
+}
+
+val infer :
+  ?allow_disjunctive:bool ->
+  kb:Syntax.formula ->
+  query_pred:string ->
+  individual:string ->
+  unit ->
+  outcome
+(** Run the pipeline for [query_pred(individual)].
+    [allow_disjunctive] defaults to [false] (the Kyburg/Pollock
+    restriction); setting it exposes the gerrymandering pathology. *)

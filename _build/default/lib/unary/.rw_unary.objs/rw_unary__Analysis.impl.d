@@ -1,0 +1,1 @@
+lib/unary/analysis.ml: Atoms Fmt List Printf Rw_logic Rw_prelude Syntax

@@ -1,0 +1,1 @@
+lib/unary/analysis.mli: Atoms Format Rw_logic Syntax

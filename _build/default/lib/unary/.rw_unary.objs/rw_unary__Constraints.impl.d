@@ -1,0 +1,1 @@
+lib/unary/constraints.ml: Analysis Array Atoms Entropy_opt List Rw_logic Rw_numeric Syntax Tolerance Vec

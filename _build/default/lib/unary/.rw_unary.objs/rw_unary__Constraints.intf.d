@@ -1,0 +1,1 @@
+lib/unary/constraints.mli: Analysis Atoms Entropy_opt Rw_logic Rw_numeric Syntax Tolerance Vec

@@ -1,0 +1,1 @@
+lib/unary/profile.ml: Analysis Array Atoms Float List Listx Logspace Printf Rw_logic Rw_prelude Syntax Tolerance

@@ -1,0 +1,1 @@
+lib/unary/profile.mli: Analysis Atoms Rw_logic Syntax Tolerance

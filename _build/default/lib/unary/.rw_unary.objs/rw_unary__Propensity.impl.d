@@ -1,0 +1,1 @@
+lib/unary/propensity.ml: Analysis Array Atoms Float Floats List Logspace Profile Rw_logic Rw_prelude Syntax Tolerance

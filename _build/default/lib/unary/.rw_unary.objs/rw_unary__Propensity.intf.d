@@ -1,0 +1,1 @@
+lib/unary/propensity.mli: Analysis Atoms Rw_logic Syntax Tolerance

@@ -1,0 +1,1 @@
+lib/unary/solver.ml: Analysis Array Atoms Constraints Entropy_opt List Rw_logic Rw_numeric Tolerance Vec

@@ -1,0 +1,1 @@
+lib/unary/solver.mli: Analysis Atoms Rw_logic Rw_numeric Tolerance Vec

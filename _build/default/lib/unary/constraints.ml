@@ -1,0 +1,169 @@
+(** Translation of unary statistical conjuncts into linear constraints
+    over the atom-proportion simplex (Section 6).
+
+    At a concrete tolerance vector [τ̄], each approximate comparison
+    becomes one or two linear inequalities over the atom proportions
+    [p ∈ Δ^{2^k}]:
+
+    - [||β||_x] is the linear form [Σ_{A ⊨ β} p_A];
+    - [ζ ≈_i ζ'] for linear [ζ, ζ'] becomes [|ζ − ζ'| ≤ τ_i];
+    - a conditional [||β₁ | β₂||_x cmp_i q] is multiplied out against
+      its (non-negative) denominator:
+      [x ≤ (q + τ_i)·y] and/or [(q − τ_i)·y ≤ x]
+      with [x = Σ_{A ⊨ β₁∧β₂} p_A] and [y = Σ_{A ⊨ β₂} p_A]. This is
+      the paper's official semantics (translate [≈] to [ε]-bounds
+      first, then multiply out), and it is exactly what avoids the
+      Example 4.2 pathology;
+    - universal facts [∀x β(x)] pin the proportions of the excluded
+      atoms to zero.
+
+    The supported fragment: each side of a comparison is a *linear*
+    proportion expression (numbers, unconditional proportions over a
+    single variable, sums, and products with a constant), or the
+    comparison is a conditional proportion against a constant side. *)
+
+open Rw_logic
+open Rw_numeric
+open Syntax
+
+exception Unsupported of string * formula option
+
+let unsupported msg f = raise (Unsupported (msg, f))
+
+type linform = { coeffs : Vec.t; const : float }
+
+let lin_num universe x = { coeffs = Vec.create (Atoms.num_atoms universe) 0.0; const = x }
+
+let lin_add a b = { coeffs = Vec.add a.coeffs b.coeffs; const = a.const +. b.const }
+
+let lin_scale c a = { coeffs = Vec.scale c a.coeffs; const = c *. a.const }
+
+let lin_sub a b = lin_add a (lin_scale (-1.0) b)
+
+let is_constant_lin a = Vec.norm_inf a.coeffs = 0.0
+
+(* The linear form of an extension bitset. *)
+let indicator universe set =
+  let v = Vec.create (Atoms.num_atoms universe) 0.0 in
+  List.iter (fun a -> v.(a) <- 1.0) (Atoms.members universe set);
+  { coeffs = v; const = 0.0 }
+
+(** [linearize universe z] turns a proportion expression into a linear
+    form over atom proportions, when it is linear. Conditional
+    proportions are *not* linear and are handled separately at the
+    comparison level. *)
+let rec linearize universe z =
+  match z with
+  | Num x -> lin_num universe x
+  | Prop (f, [ x ]) -> (
+    match Atoms.extension_var universe x f with
+    | set -> indicator universe set
+    | exception Atoms.Not_boolean g ->
+      unsupported "proportion body is not a boolean combination" (Some g))
+  | Prop (_, _) -> unsupported "multi-variable proportion" None
+  | Cond _ -> unsupported "conditional proportion inside arithmetic" None
+  | Add (z1, z2) -> lin_add (linearize universe z1) (linearize universe z2)
+  | Mul (z1, z2) -> (
+    let l1 = linearize universe z1 and l2 = linearize universe z2 in
+    match (is_constant_lin l1, is_constant_lin l2) with
+    | true, _ -> lin_scale l1.const l2
+    | _, true -> lin_scale l2.const l1
+    | false, false -> unsupported "product of two non-constant proportions" None)
+
+(* x ≤ bound  as an Entropy_opt constraint: coeffs·p ≤ bound − const. *)
+let le_constraint lhs rhs =
+  (* lhs ≤ rhs  ⟺  (lhs − rhs).coeffs · p ≤ −(lhs − rhs).const *)
+  let d = lin_sub lhs rhs in
+  Entropy_opt.Le (d.coeffs, -.d.const)
+
+(* Conditional proportion sides: numerator & denominator linear forms. *)
+let cond_forms universe f g x =
+  let num_set =
+    try Atoms.extension_var universe x (And (f, g))
+    with Atoms.Not_boolean h ->
+      unsupported "conditional proportion body is not boolean" (Some h)
+  in
+  let den_set =
+    try Atoms.extension_var universe x g
+    with Atoms.Not_boolean h ->
+      unsupported "conditional proportion condition is not boolean" (Some h)
+  in
+  (indicator universe num_set, indicator universe den_set)
+
+(** [of_comparison universe tol f] translates one closed [Compare]
+    conjunct into linear constraints at the tolerance vector [tol].
+
+    @raise Unsupported outside the fragment. *)
+let of_comparison universe tol f =
+  match f with
+  | Compare (z1, cmp, z2) -> begin
+    let tau = match cmp with Approx_eq i | Approx_le i -> Tolerance.get tol i in
+    let cond_vs_const xnum yden q ~eq ~cond_on_left =
+      (* cond = xnum/yden (with yden ≥ 0 implicitly); q constant. *)
+      let upper () =
+        (* x ≤ (q + τ) y *)
+        le_constraint xnum (lin_scale (q +. tau) yden)
+      in
+      let lower () =
+        (* (q − τ) y ≤ x *)
+        le_constraint (lin_scale (q -. tau) yden) xnum
+      in
+      if eq then [ upper (); lower () ]
+      else if cond_on_left then [ upper () ] (* cond ⪯ q *)
+      else [ lower () ] (* q ⪯ cond *)
+    in
+    match (z1, z2) with
+    | Cond (f1, g1, [ x ]), other -> begin
+      let xnum, yden = cond_forms universe f1 g1 x in
+      let l = linearize universe other in
+      if not (is_constant_lin l) then
+        unsupported "conditional compared against non-constant" (Some f)
+      else begin
+        match cmp with
+        | Approx_eq _ -> cond_vs_const xnum yden l.const ~eq:true ~cond_on_left:true
+        | Approx_le _ -> cond_vs_const xnum yden l.const ~eq:false ~cond_on_left:true
+      end
+    end
+    | other, Cond (f2, g2, [ x ]) -> begin
+      let xnum, yden = cond_forms universe f2 g2 x in
+      let l = linearize universe other in
+      if not (is_constant_lin l) then
+        unsupported "conditional compared against non-constant" (Some f)
+      else begin
+        match cmp with
+        | Approx_eq _ -> cond_vs_const xnum yden l.const ~eq:true ~cond_on_left:true
+        | Approx_le _ ->
+          (* other ⪯ cond: (q − τ)·y ≤ x *)
+          cond_vs_const xnum yden l.const ~eq:false ~cond_on_left:false
+      end
+    end
+    | _ -> begin
+      let l1 = linearize universe z1 and l2 = linearize universe z2 in
+      let tau_form = lin_num universe tau in
+      match cmp with
+      | Approx_eq _ ->
+        [
+          le_constraint l1 (lin_add l2 tau_form);
+          le_constraint l2 (lin_add l1 tau_form);
+        ]
+      | Approx_le _ -> [ le_constraint l1 (lin_add l2 tau_form) ]
+    end
+  end
+  | _ -> unsupported "not a comparison" (Some f)
+
+(** [of_universal universe (x, body)] pins excluded atoms to zero. *)
+let of_universal universe (x, body) =
+  let allowed = Atoms.extension_var universe x body in
+  let excluded = Atoms.Set.diff (Atoms.full_set universe) allowed in
+  if Atoms.Set.is_empty excluded then []
+  else [ Entropy_opt.Eq ((indicator universe excluded).coeffs, 0.0) ]
+
+(** [of_parts parts tol] translates a whole analysed KB.
+
+    @raise Unsupported if some statistical conjunct is outside the
+    fragment (facts about constants translate to no constraint: a
+    single individual has vanishing weight in any proportion). *)
+let of_parts (parts : Analysis.parts) tol =
+  let u = parts.Analysis.universe in
+  List.concat_map (of_universal u) parts.Analysis.universals
+  @ List.concat_map (of_comparison u tol) parts.Analysis.statisticals

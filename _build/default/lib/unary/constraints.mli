@@ -1,0 +1,44 @@
+(** Translation of unary statistical conjuncts into linear constraints
+    over the atom-proportion simplex (Section 6).
+
+    At a concrete tolerance vector, each approximate comparison becomes
+    one or two linear inequalities; conditional proportions are
+    multiplied out against their (non-negative) denominators — the
+    paper's official semantics, which avoids the Example 4.2
+    pathology; universal facts pin excluded atoms to zero.
+
+    Supported fragment: each comparison side is a linear proportion
+    expression (numbers, single-variable proportions, sums, constant
+    multiples), or the comparison is a conditional proportion against a
+    constant side. *)
+
+open Rw_logic
+open Rw_numeric
+
+exception Unsupported of string * Syntax.formula option
+(** Raised on conjuncts outside the linear fragment. *)
+
+type linform = { coeffs : Vec.t; const : float }
+(** An affine form [coeffs·p + const] over atom proportions. *)
+
+val linearize : Atoms.universe -> Syntax.proportion -> linform
+(** Turn a proportion expression into a linear form, when it is linear;
+    raises {!Unsupported} otherwise (conditionals are handled at the
+    comparison level, not here). *)
+
+val indicator : Atoms.universe -> Atoms.Set.t -> linform
+(** The linear form [Σ_{A ∈ set} p_A]. *)
+
+val of_comparison :
+  Atoms.universe -> Tolerance.t -> Syntax.formula -> Entropy_opt.constraint_ list
+(** Translate one closed [Compare] conjunct at a tolerance vector.
+    @raise Unsupported outside the fragment. *)
+
+val of_universal :
+  Atoms.universe -> string * Syntax.formula -> Entropy_opt.constraint_ list
+(** Pin the atoms excluded by [∀x β(x)] to zero. *)
+
+val of_parts : Analysis.parts -> Tolerance.t -> Entropy_opt.constraint_ list
+(** Translate a whole analysed KB (facts about constants translate to
+    no constraint: a single individual has vanishing weight in any
+    proportion). *)

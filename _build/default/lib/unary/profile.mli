@@ -1,0 +1,54 @@
+(** Exact finite-[N] world counting for unary knowledge bases, by
+    aggregation over atom-count profiles.
+
+    For a unary vocabulary, a world of size [N] is determined up to
+    isomorphism by how many elements realise each atom and which atom
+    each constant falls in; a formula without equality cannot
+    distinguish elements of one atom, so
+
+    [#worlds_N^τ̄(φ) = Σ_counts multinomial(N;counts) ·
+                        Σ_assignments Π_c n_atom(c) · [profile ⊨ φ]].
+
+    This computes [Pr_N^τ̄(φ | KB)] exactly (weights in log space) at
+    domain sizes far beyond enumeration — which is what makes the
+    [N → ∞] trend visible.
+
+    Fragment: unary predicates, constants, no equality, no non-constant
+    functions. *)
+
+open Rw_logic
+
+exception Unsupported of string
+
+type profile = {
+  universe : Atoms.universe;
+  n : int;
+  counts : int array;  (** per-atom element counts, summing to [n] *)
+  const_atoms : (string * int) list;  (** atom of each named constant *)
+}
+
+type prop_value = Value of float | Undefined
+
+val sat : profile -> Tolerance.t -> Syntax.formula -> bool
+(** Satisfaction of a sentence by every world with this profile.
+    @raise Unsupported on equality / non-unary symbols / functions. *)
+
+val pr_n :
+  ?log_prior:(int array -> float) ->
+  Analysis.parts ->
+  query:Syntax.formula ->
+  n:int ->
+  tol:Tolerance.t ->
+  float option
+(** Exact [Pr_N^τ̄(query | KB)]; [None] when [#worlds_N^τ̄(KB) = 0].
+    [log_prior] re-weights atom-count profiles (log domain; uniform —
+    the random-worlds prior — when omitted): the hook behind prior
+    variants such as {!Propensity}.
+    @raise Unsupported when KB or query leave the fragment. *)
+
+val consistent_n : Analysis.parts -> n:int -> tol:Tolerance.t -> bool
+(** Does the KB have any world of this size at this tolerance? *)
+
+val cost_estimate : Analysis.parts -> n:int -> float
+(** Approximate number of (profile × assignment) evaluations — lets
+    callers pick a feasible [n]. *)

@@ -1,0 +1,48 @@
+(** The random-propensities prior (Section 7.3, after [BGHK92]).
+
+    Random worlds cannot learn from samples: under the uniform prior,
+    elements acquire their properties independently, so observed
+    individuals say nothing about unobserved ones. Random propensities
+    gives each unary predicate [P] a latent propensity
+    [θ_P ~ Uniform[0,1]] with elements i.i.d. Bernoulli given the
+    propensities; integrating out, each predicate's count is uniform a
+    priori and observations update beliefs about other individuals —
+    the rule of succession. The prior's documented pathology — it
+    learns "too often", even from universal assertions carrying no
+    sampling information — is reproduced by the tests and benchmark.
+
+    Implemented as a {!Profile.pr_n} prior hook, sharing the exact
+    counting machinery and unary fragment. *)
+
+open Rw_logic
+
+val log_beta_weight : n:int -> int -> float
+(** [log B(k+1, n−k+1)] — one predicate's count weight. *)
+
+val log_prior : Atoms.universe -> n:int -> int array -> float
+(** The propensity re-weighting of an atom-count profile. *)
+
+val pr_n :
+  Analysis.parts ->
+  query:Syntax.formula ->
+  n:int ->
+  tol:Tolerance.t ->
+  float option
+(** Finite-[N] degree of belief under the propensity prior (same
+    fragment and exceptions as {!Profile.pr_n}). *)
+
+val series :
+  ?ns:int list ->
+  ?tol:Tolerance.t ->
+  kb:Syntax.formula ->
+  Syntax.formula ->
+  (int * float) list
+
+val estimate :
+  ?ns:int list ->
+  ?tol:Tolerance.t ->
+  kb:Syntax.formula ->
+  Syntax.formula ->
+  float option
+(** Aitken-extrapolated [N → ∞] value; [None] when no size has
+    KB-worlds. *)

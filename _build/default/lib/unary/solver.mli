@@ -1,0 +1,67 @@
+(** Maximum-entropy solutions for unary knowledge bases (Section 6).
+
+    The concentration phenomenon: the number of size-[N] worlds with
+    atom proportions [p̄] grows as [e^{N·H(p̄)}], so almost all
+    KB-worlds sit near the maximum-entropy point of the constraint set
+    [S(KB)], and degrees of belief about individuals are read off that
+    point, conditioned on each individual's known facts. *)
+
+open Rw_logic
+open Rw_numeric
+
+type solution = {
+  parts : Analysis.parts;
+  tol : Tolerance.t;
+  point : Vec.t;  (** maximum-entropy atom proportions *)
+  entropy : float;
+  max_violation : float;
+}
+
+exception Infeasible of float
+(** No atom-proportion vector satisfies the constraints at the given
+    tolerance — the unary notion of an inconsistent KB (cf. Poole's
+    partition, Section 5.5). Carries the residual. *)
+
+val feasibility_threshold : float
+
+val solve : Analysis.parts -> Tolerance.t -> solution
+(** @raise Infeasible when the constraints cannot be met.
+    @raise Constraints.Unsupported outside the linear fragment. *)
+
+val mass : solution -> Atoms.Set.t -> float
+(** [Σ_{A ∈ set} p*_A]. *)
+
+val conditional : solution -> num:Atoms.Set.t -> den:Atoms.Set.t -> float option
+(** [mass (num∩den) / mass den], or [None] when the denominator carries
+    no mass (see {!conditional_refined}). *)
+
+val conditional_refined :
+  Analysis.parts ->
+  Tolerance.t ->
+  num:Atoms.Set.t ->
+  den:Atoms.Set.t ->
+  floor:float ->
+  float option
+(** Conditioning on a set whose maxent mass vanishes (e.g. the Nixon
+    overlap under a smallness constraint): re-solve with a tiny floor
+    on the denominator set and read the ratio; the floor cancels in the
+    ratio as it tends to 0. *)
+
+val belief :
+  Analysis.parts ->
+  Tolerance.t ->
+  query_set:Atoms.Set.t ->
+  given_set:Atoms.Set.t ->
+  float option
+(** Degree of belief that an individual whose known facts select
+    [given_set] satisfies [query_set], at one tolerance; falls back to
+    the refined computation on vanishing mass. *)
+
+val conditional_distribution :
+  Analysis.parts -> Tolerance.t -> given:Atoms.Set.t -> (int * float) list option
+(** The distribution of a named individual's atom given its known
+    facts: maxent proportions restricted and renormalised to [given]
+    (with the floored fallback). *)
+
+val consistent_at : Analysis.parts -> Tolerance.t -> bool
+(** Is the KB satisfiable as a constraint system at this tolerance? *)

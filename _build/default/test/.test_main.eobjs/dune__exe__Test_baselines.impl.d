@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Defaults Interval List Me Prop Randworlds Rw_epsilon Rw_logic Rw_prelude Rw_refclass

@@ -1,0 +1,1 @@
+test/test_bignat.ml: Alcotest Bignat Float Gen List QCheck QCheck_alcotest Rw_bignat String

@@ -1,0 +1,1 @@
+test/test_kb_corpus.ml: Alcotest Answer Array Engine Filename Kb_file List Parser Printf Randworlds Rw_logic Rw_unary Sys Tolerance

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest List Parser Pretty Printf QCheck QCheck_alcotest Rw_logic Syntax Unify

@@ -1,0 +1,1 @@
+test/test_logic_tools.ml: Alcotest Filename Kb_file List Parser Pretty QCheck QCheck_alcotest Rw_logic Rw_model Simplify String Syntax Sys Tolerance Validate Vocab World

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Bignat Enum Eval List Parser QCheck QCheck_alcotest Rw_bignat Rw_logic Rw_model Syntax Tolerance Vocab World

@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Array Entropy_opt Float Gen QCheck QCheck_alcotest Rw_numeric Vec

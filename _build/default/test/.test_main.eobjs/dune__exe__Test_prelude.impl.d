@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Float Floats Interval List Listx Logspace QCheck QCheck_alcotest Rw_prelude Stdlib

@@ -1,0 +1,1 @@
+test/test_propensity.ml: Alcotest Analysis Float Fun List Parser Printf Profile Propensity Randworlds Rw_logic Rw_prelude Rw_unary String Tolerance

@@ -1,0 +1,1 @@
+test/test_unary.ml: Alcotest Analysis Atoms Bignat Enum Float List Parser Printf Profile QCheck QCheck_alcotest Rw_bignat Rw_logic Rw_model Rw_unary Solver Syntax Tolerance Vocab

@@ -1,0 +1,164 @@
+(* Tests for rw_bignat: exact arbitrary-precision naturals used by the
+   exact world-counting engines. *)
+
+open Rw_bignat
+
+let bn = Alcotest.testable Bignat.pp Bignat.equal
+
+let test_of_to_int () =
+  Alcotest.(check (option int)) "roundtrip small" (Some 42)
+    (Bignat.to_int_opt (Bignat.of_int 42));
+  Alcotest.(check (option int)) "roundtrip zero" (Some 0)
+    (Bignat.to_int_opt Bignat.zero);
+  Alcotest.(check (option int)) "roundtrip large" (Some 123_456_789_012)
+    (Bignat.to_int_opt (Bignat.of_int 123_456_789_012));
+  Alcotest.check_raises "negative" (Invalid_argument "Bignat.of_int: negative")
+    (fun () -> ignore (Bignat.of_int (-1)))
+
+let test_string_roundtrip () =
+  let s = "123456789012345678901234567890" in
+  Alcotest.(check string) "of/to string" s (Bignat.to_string (Bignat.of_string s));
+  Alcotest.(check string) "zero" "0" (Bignat.to_string Bignat.zero);
+  Alcotest.(check string) "leading zeros normalised" "7"
+    (Bignat.to_string (Bignat.of_string "0000007"))
+
+let test_add_sub () =
+  let a = Bignat.of_string "999999999999999999" in
+  let b = Bignat.of_int 1 in
+  Alcotest.(check string) "carry chain" "1000000000000000000"
+    (Bignat.to_string (Bignat.add a b));
+  Alcotest.check bn "sub inverse" a (Bignat.sub (Bignat.add a b) b);
+  Alcotest.check_raises "negative sub"
+    (Invalid_argument "Bignat.sub: negative result") (fun () ->
+      ignore (Bignat.sub b a))
+
+let test_mul () =
+  let a = Bignat.of_string "123456789123456789" in
+  let b = Bignat.of_string "987654321987654321" in
+  (* Value checked against independent big-integer computation. *)
+  Alcotest.(check string) "big product" "121932631356500531347203169112635269"
+    (Bignat.to_string (Bignat.mul a b));
+  Alcotest.check bn "mul_int matches mul" (Bignat.mul a (Bignat.of_int 12345))
+    (Bignat.mul_int a 12345);
+  Alcotest.check bn "mul zero" Bignat.zero (Bignat.mul a Bignat.zero)
+
+let test_divmod () =
+  let a = Bignat.of_string "1000000000000000000000001" in
+  let q, r = Bignat.divmod_int a 7 in
+  (* a = 7q + r *)
+  Alcotest.check bn "divmod reconstruction" a
+    (Bignat.add (Bignat.mul_int q 7) (Bignat.of_int r));
+  Alcotest.(check bool) "remainder in range" true (r >= 0 && r < 7);
+  Alcotest.check_raises "non-divisible exact division"
+    (Invalid_argument "Bignat.div_exact_int: not divisible") (fun () ->
+      ignore (Bignat.div_exact_int (Bignat.of_int 10) 3))
+
+let test_pow () =
+  Alcotest.(check string) "2^100" "1267650600228229401496703205376"
+    (Bignat.to_string (Bignat.pow_int 2 100));
+  Alcotest.check bn "x^0" Bignat.one (Bignat.pow (Bignat.of_int 99) 0);
+  Alcotest.check bn "0^5" Bignat.zero (Bignat.pow Bignat.zero 5)
+
+let test_compare () =
+  let a = Bignat.of_int 100 and b = Bignat.of_int 200 in
+  Alcotest.(check int) "lt" (-1) (Bignat.compare a b);
+  Alcotest.(check int) "gt" 1 (Bignat.compare b a);
+  Alcotest.(check int) "eq" 0 (Bignat.compare a (Bignat.of_int 100));
+  Alcotest.(check int) "different lengths" (-1)
+    (Bignat.compare a (Bignat.of_string "10000000000000000000"))
+
+let test_binomial () =
+  Alcotest.(check string) "C(10,5)" "252" (Bignat.to_string (Bignat.binomial 10 5));
+  Alcotest.(check string) "C(100,50)"
+    "100891344545564193334812497256"
+    (Bignat.to_string (Bignat.binomial 100 50));
+  Alcotest.check bn "out of range" Bignat.zero (Bignat.binomial 5 9);
+  Alcotest.check bn "C(n,0)" Bignat.one (Bignat.binomial 17 0)
+
+let test_multinomial () =
+  (* 6! / (2! 2! 2!) = 90 *)
+  Alcotest.(check string) "multinomial" "90"
+    (Bignat.to_string (Bignat.multinomial 6 [ 2; 2; 2 ]));
+  Alcotest.(check string) "degenerate" "1" (Bignat.to_string (Bignat.multinomial 5 [ 5 ]));
+  Alcotest.check_raises "parts mismatch"
+    (Invalid_argument "Bignat.multinomial: parts do not sum") (fun () ->
+      ignore (Bignat.multinomial 5 [ 2; 2 ]))
+
+let test_float_and_log () =
+  Alcotest.(check (float 1e-6)) "to_float small" 12345.0
+    (Bignat.to_float (Bignat.of_int 12345));
+  let big = Bignat.pow_int 2 200 in
+  Alcotest.(check (float 1e-6)) "log of 2^200" (200.0 *. Float.log 2.0) (Bignat.log big);
+  Alcotest.(check (float 1e-9)) "ratio 1/4" 0.25
+    (Bignat.ratio (Bignat.pow_int 2 100) (Bignat.pow_int 2 102));
+  Alcotest.(check (float 1e-9)) "ratio zero numerator" 0.0
+    (Bignat.ratio Bignat.zero Bignat.one);
+  Alcotest.(check bool) "ratio zero denominator nan" true
+    (Float.is_nan (Bignat.ratio Bignat.one Bignat.zero))
+
+let test_sum () =
+  Alcotest.check bn "sum" (Bignat.of_int 6)
+    (Bignat.sum [ Bignat.of_int 1; Bignat.of_int 2; Bignat.of_int 3 ])
+
+(* Property tests: agreement with native ints where those fit, and
+   algebraic laws on larger operands. *)
+
+let gen_small = QCheck.int_range 0 1_000_000
+
+let prop_add_matches_int =
+  QCheck.Test.make ~name:"bignat add matches int add" QCheck.(pair gen_small gen_small)
+    (fun (a, b) ->
+      Bignat.to_int_opt (Bignat.add (Bignat.of_int a) (Bignat.of_int b)) = Some (a + b))
+
+let prop_mul_matches_int =
+  QCheck.Test.make ~name:"bignat mul matches int mul" QCheck.(pair gen_small gen_small)
+    (fun (a, b) ->
+      Bignat.to_int_opt (Bignat.mul (Bignat.of_int a) (Bignat.of_int b)) = Some (a * b))
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"bignat decimal roundtrip"
+    QCheck.(list_of_size (Gen.int_range 1 40) (int_range 0 9))
+    (fun digits ->
+      let s = String.concat "" (List.map string_of_int digits) in
+      let canonical =
+        let t = Bignat.of_string s in
+        Bignat.to_string t
+      in
+      (* Canonical form strips leading zeros. *)
+      Bignat.to_string (Bignat.of_string canonical) = canonical)
+
+let prop_mul_distributes =
+  QCheck.Test.make ~name:"mul distributes over add"
+    QCheck.(triple gen_small gen_small gen_small)
+    (fun (a, b, c) ->
+      let a = Bignat.of_int a and b = Bignat.of_int b and c = Bignat.of_int c in
+      Bignat.equal (Bignat.mul a (Bignat.add b c))
+        (Bignat.add (Bignat.mul a b) (Bignat.mul a c)))
+
+let prop_binomial_pascal =
+  QCheck.Test.make ~name:"Pascal identity" QCheck.(pair (int_range 1 60) (int_range 0 60))
+    (fun (n, k) ->
+      QCheck.assume (k <= n);
+      Bignat.equal (Bignat.binomial (n + 1) k)
+        (Bignat.add (Bignat.binomial n k) (Bignat.binomial n (k - 1))))
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ("of_to_int", `Quick, test_of_to_int);
+    ("string_roundtrip", `Quick, test_string_roundtrip);
+    ("add_sub", `Quick, test_add_sub);
+    ("mul", `Quick, test_mul);
+    ("divmod", `Quick, test_divmod);
+    ("pow", `Quick, test_pow);
+    ("compare", `Quick, test_compare);
+    ("binomial", `Quick, test_binomial);
+    ("multinomial", `Quick, test_multinomial);
+    ("float_and_log", `Quick, test_float_and_log);
+    ("sum", `Quick, test_sum);
+    q prop_add_matches_int;
+    q prop_mul_matches_int;
+    q prop_string_roundtrip;
+    q prop_mul_distributes;
+    q prop_binomial_pascal;
+  ]

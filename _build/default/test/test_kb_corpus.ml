@@ -1,0 +1,77 @@
+(* Integration test over the on-disk KB corpus (examples/kb): every
+   file parses, validates, is eventually consistent where expected, and
+   answers its canonical query with the documented value. *)
+
+open Rw_logic
+open Randworlds
+
+(* Locate the corpus from the test's working directory (dune runs tests
+   in _build/default/test). *)
+let corpus_dir () =
+  let candidates = [ "../examples/kb"; "examples/kb"; "../../examples/kb" ] in
+  match List.find_opt Sys.file_exists candidates with
+  | Some d -> d
+  | None -> Alcotest.fail "examples/kb corpus not found"
+
+let load name =
+  match Kb_file.validated_load (Filename.concat (corpus_dir ()) name) with
+  | Ok kb -> kb
+  | Error msg -> Alcotest.failf "%s failed to load: %s" name msg
+
+let parse s =
+  match Parser.formula s with
+  | Ok f -> f
+  | Error msg -> Alcotest.failf "parse %S failed: %s" s msg
+
+let test_all_files_load () =
+  let files = Sys.readdir (corpus_dir ()) in
+  let kbs = Array.to_list files |> List.filter (fun f -> Filename.check_suffix f ".kb") in
+  Alcotest.(check bool) "corpus is non-trivial" true (List.length kbs >= 8);
+  List.iter (fun f -> ignore (load f)) kbs
+
+(* Canonical query per corpus file, with the expected degree of
+   belief. *)
+let canonical =
+  [
+    ("hepatitis.kb", "Hep(Eric)", 0.8);
+    ("tweety.kb", "~Fly(Tweety)", 1.0);
+    ("nixon.kb", "Pac(Nixon)", 16.0 /. 17.0);
+    ("taxonomy.kb", "Swims(Opus)", 1.0);
+    ("tay_sachs.kb", "TS(Eric)", 0.02);
+    ("black_birds.kb", "Black(Clyde)", 0.47);
+    ("broken_arm.kb", "LUsable(Eric) \\/ RUsable(Eric)", 1.0);
+    ("late_risers.kb", "||Rises(Alice,y) | Day(y)||_y ~=_1 1", 1.0);
+  ]
+
+let test_canonical_queries () =
+  List.iter
+    (fun (file, query_src, expected) ->
+      let kb = load file in
+      let a = Engine.degree_of_belief ~kb (parse query_src) in
+      match Answer.point_value a with
+      | Some v ->
+        Alcotest.(check (float 0.01)) (Printf.sprintf "%s: %s" file query_src)
+          expected v
+      | None ->
+        Alcotest.failf "%s: %s gave %a" file query_src Answer.pp a)
+    canonical
+
+let test_corpus_consistency () =
+  (* Every unary corpus KB is eventually consistent. *)
+  List.iter
+    (fun (file, _, _) ->
+      let kb = load file in
+      let parts = Rw_unary.Analysis.analyze kb in
+      if Rw_unary.Analysis.fully_supported parts then
+        Alcotest.(check bool)
+          (Printf.sprintf "%s consistent" file)
+          true
+          (Rw_unary.Solver.consistent_at parts (Tolerance.uniform 1e-3)))
+    canonical
+
+let suite =
+  [
+    ("corpus.files_load", `Quick, test_all_files_load);
+    ("corpus.canonical_queries", `Slow, test_canonical_queries);
+    ("corpus.consistency", `Quick, test_corpus_consistency);
+  ]

@@ -1,0 +1,271 @@
+(* Tests for the logic-side tooling: simplification, negation normal
+   form, well-formedness validation, and KB-file parsing. *)
+
+open Rw_logic
+open Syntax
+
+let formula_eq = Alcotest.testable Pretty.pp_formula Syntax.equal
+
+let parse s =
+  match Parser.formula s with
+  | Ok f -> f
+  | Error msg -> Alcotest.failf "parse %S failed: %s" s msg
+
+(* ------------------------------------------------------------------ *)
+(* Simplify                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_simplify_constants () =
+  Alcotest.check formula_eq "and true" (parse "A") (Simplify.simplify (parse "A /\\ true"));
+  Alcotest.check formula_eq "and false" False (Simplify.simplify (parse "A /\\ false"));
+  Alcotest.check formula_eq "or true" True (Simplify.simplify (parse "A \\/ true"));
+  Alcotest.check formula_eq "or false" (parse "A") (Simplify.simplify (parse "A \\/ false"));
+  Alcotest.check formula_eq "implies false antecedent" True
+    (Simplify.simplify (parse "false => A"));
+  Alcotest.check formula_eq "implies false consequent" (parse "~A")
+    (Simplify.simplify (parse "A => false"));
+  Alcotest.check formula_eq "iff true" (parse "A") (Simplify.simplify (parse "A <=> true"));
+  Alcotest.check formula_eq "iff false" (parse "~A")
+    (Simplify.simplify (parse "A <=> false"));
+  Alcotest.check formula_eq "double negation" (parse "A") (Simplify.simplify (parse "~~A"));
+  Alcotest.check formula_eq "forall true" True
+    (Simplify.simplify (parse "forall x (A(x) \\/ true)"));
+  Alcotest.check formula_eq "exists false" False
+    (Simplify.simplify (parse "exists x (A(x) /\\ false)"))
+
+let test_simplify_proportions () =
+  Alcotest.check formula_eq "numeral folding"
+    (parse "||A(x)||_x ~=_1 0.5")
+    (Simplify.simplify (parse "||A(x)||_x ~=_1 0.2 + 0.3"));
+  Alcotest.check formula_eq "unit product"
+    (parse "||A(x)||_x ~=_1 0.5")
+    (Simplify.simplify (parse "1 * ||A(x)||_x ~=_1 0.5"));
+  Alcotest.check formula_eq "zero sum"
+    (parse "||A(x)||_x ~=_1 0.5")
+    (Simplify.simplify (parse "||A(x)||_x + 0 ~=_1 0.5"));
+  Alcotest.check formula_eq "inner formula simplified"
+    (parse "||A(x)||_x ~=_1 0.5")
+    (Simplify.simplify (parse "||A(x) /\\ true||_x ~=_1 0.5"))
+
+let test_nnf () =
+  Alcotest.check formula_eq "de morgan and"
+    (parse "~A \\/ ~B")
+    (Simplify.nnf (parse "~(A /\\ B)"));
+  Alcotest.check formula_eq "de morgan or"
+    (parse "~A /\\ ~B")
+    (Simplify.nnf (parse "~(A \\/ B)"));
+  Alcotest.check formula_eq "negated forall"
+    (parse "exists x (~A(x))")
+    (Simplify.nnf (parse "~forall x (A(x))"));
+  Alcotest.check formula_eq "negated exists"
+    (parse "forall x (~A(x))")
+    (Simplify.nnf (parse "~exists x (A(x))"));
+  Alcotest.check formula_eq "implies expanded"
+    (parse "~A \\/ B")
+    (Simplify.nnf (parse "A => B"));
+  (* Comparisons are atoms: negation stays. *)
+  Alcotest.check formula_eq "comparison atom"
+    (parse "~(||A(x)||_x ~=_1 0.5)")
+    (Simplify.nnf (parse "~(||A(x)||_x ~=_1 0.5)"))
+
+(* Property: simplification and NNF preserve truth in every world. *)
+let small_world_suite =
+  (* Fixed worlds over {A/1, B/1, R/2, C} at sizes 2 and 3 with varied
+     interpretations. *)
+  let open Rw_model in
+  let vocab =
+    Vocab.make ~preds:[ ("A", 1); ("B", 1); ("R", 2) ] ~funcs:[ ("C", 0) ]
+  in
+  let mk n seed =
+    let w = World.create vocab n in
+    (* Deterministic pseudo-random fill. *)
+    let state = ref seed in
+    let next () =
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      !state
+    in
+    for d = 0 to n - 1 do
+      World.set_pred w "A" [ d ] (next () mod 2 = 0);
+      World.set_pred w "B" [ d ] (next () mod 3 = 0);
+      for e = 0 to n - 1 do
+        World.set_pred w "R" [ d; e ] (next () mod 2 = 1)
+      done
+    done;
+    World.set_constant w "C" (next () mod n);
+    w
+  in
+  [ mk 2 1; mk 2 42; mk 3 7; mk 3 99 ]
+
+let gen_closed_formula =
+  QCheck.Gen.(
+    let atoms =
+      [
+        "A(C)"; "B(C)"; "R(C,C)"; "true"; "false"; "C = C";
+        "||A(x)||_x ~=_1 0.5"; "||A(x) | B(x)||_x <=_1 0.5";
+      ]
+    in
+    let rec gen n st =
+      if n <= 0 then parse (oneofl atoms st)
+      else begin
+        match int_range 0 7 st with
+        | 0 | 1 -> parse (oneofl atoms st)
+        | 2 ->
+          let a = gen (n / 2) st in
+          And (a, gen (n / 2) st)
+        | 3 ->
+          let a = gen (n / 2) st in
+          Or (a, gen (n / 2) st)
+        | 4 ->
+          let a = gen (n / 2) st in
+          Implies (a, gen (n / 2) st)
+        | 5 ->
+          let a = gen (n / 2) st in
+          Iff (a, gen (n / 2) st)
+        | 6 -> Not (gen (n - 1) st)
+        | _ ->
+          let body = Pred ("A", [ Var "y" ]) in
+          if bool st then Forall ("y", body) else Exists ("y", body)
+      end
+    in
+    sized (fun n -> gen (min n 10)))
+
+let prop_simplify_preserves_truth =
+  QCheck.Test.make ~name:"simplify preserves truth in every world" ~count:200
+    (QCheck.make ~print:Pretty.to_string gen_closed_formula)
+    (fun f ->
+      let tol = Tolerance.uniform 0.1 in
+      List.for_all
+        (fun w ->
+          Rw_model.Eval.sat w tol f = Rw_model.Eval.sat w tol (Simplify.simplify f))
+        small_world_suite)
+
+let prop_nnf_preserves_truth =
+  QCheck.Test.make ~name:"nnf preserves truth in every world" ~count:200
+    (QCheck.make ~print:Pretty.to_string gen_closed_formula)
+    (fun f ->
+      let tol = Tolerance.uniform 0.1 in
+      List.for_all
+        (fun w -> Rw_model.Eval.sat w tol f = Rw_model.Eval.sat w tol (Simplify.nnf f))
+        small_world_suite)
+
+let prop_simplify_idempotent =
+  QCheck.Test.make ~name:"simplify idempotent" ~count:200
+    (QCheck.make ~print:Pretty.to_string gen_closed_formula)
+    (fun f ->
+      let s = Simplify.simplify f in
+      Syntax.equal s (Simplify.simplify s))
+
+let prop_simplify_never_grows =
+  QCheck.Test.make ~name:"simplify never grows the formula" ~count:200
+    (QCheck.make ~print:Pretty.to_string gen_closed_formula)
+    (fun f -> Simplify.size (Simplify.simplify f) <= Simplify.size f)
+
+(* ------------------------------------------------------------------ *)
+(* Validate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let has_error f = not (Validate.is_well_formed f)
+
+let test_validate_clean () =
+  Alcotest.(check bool) "clean KB has no errors" true
+    (Validate.is_well_formed
+       (parse "Jaun(Eric) /\\ ||Hep(x) | Jaun(x)||_x ~=_1 0.8"));
+  Alcotest.(check int) "and no warnings" 0
+    (List.length (Validate.check (parse "Jaun(Eric) /\\ ||Hep(x)||_x ~=_1 0.8")))
+
+let test_validate_arity_clash () =
+  Alcotest.(check bool) "arity clash" true (has_error (parse "P(C) /\\ P(C, C)"));
+  Alcotest.(check bool) "pred as function" true (has_error (parse "P(P(C))"))
+
+let test_validate_subscripts () =
+  Alcotest.(check bool) "repeated subscript variable" true
+    (has_error (parse "||R(x,x)||_{x,x} ~=_1 0.5"))
+
+let test_validate_warnings () =
+  let warnings f =
+    List.filter (fun i -> i.Validate.severity = `Warning) (Validate.check f)
+  in
+  Alcotest.(check bool) "out-of-range numeral warns" true
+    (warnings (parse "||A(x)||_x <=_1 1.5") <> []);
+  Alcotest.(check bool) "free variable warns" true
+    (warnings (parse "A(y)") <> []);
+  Alcotest.(check bool) "shadowing warns" true
+    (warnings (parse "forall x (forall x (A(x)))") <> []);
+  (* Warnings are not errors. *)
+  Alcotest.(check bool) "still well-formed" true
+    (Validate.is_well_formed (parse "||A(x)||_x <=_1 1.5"))
+
+(* ------------------------------------------------------------------ *)
+(* Kb_file                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_kb_file_of_string () =
+  let src = "# a comment\n\nJaun(Eric)\n||Hep(x) | Jaun(x)||_x ~=_1 0.8\n" in
+  (match Kb_file.of_string src with
+  | Ok f ->
+    Alcotest.check formula_eq "conjunction of lines"
+      (parse "Jaun(Eric) /\\ ||Hep(x) | Jaun(x)||_x ~=_1 0.8")
+      f
+  | Error _ -> Alcotest.fail "expected success");
+  (match Kb_file.of_string "" with
+  | Ok f -> Alcotest.check formula_eq "empty file is True" True f
+  | Error _ -> Alcotest.fail "empty file should parse");
+  match Kb_file.of_string "Jaun(Eric)\nnot a formula (\nP(C" with
+  | Ok _ -> Alcotest.fail "expected failure"
+  | Error errs ->
+    Alcotest.(check int) "both bad lines reported" 2 (List.length errs);
+    Alcotest.(check (list int)) "line numbers" [ 2; 3 ]
+      (List.map (fun e -> e.Kb_file.line) errs)
+
+let test_kb_file_load () =
+  let path = Filename.temp_file "rwkb" ".kb" in
+  let oc = open_out path in
+  output_string oc "# tweety\n||Fly(x) | Bird(x)||_x ~=_1 1\nBird(Tweety)\n";
+  close_out oc;
+  (match Kb_file.load path with
+  | Ok f ->
+    Alcotest.check formula_eq "loaded"
+      (parse "||Fly(x) | Bird(x)||_x ~=_1 1 /\\ Bird(Tweety)")
+      f
+  | Error _ -> Alcotest.fail "expected success");
+  (match Kb_file.validated_load path with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "validated_load failed: %s" e);
+  Sys.remove path
+
+(* Minimal substring check without extra dependencies. *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_kb_file_validated_rejects () =
+  let path = Filename.temp_file "rwkb" ".kb" in
+  let oc = open_out path in
+  output_string oc "P(C)\nP(C, C)\n";
+  (* arity clash *)
+  close_out oc;
+  (match Kb_file.validated_load path with
+  | Ok _ -> Alcotest.fail "expected validation failure"
+  | Error msg ->
+    Alcotest.(check bool) "mentions the clash" true (contains msg "arities"));
+  Sys.remove path
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ("simplify.constants", `Quick, test_simplify_constants);
+    ("simplify.proportions", `Quick, test_simplify_proportions);
+    ("simplify.nnf", `Quick, test_nnf);
+    q prop_simplify_preserves_truth;
+    q prop_nnf_preserves_truth;
+    q prop_simplify_idempotent;
+    q prop_simplify_never_grows;
+    ("validate.clean", `Quick, test_validate_clean);
+    ("validate.arity_clash", `Quick, test_validate_arity_clash);
+    ("validate.subscripts", `Quick, test_validate_subscripts);
+    ("validate.warnings", `Quick, test_validate_warnings);
+    ("kb_file.of_string", `Quick, test_kb_file_of_string);
+    ("kb_file.load", `Quick, test_kb_file_load);
+    ("kb_file.validated", `Quick, test_kb_file_validated_rejects);
+  ]

@@ -1,0 +1,18 @@
+(* Aggregated test runner for the randworlds reproduction. *)
+
+let () =
+  Alcotest.run "randworlds"
+    [
+      ("prelude", Test_prelude.suite);
+      ("bignat", Test_bignat.suite);
+      ("numeric", Test_numeric.suite);
+      ("logic", Test_logic.suite);
+      ("logic_tools", Test_logic_tools.suite);
+      ("model", Test_model.suite);
+      ("unary", Test_unary.suite);
+      ("randworlds", Test_randworlds.suite);
+      ("baselines", Test_baselines.suite);
+      ("propensity", Test_propensity.suite);
+      ("cross_engine", Test_cross_engine.suite);
+      ("kb_corpus", Test_kb_corpus.suite);
+    ]

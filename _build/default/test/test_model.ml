@@ -1,0 +1,320 @@
+(* Tests for rw_model: world representation, L≈ evaluation semantics,
+   exhaustive world enumeration. *)
+
+open Rw_logic
+open Rw_model
+open Rw_bignat
+
+let parse s =
+  match Parser.formula s with
+  | Ok f -> f
+  | Error msg -> Alcotest.failf "parse %S failed: %s" s msg
+
+let tol = Tolerance.uniform 0.05
+
+(* A small fixed world used by many tests:
+   domain {0,1,2,3,4}; Bird = {0,1,2,3}; Fly = {0,1,2}; Penguin = {3};
+   Tweety = 3; Eric = 0. *)
+let zoo_vocab =
+  Vocab.make
+    ~preds:[ ("Bird", 1); ("Fly", 1); ("Penguin", 1) ]
+    ~funcs:[ ("Tweety", 0); ("Eric", 0) ]
+
+let zoo_world () =
+  let w = World.create zoo_vocab 5 in
+  List.iter (fun d -> World.set_pred w "Bird" [ d ] true) [ 0; 1; 2; 3 ];
+  List.iter (fun d -> World.set_pred w "Fly" [ d ] true) [ 0; 1; 2 ];
+  World.set_pred w "Penguin" [ 3 ] true;
+  World.set_constant w "Tweety" 3;
+  World.set_constant w "Eric" 0;
+  w
+
+(* ------------------------------------------------------------------ *)
+(* World representation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_world_basic () =
+  let w = zoo_world () in
+  Alcotest.(check bool) "bird 0" true (World.pred_holds w "Bird" [ 0 ]);
+  Alcotest.(check bool) "bird 4" false (World.pred_holds w "Bird" [ 4 ]);
+  Alcotest.(check int) "tweety" 3 (World.constant w "Tweety");
+  Alcotest.(check int) "count bird" 4 (World.count_pred w "Bird");
+  Alcotest.(check int) "table size" 25 (World.table_size 5 2)
+
+let test_world_binary_pred () =
+  let v = Vocab.make ~preds:[ ("R", 2) ] ~funcs:[] in
+  let w = World.create v 3 in
+  World.set_pred w "R" [ 1; 2 ] true;
+  Alcotest.(check bool) "set (1,2)" true (World.pred_holds w "R" [ 1; 2 ]);
+  Alcotest.(check bool) "asymmetric" false (World.pred_holds w "R" [ 2; 1 ]);
+  Alcotest.(check bool) "others untouched" false (World.pred_holds w "R" [ 0; 0 ])
+
+let test_world_copy_isolated () =
+  let w = zoo_world () in
+  let w' = World.copy w in
+  World.set_pred w' "Bird" [ 4 ] true;
+  Alcotest.(check bool) "copy changed" true (World.pred_holds w' "Bird" [ 4 ]);
+  Alcotest.(check bool) "original unchanged" false (World.pred_holds w "Bird" [ 4 ])
+
+let test_world_errors () =
+  let w = zoo_world () in
+  Alcotest.(check bool) "unknown predicate raises" true
+    (try
+       ignore (World.pred_holds w "Nope" [ 0 ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "arity mismatch raises" true
+    (try
+       ignore (World.pred_holds w "Bird" [ 0; 1 ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "function value out of domain" true
+    (try
+       World.set_constant w "Eric" 99;
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Formula evaluation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sat_zoo s = Eval.sat (zoo_world ()) tol (parse s)
+
+let test_eval_atoms () =
+  Alcotest.(check bool) "constant atom" true (sat_zoo "Bird(Tweety)");
+  Alcotest.(check bool) "negative atom" false (sat_zoo "Fly(Tweety)");
+  Alcotest.(check bool) "equality false" false (sat_zoo "Tweety = Eric");
+  Alcotest.(check bool) "equality true" true (sat_zoo "Eric = Eric");
+  Alcotest.(check bool) "true" true (sat_zoo "true");
+  Alcotest.(check bool) "false" false (sat_zoo "false")
+
+let test_eval_connectives () =
+  Alcotest.(check bool) "and" true (sat_zoo "Bird(Tweety) /\\ Penguin(Tweety)");
+  Alcotest.(check bool) "or" true (sat_zoo "Fly(Tweety) \\/ Bird(Tweety)");
+  Alcotest.(check bool) "implies vacuous" true (sat_zoo "Fly(Tweety) => false");
+  Alcotest.(check bool) "iff" true (sat_zoo "Fly(Tweety) <=> Penguin(Eric)");
+  Alcotest.(check bool) "not" true (sat_zoo "~Fly(Tweety)")
+
+let test_eval_quantifiers () =
+  Alcotest.(check bool) "forall penguins are birds" true
+    (sat_zoo "forall x (Penguin(x) => Bird(x))");
+  Alcotest.(check bool) "not all birds fly" false
+    (sat_zoo "forall x (Bird(x) => Fly(x))");
+  Alcotest.(check bool) "exists non-bird" true (sat_zoo "exists x (~Bird(x))");
+  Alcotest.(check bool) "no flying penguin" false
+    (sat_zoo "exists x (Penguin(x) /\\ Fly(x))")
+
+let test_eval_proportions () =
+  (* ||Bird(x)||_x = 4/5 = 0.8 exactly; tolerance 0.05. *)
+  Alcotest.(check bool) "unconditional proportion" true (sat_zoo "||Bird(x)||_x ~=_1 0.8");
+  Alcotest.(check bool) "tolerance respected" false (sat_zoo "||Bird(x)||_x ~=_1 0.7");
+  (* ||Fly | Bird|| = 3/4. *)
+  Alcotest.(check bool) "conditional proportion" true
+    (sat_zoo "||Fly(x) | Bird(x)||_x ~=_1 0.75");
+  Alcotest.(check bool) "approx le holds" true (sat_zoo "||Fly(x) | Bird(x)||_x <=_1 0.8");
+  Alcotest.(check bool) "approx le respects tolerance" true
+    (sat_zoo "||Fly(x) | Bird(x)||_x <=_1 0.71");
+  Alcotest.(check bool) "approx le fails beyond tolerance" false
+    (sat_zoo "||Fly(x) | Bird(x)||_x <=_1 0.6")
+
+let test_eval_empty_conditioning () =
+  (* No one satisfies Fly /\ Penguin: conditioning on it is vacuously
+     true whatever the compared value (Section 4.1 convention). *)
+  Alcotest.(check bool) "undefined conditional is true" true
+    (sat_zoo "||Bird(x) | Fly(x) /\\ Penguin(x)||_x ~=_1 0.123");
+  Alcotest.(check bool) "undefined under arithmetic too" true
+    (sat_zoo "||Bird(x) | Fly(x) /\\ Penguin(x)||_x + 0.5 ~=_1 0.99")
+
+let test_eval_prop_arithmetic () =
+  (* 0.8 * 0.75 = 0.6 = ||Fly||. *)
+  Alcotest.(check bool) "product rule" true
+    (sat_zoo "||Bird(x)||_x * ||Fly(x) | Bird(x)||_x ~=_1 ||Fly(x)||_x");
+  Alcotest.(check bool) "sum" true
+    (sat_zoo "||Fly(x)||_x + ||Penguin(x)||_x ~=_1 0.8")
+
+let test_eval_multivar_proportion () =
+  let v = Vocab.make ~preds:[ ("R", 2) ] ~funcs:[] in
+  let w = World.create v 3 in
+  World.set_pred w "R" [ 0; 1 ] true;
+  World.set_pred w "R" [ 1; 2 ] true;
+  World.set_pred w "R" [ 2; 0 ] true;
+  (* 3 of 9 pairs. *)
+  Alcotest.(check bool) "pair proportion" true
+    (Eval.sat w tol (parse "||R(x,y)||_{x,y} ~=_1 0.3333333"));
+  (* Fixing the outer variable: proportion over x of "exists relation
+     to y" — nested binding works. *)
+  Alcotest.(check bool) "nested quantifier in proportion" true
+    (Eval.sat w tol (parse "||exists y (R(x,y))||_x ~=_1 1"))
+
+let test_eval_nested_proportions () =
+  (* ||  ||R(x,y)||_y ~=_2 0.3333333  ||_x : for each x the inner
+     proportion is 1/3 (each element relates to exactly one), so the
+     outer proportion is 1. *)
+  let v = Vocab.make ~preds:[ ("R", 2) ] ~funcs:[] in
+  let w = World.create v 3 in
+  World.set_pred w "R" [ 0; 1 ] true;
+  World.set_pred w "R" [ 1; 2 ] true;
+  World.set_pred w "R" [ 2; 0 ] true;
+  Alcotest.(check bool) "nested proportion" true
+    (Eval.sat w tol (parse "|| ||R(x,y)||_y ~=_2 0.3333333 ||_x ~=_1 1"))
+
+let test_eval_tolerance_indices () =
+  let w = zoo_world () in
+  let tol2 = Tolerance.make ~scale:0.05 ~weights:[ (1, 1.0); (2, 10.0) ] () in
+  (* τ_1 = 0.05, τ_2 = 0.5: index 2 accepts a looser match. *)
+  Alcotest.(check bool) "tight index rejects" false
+    (Eval.sat w tol2 (parse "||Bird(x)||_x ~=_1 0.5"));
+  Alcotest.(check bool) "loose index accepts" true
+    (Eval.sat w tol2 (parse "||Bird(x)||_x ~=_2 0.5"))
+
+let test_eval_free_variable_error () =
+  Alcotest.(check bool) "open formula rejected" true
+    (try
+       ignore (Eval.sat (zoo_world ()) tol (parse "Bird(x)"));
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_count_worlds () =
+  let v1 = Vocab.make ~preds:[ ("P", 1) ] ~funcs:[] in
+  Alcotest.(check string) "2^3 worlds" "8" (Bignat.to_string (Enum.count_worlds v1 3));
+  let v2 = Vocab.make ~preds:[ ("P", 1) ] ~funcs:[ ("C", 0) ] in
+  Alcotest.(check string) "2^3 * 3" "24" (Bignat.to_string (Enum.count_worlds v2 3));
+  let v3 = Vocab.make ~preds:[ ("R", 2) ] ~funcs:[] in
+  Alcotest.(check string) "2^9" "512" (Bignat.to_string (Enum.count_worlds v3 3))
+
+let test_iter_matches_count () =
+  let v = Vocab.make ~preds:[ ("P", 1); ("Q", 1) ] ~funcs:[ ("C", 0) ] in
+  let n = ref 0 in
+  Enum.iter_worlds v 3 (fun _ -> incr n);
+  Alcotest.(check string) "iteration count" (Bignat.to_string (Enum.count_worlds v 3))
+    (string_of_int !n)
+
+let test_count_sat_basic () =
+  let v = Vocab.make ~preds:[ ("P", 1) ] ~funcs:[ ("C", 0) ] in
+  (* All worlds satisfy true. *)
+  Alcotest.(check string) "true" "24" (Bignat.to_string (Enum.count_sat v 3 tol (parse "true")));
+  Alcotest.(check string) "false" "0" (Bignat.to_string (Enum.count_sat v 3 tol (parse "false")));
+  (* P(C): by symmetry exactly half of all worlds. *)
+  Alcotest.(check string) "P(C) in half the worlds" "12"
+    (Bignat.to_string (Enum.count_sat v 3 tol (parse "P(C)")))
+
+let test_count_sat_conditional_ratio () =
+  (* The defining ratio: Pr_N(P(C) | ||P(x)||_x ~= 2/3). With N = 3 and
+     tolerance 0.05 the statistical constraint forces exactly 2 of 3
+     elements in P; C is uniform, so the ratio must be 2/3. *)
+  let v = Vocab.make ~preds:[ ("P", 1) ] ~funcs:[ ("C", 0) ] in
+  let kb = parse "||P(x)||_x ~=_1 0.6666667" in
+  let phi_and_kb = Syntax.And (parse "P(C)", kb) in
+  let num, den = Enum.count_sat2 v 3 tol phi_and_kb kb in
+  Alcotest.(check (float 1e-9)) "ratio 2/3" (2.0 /. 3.0) (Bignat.ratio num den)
+
+let test_too_many_worlds_guard () =
+  let v = Vocab.make ~preds:[ ("R", 2) ] ~funcs:[] in
+  Alcotest.(check bool) "guard raises" true
+    (try
+       Enum.iter_worlds ~max_log10_worlds:4.0 v 5 (fun _ -> ());
+       false
+     with Enum.Too_many_worlds _ -> true)
+
+let test_find_world () =
+  let v = Vocab.make ~preds:[ ("P", 1) ] ~funcs:[ ("C", 0) ] in
+  (match Enum.find_world v 3 tol (parse "P(C) /\\ ||P(x)||_x ~=_1 0.3333333") with
+  | Some w ->
+    Alcotest.(check int) "exactly one P" 1 (World.count_pred w "P");
+    Alcotest.(check bool) "C in P" true (World.pred_holds w "P" [ World.constant w "C" ])
+  | None -> Alcotest.fail "expected a witness world");
+  Alcotest.(check bool) "unsat has no witness" true
+    (Enum.find_world v 3 tol (parse "P(C) /\\ ~P(C)") = None)
+
+let test_function_symbols () =
+  (* Non-constant function symbols: interpretation tables, evaluation,
+     enumeration counts. *)
+  let v = Vocab.make ~preds:[ ("P", 1) ] ~funcs:[ ("F", 1); ("C", 0) ] in
+  let w = World.create v 3 in
+  World.set_func w "F" [ 0 ] 1;
+  World.set_func w "F" [ 1 ] 2;
+  World.set_func w "F" [ 2 ] 0;
+  World.set_constant w "C" 0;
+  World.set_pred w "P" [ 2 ] true;
+  (* F(F(C)) = F(1) = 2 and P(2) holds. *)
+  Alcotest.(check bool) "nested application" true
+    (Eval.sat w tol (parse "P(F(F(C)))"));
+  Alcotest.(check bool) "plain application" false (Eval.sat w tol (parse "P(F(C))"));
+  (* Counting: 2^3 predicate tables × 3^3 function tables × 3 constants. *)
+  Alcotest.(check string) "world count" "648"
+    (Bignat.to_string (Enum.count_worlds v 3));
+  (* ∀x P(F(x)) — by symmetry, satisfied in a computable fraction;
+     cross-check the two counting paths. *)
+  let f = parse "forall x (P(F(x)))" in
+  let total = ref 0 and sat_count = ref 0 in
+  Enum.iter_worlds v 3 (fun w ->
+      incr total;
+      if Eval.sat w tol f then incr sat_count);
+  Alcotest.(check string) "count_sat agrees with manual loop"
+    (string_of_int !sat_count)
+    (Bignat.to_string (Enum.count_sat v 3 tol f))
+
+let test_function_proportions () =
+  (* Proportions over terms with functions: ||P(F(x))||_x. *)
+  let v = Vocab.make ~preds:[ ("P", 1) ] ~funcs:[ ("F", 1) ] in
+  let w = World.create v 4 in
+  (* F maps everything to 0; P(0) true. *)
+  World.set_pred w "P" [ 0 ] true;
+  Alcotest.(check bool) "all F-images satisfy P" true
+    (Eval.sat w tol (parse "||P(F(x))||_x ~=_1 1"));
+  World.set_pred w "P" [ 0 ] false;
+  Alcotest.(check bool) "none do" true
+    (Eval.sat w tol (parse "||P(F(x))||_x ~=_1 0"))
+
+(* Property: for closed formulas without proportions, enumeration count
+   of f plus count of ~f equals the total world count. *)
+let prop_complementary_counts =
+  QCheck.Test.make ~name:"count f + count ~f = total" ~count:30
+    (QCheck.make
+       (QCheck.Gen.oneofl
+          [
+            "P(C)";
+            "P(C) /\\ Q(C)";
+            "P(C) \\/ Q(C)";
+            "forall x (P(x) => Q(x))";
+            "exists x (P(x) /\\ ~Q(x))";
+            "||P(x)||_x ~=_1 0.5";
+            "||P(x) | Q(x)||_x <=_1 0.5";
+          ]))
+    (fun src ->
+      let f = parse src in
+      let v = Vocab.make ~preds:[ ("P", 1); ("Q", 1) ] ~funcs:[ ("C", 0) ] in
+      let cf, cnf = Enum.count_sat2 v 3 tol f (Rw_logic.Syntax.Not f) in
+      Bignat.equal (Bignat.add cf cnf) (Enum.count_worlds v 3))
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ("world.basic", `Quick, test_world_basic);
+    ("world.binary_pred", `Quick, test_world_binary_pred);
+    ("world.copy", `Quick, test_world_copy_isolated);
+    ("world.errors", `Quick, test_world_errors);
+    ("eval.atoms", `Quick, test_eval_atoms);
+    ("eval.connectives", `Quick, test_eval_connectives);
+    ("eval.quantifiers", `Quick, test_eval_quantifiers);
+    ("eval.proportions", `Quick, test_eval_proportions);
+    ("eval.empty_conditioning", `Quick, test_eval_empty_conditioning);
+    ("eval.prop_arithmetic", `Quick, test_eval_prop_arithmetic);
+    ("eval.multivar", `Quick, test_eval_multivar_proportion);
+    ("eval.nested", `Quick, test_eval_nested_proportions);
+    ("eval.tolerance_indices", `Quick, test_eval_tolerance_indices);
+    ("eval.free_var_error", `Quick, test_eval_free_variable_error);
+    ("enum.count_worlds", `Quick, test_count_worlds);
+    ("enum.iter_matches_count", `Quick, test_iter_matches_count);
+    ("enum.count_sat", `Quick, test_count_sat_basic);
+    ("enum.conditional_ratio", `Quick, test_count_sat_conditional_ratio);
+    ("enum.guard", `Quick, test_too_many_worlds_guard);
+    ("enum.find_world", `Quick, test_find_world);
+    ("eval.function_symbols", `Quick, test_function_symbols);
+    ("eval.function_proportions", `Quick, test_function_proportions);
+    q prop_complementary_counts;
+  ]

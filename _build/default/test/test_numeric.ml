@@ -1,0 +1,170 @@
+(* Tests for rw_numeric: vector ops, simplex projection, constrained
+   entropy maximisation. *)
+
+open Rw_numeric
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_loose = Alcotest.(check (float 1e-5))
+
+let test_vec_basic () =
+  let a = [| 1.0; 2.0; 3.0 |] and b = [| 4.0; 5.0; 6.0 |] in
+  check_float "dot" 32.0 (Vec.dot a b);
+  check_float "sum" 6.0 (Vec.sum a);
+  check_float "norm_inf" 3.0 (Vec.norm_inf a);
+  check_float "norm2" (Float.sqrt 14.0) (Vec.norm2 a);
+  Alcotest.(check (array (float 1e-12))) "add" [| 5.0; 7.0; 9.0 |] (Vec.add a b);
+  Alcotest.(check (array (float 1e-12))) "sub" [| 3.0; 3.0; 3.0 |] (Vec.sub b a);
+  Alcotest.(check (array (float 1e-12))) "scale" [| 2.0; 4.0; 6.0 |] (Vec.scale 2.0 a);
+  Alcotest.(check (array (float 1e-12))) "axpy" [| 6.0; 9.0; 12.0 |] (Vec.axpy 2.0 a b);
+  check_float "linf_dist" 3.0 (Vec.linf_dist a b)
+
+let test_vec_errors () =
+  Alcotest.check_raises "dot mismatch" (Invalid_argument "Vec.dot: dimension mismatch")
+    (fun () -> ignore (Vec.dot [| 1.0 |] [| 1.0; 2.0 |]));
+  Alcotest.check_raises "map2 mismatch" (Invalid_argument "Vec.map2: dimension mismatch")
+    (fun () -> ignore (Vec.add [| 1.0 |] [| 1.0; 2.0 |]))
+
+let test_entropy () =
+  check_float "uniform over 4" (Float.log 4.0) (Vec.entropy [| 0.25; 0.25; 0.25; 0.25 |]);
+  check_float "point mass" 0.0 (Vec.entropy [| 1.0; 0.0 |]);
+  check_float "binary" (-.(0.3 *. Float.log 0.3) -. (0.7 *. Float.log 0.7))
+    (Vec.entropy [| 0.3; 0.7 |])
+
+let test_project_simplex () =
+  (* Already on the simplex: unchanged. *)
+  let p = [| 0.2; 0.3; 0.5 |] in
+  Alcotest.(check (array (float 1e-9))) "fixed point" p (Vec.project_simplex p);
+  (* Projection of a symmetric point is uniform. *)
+  Alcotest.(check (array (float 1e-9))) "uniform" [| 0.5; 0.5 |]
+    (Vec.project_simplex [| 3.0; 3.0 |]);
+  (* Result is always a distribution. *)
+  let q = Vec.project_simplex [| -5.0; 0.1; 2.7; 0.0 |] in
+  check_float "sums to one" 1.0 (Vec.sum q);
+  Array.iter (fun x -> Alcotest.(check bool) "non-negative" true (x >= 0.0)) q
+
+let prop_projection_is_distribution =
+  QCheck.Test.make ~name:"simplex projection yields a distribution"
+    QCheck.(list_of_size (Gen.int_range 1 8) (float_range (-10.0) 10.0))
+    (fun xs ->
+      let q = Vec.project_simplex (Array.of_list xs) in
+      Float.abs (Vec.sum q -. 1.0) < 1e-9 && Array.for_all (fun x -> x >= 0.0) q)
+
+let prop_projection_idempotent =
+  QCheck.Test.make ~name:"simplex projection idempotent"
+    QCheck.(list_of_size (Gen.int_range 1 8) (float_range (-10.0) 10.0))
+    (fun xs ->
+      let q = Vec.project_simplex (Array.of_list xs) in
+      Vec.linf_dist q (Vec.project_simplex q) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Entropy optimisation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_maxent_unconstrained () =
+  (* With no constraints the maximum-entropy point is uniform. *)
+  let r = Entropy_opt.solve ~dim:4 [] in
+  Array.iter (fun x -> check_loose "uniform" 0.25 x) r.point;
+  check_loose "entropy" (Float.log 4.0) r.entropy
+
+let test_maxent_equality () =
+  (* Fix p0 = 0.5 over 3 atoms: remaining mass splits evenly. *)
+  let c = Entropy_opt.Eq ([| 1.0; 0.0; 0.0 |], 0.5) in
+  let r = Entropy_opt.solve ~dim:3 [ c ] in
+  check_loose "pinned" 0.5 r.point.(0);
+  check_loose "rest even 1" 0.25 r.point.(1);
+  check_loose "rest even 2" 0.25 r.point.(2);
+  Alcotest.(check bool) "feasible" true (r.max_violation < 1e-7)
+
+let test_maxent_inequality_inactive () =
+  (* p0 <= 0.9 does not bind: solution stays uniform. *)
+  let c = Entropy_opt.Le ([| 1.0; 0.0 |], 0.9) in
+  let r = Entropy_opt.solve ~dim:2 [ c ] in
+  check_loose "uniform 0" 0.5 r.point.(0);
+  check_loose "uniform 1" 0.5 r.point.(1)
+
+let test_maxent_inequality_active () =
+  (* p0 <= 0.2 binds: p = (0.2, 0.8) over two atoms. *)
+  let c = Entropy_opt.Le ([| 1.0; 0.0 |], 0.2) in
+  let r = Entropy_opt.solve ~dim:2 [ c ] in
+  check_loose "bound hit" 0.2 r.point.(0);
+  check_loose "complement" 0.8 r.point.(1)
+
+let test_maxent_section6_example () =
+  (* The worked example of Section 6: atoms A1..A4 over P1, P2 with
+     KB = forall x P1(x)  /\  ||P1 & P2||_x <= 0.3.
+     Constraints: p3 = p4 = 0, p1 <= 0.3. Maxent point (0.3, 0.7, 0, 0). *)
+  let cs =
+    [
+      Entropy_opt.Eq ([| 0.0; 0.0; 1.0; 0.0 |], 0.0);
+      Entropy_opt.Eq ([| 0.0; 0.0; 0.0; 1.0 |], 0.0);
+      Entropy_opt.Le ([| 1.0; 0.0; 0.0; 0.0 |], 0.3);
+    ]
+  in
+  let r = Entropy_opt.solve ~dim:4 cs in
+  check_loose "p1" 0.3 r.point.(0);
+  check_loose "p2" 0.7 r.point.(1);
+  check_loose "p3" 0.0 r.point.(2);
+  check_loose "p4" 0.0 r.point.(3)
+
+let test_maxent_conditional_constraint () =
+  (* ||P2 | P1|| = 0.8 with ||P1|| = 0.5:
+     atoms (P1&P2, P1&~P2, ~P1&P2, ~P1&~P2);
+     p1 + p2 = 0.5 and p1 = 0.8 * 0.5 = 0.4 via linearised conditional
+     p1 - 0.8 (p1 + p2) = 0. Remaining mass splits evenly. *)
+  let cs =
+    [
+      Entropy_opt.Eq ([| 1.0; 1.0; 0.0; 0.0 |], 0.5);
+      Entropy_opt.Eq ([| 1.0 -. 0.8; -0.8; 0.0; 0.0 |], 0.0);
+    ]
+  in
+  let r = Entropy_opt.solve ~dim:4 cs in
+  check_loose "p1" 0.4 r.point.(0);
+  check_loose "p2" 0.1 r.point.(1);
+  check_loose "p3" 0.25 r.point.(2);
+  check_loose "p4" 0.25 r.point.(3)
+
+let test_maxent_infeasible () =
+  let cs =
+    [ Entropy_opt.Eq ([| 1.0; 0.0 |], 0.9); Entropy_opt.Eq ([| 1.0; 0.0 |], 0.1) ]
+  in
+  Alcotest.(check bool) "solve_feasible raises" true
+    (try
+       ignore (Entropy_opt.solve_feasible ~dim:2 cs);
+       false
+     with Failure _ -> true)
+
+let test_violation_reporting () =
+  let c = Entropy_opt.Eq ([| 1.0; 0.0 |], 0.75) in
+  check_float "eq violation" 0.25 (Entropy_opt.violation c [| 0.5; 0.5 |]);
+  let c2 = Entropy_opt.Le ([| 1.0; 0.0 |], 0.25) in
+  check_float "le violation" 0.25 (Entropy_opt.violation c2 [| 0.5; 0.5 |]);
+  check_float "le satisfied" 0.0 (Entropy_opt.violation c2 [| 0.1; 0.9 |])
+
+let prop_maxent_entropy_bounded =
+  QCheck.Test.make ~name:"maxent entropy never exceeds log dim" ~count:30
+    QCheck.(pair (int_range 2 6) (float_range 0.05 0.95))
+    (fun (dim, bound) ->
+      let coeffs = Array.init dim (fun i -> if i = 0 then 1.0 else 0.0) in
+      let r = Entropy_opt.solve ~dim [ Entropy_opt.Le (coeffs, bound) ] in
+      r.entropy <= Float.log (float_of_int dim) +. 1e-6
+      && r.max_violation < 1e-6)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ("vec.basic", `Quick, test_vec_basic);
+    ("vec.errors", `Quick, test_vec_errors);
+    ("vec.entropy", `Quick, test_entropy);
+    ("vec.project_simplex", `Quick, test_project_simplex);
+    ("maxent.unconstrained", `Quick, test_maxent_unconstrained);
+    ("maxent.equality", `Quick, test_maxent_equality);
+    ("maxent.le_inactive", `Quick, test_maxent_inequality_inactive);
+    ("maxent.le_active", `Quick, test_maxent_inequality_active);
+    ("maxent.section6_example", `Quick, test_maxent_section6_example);
+    ("maxent.conditional", `Quick, test_maxent_conditional_constraint);
+    ("maxent.infeasible", `Quick, test_maxent_infeasible);
+    ("maxent.violation", `Quick, test_violation_reporting);
+    q prop_projection_is_distribution;
+    q prop_projection_idempotent;
+    q prop_maxent_entropy_bounded;
+  ]
