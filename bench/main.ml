@@ -288,6 +288,103 @@ let table_limits_of_method () =
     Answer.pp a
 
 (* ------------------------------------------------------------------ *)
+(* Table 9: the Monte-Carlo engine — agreement and reach              *)
+(* ------------------------------------------------------------------ *)
+
+let table_mc () =
+  section "Table 9 — Monte-Carlo engine: agreement with enum, then beyond it";
+  let tol = Tolerance.uniform 0.1 in
+  let mc_cell ~vocab ~n ~kb query =
+    match Mc_engine.pr_n ~vocab ~n ~tol ~kb query with
+    | Rw_mc.Estimator.Estimate { mean; ci; stats } ->
+      ( Fmt.str "%.4f ∈ %a" mean Rw_prelude.Interval.pp ci,
+        Some (ci, stats) )
+    | Rw_mc.Estimator.Starved stats ->
+      (Fmt.str "starved (%a)" Rw_mc.Estimator.pp_stats stats, None)
+  in
+  (* Where enumeration is exact, sampling must agree within its own
+     interval — the statistical cross-check, run at bench scale. *)
+  Fmt.pr "  exact-vs-sampled (same N, τ=0.1):@.";
+  Fmt.pr "  %-34s %3s %10s   %-28s %-6s@." "kb" "N" "enum" "mc (95% CI)" "agree";
+  let hep_kb = parse "Jaun(Eric) /\\ ||Hep(x) | Jaun(x)||_x ~=_1 0.8" in
+  let vocab3 = Vocab.make ~preds:[] ~funcs:[ ("C1", 0); ("C2", 0); ("C3", 0) ] in
+  let collision = parse "(C1 = C2) \\/ (C2 = C3) \\/ (C1 = C3)" in
+  let lottery_vocab = Vocab.make ~preds:[ ("Winner", 1) ] ~funcs:[ ("C", 0) ] in
+  let lottery_kb = Syntax.exists_unique "x" (parse "Winner(x)") in
+  List.iter
+    (fun (label, vocab, n, kb, query) ->
+      match Enum_engine.pr_n ~vocab ~n ~tol ~kb query with
+      | None -> Fmt.pr "  %-34s %3d %10s@." label n "(no worlds)"
+      | Some exact ->
+        let cell, est = mc_cell ~vocab ~n ~kb query in
+        let agree =
+          match est with
+          | Some (ci, _) ->
+            if Rw_prelude.Interval.mem ~eps:1e-9 exact ci then "yes" else "NO"
+          | None -> "NO"
+        in
+        Fmt.pr "  %-34s %3d %10.4f   %-28s %-6s@." label n exact cell agree)
+    [
+      ( "hepatitis",
+        Vocab.of_formulas [ hep_kb ],
+        5,
+        hep_kb,
+        parse "Hep(Eric)" );
+      ("forced collision", vocab3, 8, collision, parse "C1 = C2");
+      ("lottery ∃!x Winner", lottery_vocab, 8, lottery_kb, parse "Winner(C)");
+      ("unique names", vocab3, 8, Syntax.True, parse "C1 = C2");
+    ];
+  (* Beyond the enumeration guard: N = 20, 50, 100 are far past
+     max_log10_worlds for these vocabularies, yet sampling still
+     converges on the paper's limiting values. *)
+  Fmt.pr "@.  beyond enumeration (mc only, τ=0.1):@.";
+  Fmt.pr "  %-34s %4s   %-30s %8s %9s %6s@." "kb (limit)" "N" "mc (95% CI)"
+    "samples" "kb-rate" "strat";
+  List.iter
+    (fun (label, vocab, kb, query) ->
+      List.iter
+        (fun n ->
+          let cell, est = mc_cell ~vocab ~n ~kb query in
+          match est with
+          | Some (_, s) ->
+            Fmt.pr "  %-34s %4d   %-30s %8d %9.2e %6s@." label n cell
+              s.Rw_mc.Estimator.samples s.Rw_mc.Estimator.hit_rate
+              (if s.Rw_mc.Estimator.stratified then "yes" else "no")
+          | None -> Fmt.pr "  %-34s %4d   %-30s@." label n cell)
+        [ 20; 50; 100 ])
+    [
+      ("forced collision → 1/3", vocab3, collision, parse "C1 = C2");
+      ("unique names → 0", vocab3, Syntax.True, parse "C1 = C2");
+    ];
+  (* The hepatitis KB needs the double limit: Pr_N^τ ≈ 0.8 − O(τ), so
+     shrink τ with N and compare against the exact unary count at the
+     same grid point. The sharpest point is where uniform rejection
+     starves and the maxent-tilted proposal takes over. *)
+  Fmt.pr "@.  hepatitis → 0.8 along a (N↑, τ↓) diagonal, vs exact unary:@.";
+  Fmt.pr "  %4s %6s %8s   %-30s %9s %6s@." "N" "τ" "exact" "mc (95% CI)"
+    "kb-rate" "strat";
+  let hep_query = parse "Hep(Eric)" in
+  let hep_vocab = Vocab.of_formulas [ hep_kb ] in
+  List.iter
+    (fun (n, tau) ->
+      let tol = Tolerance.uniform tau in
+      let exact =
+        match Unary_engine.pr_n ~kb:hep_kb ~query:hep_query ~n ~tol with
+        | Some v -> Fmt.str "%8.4f" v
+        | None -> Fmt.str "%8s" "—"
+      in
+      match Mc_engine.pr_n ~vocab:hep_vocab ~n ~tol ~kb:hep_kb hep_query with
+      | Rw_mc.Estimator.Estimate { mean; ci; stats } ->
+        Fmt.pr "  %4d %6g %s   %-30s %9.2e %6s@." n tau exact
+          (Fmt.str "%.4f ∈ %a" mean Rw_prelude.Interval.pp ci)
+          stats.Rw_mc.Estimator.hit_rate
+          (if stats.Rw_mc.Estimator.stratified then "yes" else "no")
+      | Rw_mc.Estimator.Starved stats ->
+        Fmt.pr "  %4d %6g %s   starved (%a)@." n tau exact
+          Rw_mc.Estimator.pp_stats stats)
+    [ (20, 0.1); (50, 0.05); (100, 0.025) ]
+
+(* ------------------------------------------------------------------ *)
 (* Figure 2: engine cost scaling (Section 7.4)                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -414,6 +511,19 @@ let perf_tests () =
       Test.make ~name:"enum-prn-N4"
         (Staged.stage (fun () ->
              ignore (Enum_engine.pr_n ~vocab ~n:4 ~tol ~kb:hep_kb hep_query)));
+      Test.make ~name:"mc-prn-N50-2k-samples"
+        (Staged.stage
+           (let cfg =
+              {
+                Rw_mc.Estimator.default_config with
+                Rw_mc.Estimator.max_samples = 2_000;
+                min_hits = 10;
+              }
+            in
+            fun () ->
+              ignore
+                (Mc_engine.pr_n ~config:cfg ~vocab ~n:50 ~tol ~kb:hep_kb
+                   hep_query)));
       Test.make ~name:"dempster-combine"
         (Staged.stage (fun () -> ignore (Dempster.combine [ 0.8; 0.7; 0.9 ])));
       Test.make ~name:"dispatcher-E01"
@@ -467,6 +577,7 @@ let () =
   table_lottery ();
   table_limits_of_method ();
   table_learning ();
+  table_mc ();
   figure_scaling ();
   if not no_perf then run_perf ();
   Fmt.pr "@.done.@."

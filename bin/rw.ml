@@ -28,7 +28,7 @@ let parse_formula_arg s =
 (* query                                                              *)
 (* ------------------------------------------------------------------ *)
 
-type engine_choice = Auto | Rules | Maxent | Unary | Enum
+type engine_choice = Auto | Rules | Maxent | Unary | Enum | Mc
 
 let engine_conv =
   let parse = function
@@ -37,6 +37,7 @@ let engine_conv =
     | "maxent" -> Ok Maxent
     | "unary" -> Ok Unary
     | "enum" -> Ok Enum
+    | "mc" -> Ok Mc
     | s -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
   in
   let print ppf = function
@@ -45,10 +46,11 @@ let engine_conv =
     | Maxent -> Fmt.string ppf "maxent"
     | Unary -> Fmt.string ppf "unary"
     | Enum -> Fmt.string ppf "enum"
+    | Mc -> Fmt.string ppf "mc"
   in
   Arg.conv (parse, print)
 
-let run_query kb_path query_src engine verbose =
+let run_query kb_path query_src engine seed samples ci_width verbose =
   match load_kb kb_path with
   | Error msg ->
     Fmt.epr "error loading %s:@.%s@." kb_path msg;
@@ -61,13 +63,25 @@ let run_query kb_path query_src engine verbose =
     | Ok query ->
       let answer =
         match engine with
-        | Auto -> Engine.degree_of_belief ~kb query
+        | Auto ->
+          let options =
+            {
+              Engine.default_options with
+              Engine.mc_seed = seed;
+              mc_samples = samples;
+              mc_ci_width = ci_width;
+            }
+          in
+          Engine.degree_of_belief ~options ~kb query
         | Rules -> Rules_engine.infer ~kb query
         | Maxent -> Maxent_engine.estimate ~kb query
         | Unary -> Unary_engine.estimate ~kb query
         | Enum ->
           let vocab = Vocab.of_formulas [ kb; query ] in
           Enum_engine.estimate ~vocab ~kb query
+        | Mc ->
+          let vocab = Vocab.of_formulas [ kb; query ] in
+          Mc_engine.estimate ~seed ?samples ?ci_width ~vocab ~kb query
       in
       Fmt.pr "Pr( %a | KB ) = %a@." Pretty.pp_formula query Answer.pp answer;
       if verbose then List.iter (Fmt.pr "  %s@.") answer.Answer.notes;
@@ -89,7 +103,32 @@ let engine_arg =
   Arg.(
     value & opt engine_conv Auto
     & info [ "e"; "engine" ] ~docv:"ENGINE"
-        ~doc:"Engine: auto, rules, maxent, unary, or enum.")
+        ~doc:"Engine: auto, rules, maxent, unary, enum, or mc.")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt int Mc_engine.default_seed
+    & info [ "seed" ] ~docv:"INT"
+        ~doc:
+          "PRNG seed for the Monte-Carlo engine — any sampling run is \
+           reproducible from it.")
+
+let samples_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "samples" ] ~docv:"INT"
+        ~doc:"Monte-Carlo sample budget (worlds drawn per grid point).")
+
+let ci_width_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "ci-width" ] ~docv:"W"
+        ~doc:
+          "Monte-Carlo target half-width of the 95% confidence interval; \
+           sampling stops early once it is reached.")
 
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print engine diagnostics.")
@@ -98,7 +137,9 @@ let query_cmd =
   let doc = "compute a degree of belief Pr(query | KB)" in
   Cmd.v
     (Cmd.info "query" ~doc)
-    Term.(const run_query $ kb_arg $ query_arg $ engine_arg $ verbose_arg)
+    Term.(
+      const run_query $ kb_arg $ query_arg $ engine_arg $ seed_arg
+      $ samples_arg $ ci_width_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* consistent                                                         *)

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Tier-1 gate: everything builds, every test passes, and the CLI can
+# actually answer the paper's worked examples end to end.
+set -eu
+
+dune build
+dune runtest
+
+# Smoke: the zoo must run and exit 0 (it exercises every engine,
+# including the Monte-Carlo fallback's deterministic default seed).
+dune exec bin/rw.exe -- zoo > /dev/null
+
+# Smoke: one explicit Monte-Carlo query, reproducible from its seed.
+dune exec bin/rw.exe -- query \
+  --kb examples/kb/hepatitis.kb --query 'Hep(Eric)' \
+  --engine mc --seed 1 > /dev/null
+
+echo "ci: all green"

@@ -1,0 +1,254 @@
+(** The Monte-Carlo conditional estimator
+    [Pr_N^τ̄(φ | KB) ≈ #hits(φ∧KB) / #hits(KB)] with Wilson-score
+    confidence intervals.
+
+    Draw worlds from the uniform prior (exactly the distribution the
+    random-worlds definition ratios over), keep those satisfying the
+    KB, and report the fraction also satisfying the query. Batches are
+    adaptive: sampling continues until the 95% interval is narrower
+    than a target half-width or a sample / wall-time budget runs out.
+
+    KBs whose models are a vanishing fraction of all worlds (a sharp
+    statistical constraint at large [N] concentrates on exponentially
+    few atom-count profiles) would starve plain rejection. For unary
+    vocabularies the estimator then re-targets: it solves for the
+    maximum-entropy atom proportions at the current tolerance — the
+    point the KB-worlds themselves concentrate around (Section 6 of
+    the paper) — and samples each element's atom from that tilted
+    distribution instead, correcting with importance weights. That is
+    sampling an atom-count profile first and a world within the
+    profile second; the confidence interval then runs on the effective
+    sample size [ (Σw)² / Σw² ]. *)
+
+open Rw_logic
+open Rw_model
+open Rw_prelude
+
+type config = {
+  target_halfwidth : float;  (** stop when the CI half-width is below *)
+  z : float;  (** normal quantile for the interval (1.96 ≈ 95%) *)
+  batch : int;  (** samples drawn between stopping checks *)
+  max_samples : int;  (** total sample budget *)
+  max_seconds : float;  (** wall-time budget *)
+  min_hits : int;  (** KB hits required before trusting the CI *)
+  warmup : int;  (** uniform samples before judging the hit rate *)
+  stratify_below : float;
+      (** switch to the tilted proposal when the uniform KB hit rate
+          falls below this after warmup (unary vocabularies only) *)
+  give_up_after : int;
+      (** declare starvation once this many samples (or a quarter of
+          the time budget) produced no KB hit at all (after any
+          stratified switch) — keeps hopeless rejection runs cheap for
+          grid searches *)
+}
+
+let default_config =
+  {
+    target_halfwidth = 0.02;
+    z = 1.96;
+    batch = 512;
+    max_samples = 400_000;
+    max_seconds = 10.0;
+    min_hits = 40;
+    warmup = 3_000;
+    stratify_below = 0.01;
+    give_up_after = 50_000;
+  }
+
+type stats = {
+  seed : int;
+  n : int;  (** domain size sampled at *)
+  samples : int;  (** worlds drawn, all phases *)
+  kb_hits : int;  (** worlds satisfying the KB, all phases *)
+  hit_rate : float;
+  ess : float;  (** effective sample size behind the interval *)
+  stratified : bool;  (** did the tilted fallback engage? *)
+  seconds : float;
+}
+
+type outcome =
+  | Estimate of { mean : float; ci : Interval.t; stats : stats }
+  | Starved of stats  (** the KB was never satisfied within budget *)
+
+let pp_stats ppf s =
+  Fmt.pf ppf "N=%d seed=%d samples=%d kb-hits=%d (rate %.2e) ess=%.0f%s %.2fs"
+    s.n s.seed s.samples s.kb_hits s.hit_rate s.ess
+    (if s.stratified then " stratified" else "")
+    s.seconds
+
+let pp_outcome ppf = function
+  | Estimate { mean; ci; stats } ->
+    Fmt.pf ppf "%.4f ∈ %a [%a]" mean Interval.pp ci pp_stats stats
+  | Starved stats -> Fmt.pf ppf "starved [%a]" pp_stats stats
+
+(** [wilson ~z ~hits ~total] — the Wilson score interval for a
+    binomial proportion: centre [(p̂ + z²/2n) / (1 + z²/n)], half-width
+    [z·√(p̂(1−p̂)/n + z²/4n²) / (1 + z²/n)]. Accepts fractional counts
+    (effective sample sizes). Returns [(p̂, interval)]; the vacuous
+    interval when [total = 0]. *)
+let wilson ~z ~hits ~total =
+  if total <= 0.0 then (Float.nan, Interval.vacuous)
+  else begin
+    let p = hits /. total in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. total) in
+    let centre = (p +. (z2 /. (2.0 *. total))) /. denom in
+    let half =
+      z /. denom
+      *. Float.sqrt
+           (((p *. (1.0 -. p)) /. total) +. (z2 /. (4.0 *. total *. total)))
+    in
+    (p, Interval.clamp01 (Interval.make (centre -. half) (centre +. half)))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The tilted proposal for unary vocabularies                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Mix a little uniform mass into the maximum-entropy point so every
+   atom keeps positive proposal probability (absolute continuity: a
+   world the uniform prior can produce must be producible here too). *)
+let uniform_mix = 0.1
+
+let tilted_proposal ~(vocab : Vocab.t) ~tol kb =
+  let all_unary =
+    vocab.Vocab.preds <> []
+    && List.for_all (fun (_, a) -> a = 1) vocab.Vocab.preds
+    && List.for_all (fun (_, a) -> a = 0) vocab.Vocab.funcs
+  in
+  if not all_unary then None
+  else begin
+    try
+      let pred_names = List.map fst vocab.Vocab.preds in
+      let parts = Rw_unary.Analysis.analyze ~extra_preds:pred_names kb in
+      let sol = Rw_unary.Solver.solve parts tol in
+      let u = parts.Rw_unary.Analysis.universe in
+      let a = Atoms.num_atoms u in
+      let theta =
+        Array.init a (fun i ->
+            ((1.0 -. uniform_mix) *. Float.max 0.0 sol.Rw_unary.Solver.point.(i))
+            +. (uniform_mix /. float_of_int a))
+      in
+      Some (Sampler.proposal ~preds:(Atoms.predicates u) ~theta)
+    with _ -> None
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The adaptive sampling loop                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Weighted accumulators for one sampling phase. *)
+type accum = {
+  mutable phase_samples : int;
+  mutable hits : int;  (** KB hits in this phase *)
+  mutable w_kb : float;  (** Σ w over KB hits *)
+  mutable w2_kb : float;  (** Σ w² over KB hits *)
+  mutable w_both : float;  (** Σ w over (KB ∧ query) hits *)
+}
+
+let fresh_accum () =
+  { phase_samples = 0; hits = 0; w_kb = 0.0; w2_kb = 0.0; w_both = 0.0 }
+
+let ess acc = if acc.w2_kb > 0.0 then acc.w_kb *. acc.w_kb /. acc.w2_kb else 0.0
+
+let accum_interval ~z acc =
+  let n_eff = ess acc in
+  let p_hat = if acc.w_kb > 0.0 then acc.w_both /. acc.w_kb else Float.nan in
+  wilson ~z ~hits:(p_hat *. n_eff) ~total:n_eff
+
+(** [estimate ?config ~seed ~vocab ~n ~tol ~kb query] — the adaptive
+    Monte-Carlo estimate of [Pr_N^τ̄(query | kb)]. Deterministic in
+    [seed] (up to the wall-time budget). Raises [Invalid_argument]
+    when the vocabulary does not cover both sentences. *)
+let estimate ?(config = default_config) ~seed ~vocab ~n ~tol ~kb query =
+  if not (Vocab.covers vocab kb && Vocab.covers vocab query) then
+    invalid_arg "Estimator.estimate: vocabulary does not cover formulas";
+  let world = World.create vocab n in
+  let rng = Prng.create seed in
+  let t0 = Sys.time () in
+  let total_samples = ref 0 and total_hits = ref 0 in
+  let uniform_acc = fresh_accum () in
+  (* [proposal = None] while sampling uniformly. *)
+  let proposal = ref None and acc = ref uniform_acc in
+  let sample_one () =
+    let w =
+      match !proposal with
+      | None ->
+        Sampler.fill_uniform rng world;
+        1.0
+      | Some prop -> Float.exp (Sampler.fill_atomwise rng world prop)
+    in
+    incr total_samples;
+    let a = !acc in
+    a.phase_samples <- a.phase_samples + 1;
+    if Rw_model.Eval.sat world tol kb then begin
+      incr total_hits;
+      a.hits <- a.hits + 1;
+      a.w_kb <- a.w_kb +. w;
+      a.w2_kb <- a.w2_kb +. (w *. w);
+      if Rw_model.Eval.sat world tol query then a.w_both <- a.w_both +. w
+    end
+  in
+  let maybe_stratify () =
+    if Option.is_none !proposal && !total_samples >= config.warmup then begin
+      let rate = float_of_int !total_hits /. float_of_int !total_samples in
+      if rate < config.stratify_below then
+        match tilted_proposal ~vocab ~tol kb with
+        | Some prop ->
+          (* Restart the accumulators: mixing unweighted and weighted
+             phases would need per-phase variance bookkeeping for no
+             statistical gain. *)
+          proposal := Some prop;
+          acc := fresh_accum ()
+        | None -> ()
+    end
+  in
+  let stats () =
+    {
+      seed;
+      n;
+      samples = !total_samples;
+      kb_hits = !total_hits;
+      hit_rate =
+        (if !total_samples = 0 then 0.0
+         else float_of_int !total_hits /. float_of_int !total_samples);
+      ess = ess !acc;
+      stratified = Option.is_some !proposal;
+      seconds = Sys.time () -. t0;
+    }
+  in
+  let finish () =
+    (* Prefer the current phase; fall back to the uniform warmup if the
+       tilted phase never hit the KB. *)
+    let best = if !acc.hits > 0 then !acc else uniform_acc in
+    if best.hits = 0 then Starved (stats ())
+    else begin
+      let mean, ci = accum_interval ~z:config.z best in
+      Estimate { mean; ci; stats = { (stats ()) with ess = ess best } }
+    end
+  in
+  let rec loop () =
+    if
+      !total_samples >= config.max_samples
+      || Sys.time () -. t0 >= config.max_seconds
+      (* The stratified switch (if available) happened back at warmup,
+         so a still-empty run this deep is hopeless either way. *)
+      || (!total_hits = 0
+         && (!total_samples >= config.give_up_after
+            || Sys.time () -. t0 >= config.max_seconds /. 4.0))
+    then finish ()
+    else begin
+      let budget = min config.batch (config.max_samples - !total_samples) in
+      for _ = 1 to budget do
+        sample_one ()
+      done;
+      maybe_stratify ();
+      if !acc.hits >= config.min_hits then begin
+        let _, ci = accum_interval ~z:config.z !acc in
+        if Interval.width ci /. 2.0 <= config.target_halfwidth then finish ()
+        else loop ()
+      end
+      else loop ()
+    end
+  in
+  loop ()

@@ -1,0 +1,72 @@
+(** Monte-Carlo estimation of [Pr_N^τ̄(φ | KB)] with Wilson-score
+    confidence intervals.
+
+    Worlds are drawn uniformly from [W_N(Φ)] — the exact distribution
+    the random-worlds definition ratios over — and the conditional
+    estimate is [#hits(φ∧KB)/#hits(KB)]. Batching is adaptive (sample
+    until the interval beats a target half-width or a budget runs
+    out), and unary KBs whose models are a vanishing fraction of all
+    worlds switch to a maximum-entropy-tilted atom proposal with
+    importance weights rather than starving. *)
+
+open Rw_logic
+open Rw_prelude
+
+type config = {
+  target_halfwidth : float;  (** stop when the CI half-width is below *)
+  z : float;  (** normal quantile for the interval (1.96 ≈ 95%) *)
+  batch : int;  (** samples drawn between stopping checks *)
+  max_samples : int;  (** total sample budget *)
+  max_seconds : float;  (** wall-time budget *)
+  min_hits : int;  (** KB hits required before trusting the CI *)
+  warmup : int;  (** uniform samples before judging the hit rate *)
+  stratify_below : float;
+      (** switch to the tilted proposal when the uniform KB hit rate
+          falls below this after warmup (unary vocabularies only) *)
+  give_up_after : int;
+      (** declare starvation once this many samples (or a quarter of
+          the time budget) produced no KB hit at all (after any
+          stratified switch) — keeps hopeless rejection runs cheap for
+          grid searches *)
+}
+
+val default_config : config
+
+(** Observability: every estimate reports its evidence. *)
+type stats = {
+  seed : int;
+  n : int;  (** domain size sampled at *)
+  samples : int;  (** worlds drawn, all phases *)
+  kb_hits : int;  (** worlds satisfying the KB, all phases *)
+  hit_rate : float;
+  ess : float;  (** effective sample size behind the interval *)
+  stratified : bool;  (** did the tilted fallback engage? *)
+  seconds : float;
+}
+
+type outcome =
+  | Estimate of { mean : float; ci : Interval.t; stats : stats }
+  | Starved of stats  (** the KB was never satisfied within budget *)
+
+val pp_stats : Format.formatter -> stats -> unit
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val wilson : z:float -> hits:float -> total:float -> float * Interval.t
+(** The Wilson score interval for a binomial proportion; accepts
+    fractional counts (effective sample sizes). Returns the raw
+    proportion and the interval; the vacuous interval when
+    [total = 0]. *)
+
+val estimate :
+  ?config:config ->
+  seed:int ->
+  vocab:Vocab.t ->
+  n:int ->
+  tol:Tolerance.t ->
+  kb:Syntax.formula ->
+  Syntax.formula ->
+  outcome
+(** The adaptive Monte-Carlo estimate of [Pr_N^τ̄(query | kb)].
+    Deterministic in [seed] (up to the wall-time budget). Raises
+    [Invalid_argument] when the vocabulary does not cover both
+    sentences. *)

@@ -1,0 +1,66 @@
+(** Deterministic, splittable pseudo-random numbers (SplitMix64).
+
+    State advances by a fixed odd "gamma"; outputs are the state pushed
+    through a 64-bit finaliser (Stafford's mix13 variant, the constants
+    of the reference SplitMix64). {!split} seeds a child from the
+    parent's output stream and gives it a fresh gamma, following
+    Steele–Lea–Flood. *)
+
+type t = { mutable state : int64; gamma : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* Stafford mix13 — the SplitMix64 output finaliser. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Gamma candidates must be odd; weak candidates (too few bit
+   transitions) are XOR-perturbed, as in the reference generator. *)
+let mix_gamma z =
+  let z =
+    Int64.logor
+      (Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL)
+      1L
+  in
+  let transitions =
+    Rw_prelude.Listx.range 0 63
+    |> List.filter (fun i ->
+           let b i = Int64.logand (Int64.shift_right_logical z i) 1L in
+           b i <> b (i + 1))
+    |> List.length
+  in
+  if transitions < 24 then Int64.logxor z 0xAAAAAAAAAAAAAAAAL else z
+
+let create seed = { state = mix64 (Int64.of_int seed); gamma = golden_gamma }
+let copy t = { t with state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state t.gamma;
+  mix64 t.state
+
+let split t =
+  let state = bits64 t in
+  let gamma = mix_gamma (bits64 t) in
+  { state; gamma }
+
+(* Top 53 bits scaled into [0, 1). *)
+let float t = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) *. 0x1p-53
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+(* Unbiased bounded draw: mask down to the next power of two, reject
+   overshoots. Expected < 2 draws per call. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive"
+  else if bound = 1 then 0
+  else begin
+    let rec mask m = if m >= bound - 1 then m else mask ((m lsl 1) lor 1) in
+    let m = mask 1 in
+    let rec draw () =
+      let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) land m in
+      if v < bound then v else draw ()
+    in
+    draw ()
+  end

@@ -1,0 +1,39 @@
+(** Deterministic, splittable pseudo-random numbers (SplitMix64).
+
+    The Monte-Carlo engine must be reproducible from a single [--seed]:
+    the same seed yields the same sample stream, the same estimate, and
+    the same confidence interval, on every run. [Stdlib.Random] is
+    deliberately not used anywhere in this tree — its global state
+    would couple independent estimates and break replay.
+
+    SplitMix64 (Steele, Lea & Flood, {e Fast Splittable Pseudorandom
+    Number Generators}, OOPSLA 2014) is a 64-bit mixing generator with
+    a per-stream additive constant ("gamma"). {!split} derives a
+    statistically independent child stream, so concurrent or stratified
+    samplers can each own a generator without sharing state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] — a fresh generator. Distinct seeds give unrelated
+    streams (the seed is mixed before use). *)
+
+val split : t -> t
+(** [split t] advances [t] and returns an independent child generator.
+    Deterministic: the child's stream is a pure function of [t]'s state
+    at the moment of the split. *)
+
+val bits64 : t -> int64
+(** The next 64 uniformly distributed bits. *)
+
+val float : t -> float
+(** Uniform in [[0, 1)] with 53 bits of precision. *)
+
+val int : t -> int -> int
+(** [int t bound] — uniform in [[0, bound)], unbiased (rejection on the
+    top bits). Raises [Invalid_argument] unless [bound > 0]. *)
+
+val bool : t -> bool
+
+val copy : t -> t
+(** Snapshot of the current state (same future stream). *)

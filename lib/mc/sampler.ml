@@ -1,0 +1,114 @@
+(** Uniform (and tilted) sampling of worlds [W_N(Φ)].
+
+    The random-worlds prior is the uniform distribution over all
+    first-order models of the vocabulary at size [N]. Because a world
+    is exactly an independent choice for every table cell — each
+    predicate cell a fair coin, each function cell a uniform domain
+    element — sampling each cell independently {e is} the uniform
+    distribution over worlds. No rejection or normalisation is needed
+    for the prior itself; only conditioning on the KB does that.
+
+    For unary vocabularies the same world can be generated atom-wise:
+    each domain element draws its atom (the conjunction of [±P_j]
+    signs) from a distribution [θ] over the [2^k] atoms. With [θ]
+    uniform this again coincides with the uniform prior; with [θ]
+    tilted towards the KB's feasible region it is an importance
+    proposal, and {!fill_atomwise} returns the log importance weight
+    [log (uniform(world) / proposal(world))] needed to correct it. *)
+
+open Rw_logic
+open Rw_model
+
+(* Tables in vocabulary order (sorted by [Vocab.make]), so the stream
+   of random draws is independent of hash-table iteration order. *)
+let pred_tables (w : World.t) =
+  List.map (fun (p, _) -> snd (Hashtbl.find w.World.pred_tables p)) w.World.vocab.Vocab.preds
+
+let func_tables (w : World.t) =
+  List.map (fun (f, _) -> snd (Hashtbl.find w.World.func_tables f)) w.World.vocab.Vocab.funcs
+
+(** [fill_uniform rng w] overwrites [w] in place with a world drawn
+    uniformly from [W_N(Φ)]. *)
+let fill_uniform rng (w : World.t) =
+  List.iter
+    (fun table ->
+      for i = 0 to Array.length table - 1 do
+        table.(i) <- Prng.bool rng
+      done)
+    (pred_tables w);
+  List.iter
+    (fun table ->
+      for i = 0 to Array.length table - 1 do
+        table.(i) <- Prng.int rng w.World.size
+      done)
+    (func_tables w)
+
+(** An atom-wise proposal over a unary vocabulary: [theta] on the
+    [2^k] atoms (bit [j] of an atom index = truth of the [j]-th
+    predicate in sorted order, matching {!Rw_logic.Atoms}). *)
+type proposal = {
+  preds : string list;  (** sorted unary predicate names, bit order *)
+  cum : float array;  (** cumulative distribution of [theta] *)
+  log_ratio : float array;  (** [log (2^-k / theta.(a))] per atom *)
+  expected_log_weight : float;
+      (** per-element mean of [log_ratio] under [theta] — the shift
+          that keeps linear-domain weights near 1 *)
+}
+
+(** [proposal ~preds ~theta] — [theta] must be a distribution over
+    [2^(length preds)] atoms with every entry positive (mix in some
+    uniform mass to guarantee absolute continuity before calling). *)
+let proposal ~preds ~theta =
+  let a = Array.length theta in
+  if a <> 1 lsl List.length preds then
+    invalid_arg "Sampler.proposal: theta length is not 2^#preds";
+  let total = Array.fold_left ( +. ) 0.0 theta in
+  if not (total > 0.0) then invalid_arg "Sampler.proposal: theta sums to 0";
+  Array.iter
+    (fun p -> if not (p > 0.0) then invalid_arg "Sampler.proposal: theta must be positive")
+    theta;
+  let log_uniform = -.Float.log (float_of_int a) in
+  let cum = Array.make a 0.0 in
+  let log_ratio = Array.make a 0.0 in
+  let acc = ref 0.0 and mean = ref 0.0 in
+  Array.iteri
+    (fun i p ->
+      let p = p /. total in
+      acc := !acc +. p;
+      cum.(i) <- !acc;
+      log_ratio.(i) <- log_uniform -. Float.log p;
+      mean := !mean +. (p *. log_ratio.(i)))
+    theta;
+  cum.(a - 1) <- 1.0;
+  { preds; cum; log_ratio; expected_log_weight = !mean }
+
+let sample_atom rng prop =
+  let u = Prng.float rng in
+  let a = Array.length prop.cum in
+  let rec scan i = if i >= a - 1 || u < prop.cum.(i) then i else scan (i + 1) in
+  scan 0
+
+(** [fill_atomwise rng w prop] overwrites [w] with a world whose
+    elements draw their atoms from the proposal (function/constant
+    tables stay uniform) and returns the {e centred} log importance
+    weight: [log (uniform / proposal) − N · E_θ[log ratio]], so that
+    [exp] of it is a weight of typical magnitude 1. Requires every
+    predicate of the vocabulary to be listed in [prop.preds] with
+    arity 1. *)
+let fill_atomwise rng (w : World.t) prop =
+  let tables =
+    List.map (fun p -> snd (Hashtbl.find w.World.pred_tables p)) prop.preds
+  in
+  let log_w = ref 0.0 in
+  for e = 0 to w.World.size - 1 do
+    let atom = sample_atom rng prop in
+    log_w := !log_w +. prop.log_ratio.(atom);
+    List.iteri (fun j table -> table.(e) <- (atom lsr j) land 1 = 1) tables
+  done;
+  List.iter
+    (fun table ->
+      for i = 0 to Array.length table - 1 do
+        table.(i) <- Prng.int rng w.World.size
+      done)
+    (func_tables w);
+  !log_w -. (float_of_int w.World.size *. prop.expected_log_weight)

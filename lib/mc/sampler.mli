@@ -1,0 +1,42 @@
+(** Uniform (and tilted) sampling of worlds [W_N(Φ)].
+
+    A world is an independent choice for every table cell — each
+    predicate cell a fair coin, each function cell a uniform domain
+    element — so sampling cells independently {e is} the uniform
+    distribution over [W_N(Φ)] the random-worlds method quantifies
+    over. For unary vocabularies the same world can instead be built
+    atom-wise from a proposal distribution [θ] over the [2^k] atoms,
+    yielding an importance sampler aimed at the KB's feasible region
+    (the stratified fallback for KBs whose model count is a vanishing
+    fraction of all worlds). *)
+
+open Rw_model
+
+val fill_uniform : Prng.t -> World.t -> unit
+(** Overwrite the world in place with a uniform draw from [W_N(Φ)].
+    Draws cells in vocabulary (sorted) order, so the stream is
+    reproducible. *)
+
+(** An atom-wise proposal over a unary vocabulary. Atom indices follow
+    {!Rw_logic.Atoms}: bit [j] = truth of the [j]-th predicate in
+    sorted order. *)
+type proposal = private {
+  preds : string list;
+  cum : float array;
+  log_ratio : float array;  (** [log (2^-k / θ_a)] per atom *)
+  expected_log_weight : float;
+}
+
+val proposal : preds:string list -> theta:float array -> proposal
+(** [proposal ~preds ~theta] normalises [theta] (length [2^|preds|],
+    all entries positive — mix in uniform mass first to guarantee
+    absolute continuity). Raises [Invalid_argument] otherwise. *)
+
+val sample_atom : Prng.t -> proposal -> int
+
+val fill_atomwise : Prng.t -> World.t -> proposal -> float
+(** Overwrite the world with a draw whose elements take atoms from the
+    proposal (functions and constants stay uniform); returns the
+    centred log importance weight [log (uniform/proposal) − N·E_θ].
+    Every predicate of the world's vocabulary must appear in
+    [prop.preds] with arity 1. *)

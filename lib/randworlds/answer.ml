@@ -30,6 +30,11 @@ type t = {
 
 let make ?(notes = []) ~engine result = { result; engine; notes }
 
+(** [add_notes a notes] appends diagnostics — e.g. the Monte-Carlo
+    evidence record, or a cross-engine agreement check — without
+    touching the verdict. *)
+let add_notes a notes = { a with notes = a.notes @ notes }
+
 (** [point_value a] extracts a point value when the result is a point
     (or a degenerate interval). *)
 let point_value a =

@@ -27,6 +27,10 @@ type t = {
 
 val make : ?notes:string list -> engine:string -> result -> t
 
+val add_notes : t -> string list -> t
+(** Append diagnostics (e.g. Monte-Carlo evidence, cross-engine
+    agreement checks) without touching the verdict. *)
+
 val point_value : t -> float option
 (** The value when the result is a point (or degenerate interval). *)
 

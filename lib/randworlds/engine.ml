@@ -6,7 +6,10 @@
        over disjoint sub-vocabularies into products;
     3. {b maxent} — asymptotic values for unary KBs;
     4. {b unary} — exact finite-[N] counting with extrapolation;
-    5. {b enum} — literal world enumeration at small [N].
+    5. {b enum} — literal world enumeration at small [N];
+    6. {b mc} — Monte-Carlo world sampling with confidence intervals,
+       engaged when the enumeration guard is blown (and as an
+       independent statistical cross-check where enum applies).
 
     A rule-engine interval is refined by the maxent point when the two
     agree (the point falls inside the interval); disagreement keeps the
@@ -20,10 +23,24 @@ type options = {
   unary_sizes : int list option;  (** domain sizes for the unary engine *)
   enum_sizes : int list option;  (** domain sizes for the enumeration engine *)
   use_enum : bool;  (** allow the (expensive) literal engine *)
+  mc_seed : int;  (** PRNG seed for the Monte-Carlo engine *)
+  mc_samples : int option;  (** Monte-Carlo sample budget override *)
+  mc_ci_width : float option;  (** Monte-Carlo target CI half-width *)
+  mc_cross_check : bool;
+      (** statistically cross-check exact enum points by sampling *)
 }
 
 let default_options =
-  { tols = None; unary_sizes = None; enum_sizes = None; use_enum = true }
+  {
+    tols = None;
+    unary_sizes = None;
+    enum_sizes = None;
+    use_enum = true;
+    mc_seed = Mc_engine.default_seed;
+    mc_samples = None;
+    mc_ci_width = None;
+    mc_cross_check = true;
+  }
 
 (* Symbols of a formula, for the independence split: predicates and
    non-constant functions always separate; constants are listed apart. *)
@@ -150,16 +167,82 @@ and fallback ~options ~kb query =
       let vocab = Vocab.of_formulas [ kb; query ] in
       (* A tighter guard than the raw engine's: the dispatcher is a
          default code path and must stay responsive; callers wanting
-         heroic enumerations can invoke Enum_engine directly. *)
-      try
+         heroic enumerations can invoke Enum_engine directly. When the
+         world count blows past the guard, the Monte-Carlo engine
+         takes over — same ratio over W_N(Φ), estimated instead of
+         enumerated. *)
+      match
         Enum_engine.estimate ~max_log10_worlds:6.5 ?ns:options.enum_sizes ~vocab
           ~kb query
-      with Rw_model.Enum.Too_many_worlds m ->
-        Answer.make ~engine:"dispatch"
-          (Answer.Not_applicable
-             (Printf.sprintf "enumeration infeasible (10^%.0f worlds)" m))
+      with
+      | a when Answer.definitive a ->
+        if options.mc_cross_check then cross_check ~options ~vocab ~kb query a
+        else a
+      | _ -> monte_carlo ~options ~vocab ~kb query None
+      | exception Rw_model.Enum.Too_many_worlds m ->
+        monte_carlo ~options ~vocab ~kb query (Some m)
     end
   end
+
+and monte_carlo ~options ~vocab ~kb query blown =
+  let a =
+    Mc_engine.estimate ~seed:options.mc_seed ?samples:options.mc_samples
+      ?ci_width:options.mc_ci_width ?tols:options.tols ~vocab ~kb query
+  in
+  match blown with
+  | Some m ->
+    Answer.add_notes a
+      [ Printf.sprintf "mc engaged: enumeration infeasible (10^%.0f worlds)" m ]
+  | None -> a
+
+(* An exact enum point still gets an independent statistical check: a
+   cheap sampling run at an overlapping (N, τ̄) whose 95% interval must
+   contain the exact value. Disagreement is surfaced, not silently
+   resolved — the exact count stays the verdict. *)
+and cross_check ~options ~vocab ~kb query answer =
+  match Answer.point_value answer with
+  | None -> answer
+  | Some _ ->
+    let n = 4 and tol = Tolerance.uniform 0.2 in
+    if Rw_model.Enum.log10_world_count vocab n > 5.0 then answer
+    else begin
+      match Enum_engine.pr_n ~vocab ~n ~tol ~kb query with
+      | None | (exception Rw_model.Enum.Too_many_worlds _) -> answer
+      | Some exact ->
+        let config =
+          {
+            Rw_mc.Estimator.default_config with
+            Rw_mc.Estimator.max_samples = 20_000;
+            target_halfwidth = 0.05;
+            max_seconds = 1.0;
+          }
+        in
+        (match
+           Mc_engine.pr_n ~config ~seed:options.mc_seed ~vocab ~n ~tol ~kb query
+         with
+        | Rw_mc.Estimator.Estimate { ci; stats; _ }
+          when Rw_prelude.Interval.mem ~eps:1e-9 exact ci ->
+          Answer.add_notes answer
+            [
+              Fmt.str
+                "mc cross-check at N=%d: exact %.4f inside 95%% CI %a (%a)" n
+                exact Rw_prelude.Interval.pp ci Rw_mc.Estimator.pp_stats stats;
+            ]
+        | Rw_mc.Estimator.Estimate { ci; stats; _ } ->
+          Answer.add_notes answer
+            [
+              Fmt.str
+                "mc cross-check DISAGREES at N=%d: exact %.4f outside 95%% CI \
+                 %a (%a)"
+                n exact Rw_prelude.Interval.pp ci Rw_mc.Estimator.pp_stats stats;
+            ]
+        | Rw_mc.Estimator.Starved stats ->
+          Answer.add_notes answer
+            [
+              Fmt.str "mc cross-check starved at N=%d (%a)" n
+                Rw_mc.Estimator.pp_stats stats;
+            ])
+    end
 
 (** [degree_of_belief ~kb query] — the headline API:
     [Pr_∞(query | kb)] computed by the best applicable engine. *)

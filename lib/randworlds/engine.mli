@@ -6,7 +6,10 @@
        over disjoint sub-vocabularies into products;
     3. {b maxent} — asymptotic values for unary KBs;
     4. {b unary} — exact finite-[N] counting with extrapolation;
-    5. {b enum} — literal world enumeration at small [N].
+    5. {b enum} — literal world enumeration at small [N];
+    6. {b mc} — Monte-Carlo world sampling with confidence intervals,
+       engaged when the enumeration guard is blown (and as an
+       independent statistical cross-check where enum applies).
 
     A rule-engine interval is refined by the maxent point when the two
     agree; disagreement keeps the provably-sound interval. *)
@@ -18,6 +21,11 @@ type options = {
   unary_sizes : int list option;  (** domain sizes for the unary engine *)
   enum_sizes : int list option;  (** domain sizes for enumeration *)
   use_enum : bool;  (** allow the (expensive) literal engine *)
+  mc_seed : int;  (** PRNG seed for the Monte-Carlo engine *)
+  mc_samples : int option;  (** Monte-Carlo sample budget override *)
+  mc_ci_width : float option;  (** Monte-Carlo target CI half-width *)
+  mc_cross_check : bool;
+      (** statistically cross-check exact enum points by sampling *)
 }
 
 val default_options : options

@@ -1,0 +1,42 @@
+(** The Monte-Carlo engine: [Pr_N^τ̄(φ | KB)] by uniform world
+    sampling — the sixth engine.
+
+    Same ratio over [W_N(Φ)] as the literal engine, estimated instead
+    of enumerated: it reaches domain sizes orders of magnitude beyond
+    the enumeration guard on any vocabulary, reports 95% Wilson
+    confidence intervals rather than bare points, and surfaces its
+    evidence (samples, KB hit rate, effective sample size, seed, wall
+    time) through {!Answer.t} notes. *)
+
+open Rw_logic
+
+val default_seed : int
+
+val pr_n :
+  ?config:Rw_mc.Estimator.config ->
+  ?seed:int ->
+  vocab:Vocab.t ->
+  n:int ->
+  tol:Tolerance.t ->
+  kb:Syntax.formula ->
+  Syntax.formula ->
+  Rw_mc.Estimator.outcome
+(** One Monte-Carlo estimate at a single [(N, τ̄)] — for benches and
+    tests. *)
+
+val estimate :
+  ?seed:int ->
+  ?samples:int ->
+  ?ci_width:float ->
+  ?ns:int list ->
+  ?tols:Tolerance.t list ->
+  vocab:Vocab.t ->
+  kb:Syntax.formula ->
+  Syntax.formula ->
+  Answer.t
+(** Estimate the double limit from an [(N, τ̄)] grid by sampling at the
+    largest domain size along a shrinking tolerance schedule. The
+    result is the confidence interval at the smallest tolerance that
+    produced an estimate ([Within]); when every tolerance starves, a
+    widened [[0,1]] interval with an explanatory note. Deterministic
+    in [seed]. *)

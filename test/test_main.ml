@@ -14,5 +14,6 @@ let () =
       ("baselines", Test_baselines.suite);
       ("propensity", Test_propensity.suite);
       ("cross_engine", Test_cross_engine.suite);
+      ("mc", Test_mc.suite);
       ("kb_corpus", Test_kb_corpus.suite);
     ]
