@@ -473,6 +473,93 @@ let table_learning () =
   Fmt.pr "    bare universals — both sides of the Section 7.3 discussion.@."
 
 (* ------------------------------------------------------------------ *)
+(* Table 10: the query service — cache hit-rate and repeat speedup    *)
+(* ------------------------------------------------------------------ *)
+
+(* Two syntactic variants of a query that canonicalize to the same
+   digest: a double negation, and a commuted/decorated form. The mixed
+   workload re-asks every zoo query in both variants — the cache
+   should collapse all three to one engine dispatch. *)
+let variant_commuted (q : Syntax.formula) =
+  match q with
+  | Syntax.And (a, b) -> Syntax.And (b, a)
+  | Syntax.Or (a, b) -> Syntax.Or (b, a)
+  | Syntax.Compare (z1, (Syntax.Approx_eq _ as c), z2) -> Syntax.Compare (z2, c, z1)
+  | q -> Syntax.And (q, Syntax.True)
+
+let table_service () =
+  section "Table 10 — query service: answer cache over the KB zoo";
+  Fmt.pr
+    "  workload: every zoo query asked 3× (verbatim, ~~q, commuted) through \
+     one service@.";
+  let svc =
+    Rw_service.Service.create
+      ~config:
+        {
+          Rw_service.Service.default_config with
+          Rw_service.Service.cache_capacity = 256;
+        }
+      ()
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let total_direct = ref 0.0 and total_service = ref 0.0 in
+  let mismatches = ref 0 in
+  Fmt.pr "  %-5s %12s %12s %8s@." "id" "direct (ms)" "service (ms)" "agree";
+  List.iter
+    (fun (e : Rw_kbzoo.Kbzoo.entry) ->
+      let variants = [ e.query; Syntax.Not (Syntax.Not e.query); variant_commuted e.query ] in
+      (* Direct: the one-shot path, a full dispatch per variant. *)
+      let direct_answers, direct_t =
+        time (fun () ->
+            List.map (fun q -> Engine.degree_of_belief ~kb:e.kb q) variants)
+      in
+      Rw_service.Service.load_kb svc e.kb;
+      let service_answers, service_t =
+        time (fun () ->
+            List.map
+              (fun q ->
+                match Rw_service.Service.query svc q with
+                | Ok (a, _) -> a
+                | Error msg -> failwith msg)
+              variants)
+      in
+      (* All three service answers come from one cache entry, so they
+         must all match the direct dispatch of the verbatim query.
+         (Direct dispatch of a syntactic variant may legitimately land
+         on a different engine — that is the cost the cache removes.) *)
+      let d0 = List.hd direct_answers in
+      let agree =
+        List.for_all
+          (fun (s : Answer.t) ->
+            d0.Answer.result = s.Answer.result
+            && d0.Answer.engine = s.Answer.engine)
+          service_answers
+      in
+      if not agree then incr mismatches;
+      total_direct := !total_direct +. direct_t;
+      total_service := !total_service +. service_t;
+      Fmt.pr "  %-5s %12.3f %12.3f %8s@." e.id (direct_t *. 1000.0)
+        (service_t *. 1000.0)
+        (if agree then "yes" else "NO"))
+    Rw_kbzoo.Kbzoo.all;
+  let stats = Rw_service.Service.stats svc in
+  let cache = stats.Rw_service.Service.cache in
+  let lookups = cache.Rw_service.Lru.hits + cache.Rw_service.Lru.misses in
+  Fmt.pr "  %-5s %12.3f %12.3f@." "total" (!total_direct *. 1000.0)
+    (!total_service *. 1000.0);
+  Fmt.pr
+    "-- hit-rate %d/%d = %.0f%%, repeat-query speedup %.1fx, %d verdict \
+     mismatches@."
+    cache.Rw_service.Lru.hits lookups
+    (100.0 *. float_of_int cache.Rw_service.Lru.hits /. float_of_int (max 1 lookups))
+    (!total_direct /. Float.max 1e-9 !total_service)
+    !mismatches
+
+(* ------------------------------------------------------------------ *)
 (* Performance benchmarks (Bechamel)                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -578,6 +665,7 @@ let () =
   table_limits_of_method ();
   table_learning ();
   table_mc ();
+  table_service ();
   figure_scaling ();
   if not no_perf then run_perf ();
   Fmt.pr "@.done.@."

@@ -1,7 +1,9 @@
 (* rw — command-line interface to the random-worlds library.
 
    Subcommands:
-     rw query --kb FILE --query FORMULA [--engine ENGINE]
+     rw query --kb FILE --query FORMULA [--engine ENGINE] [--json]
+     rw batch --kb FILE [--queries FILE] [--json]
+     rw serve [--kb FILE] [--cache N] [--budget S]
      rw consistent --kb FILE
      rw zoo [--id ID]
      rw parse FORMULA
@@ -12,6 +14,30 @@
 open Cmdliner
 open Rw_logic
 open Randworlds
+
+(* ------------------------------------------------------------------ *)
+(* Exit codes                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The exit-code contract, also rendered into each man page's EXIT
+   STATUS section: 0 success; 1 negative verdict (inconsistent KB, no
+   convergence points); 2 no engine applicable / outside the decidable
+   fragment; 3 KB load or validation failure; 4 query parse failure.
+   Scripted callers branch on 3-vs-4 to tell "fix the KB file" from
+   "fix the query". *)
+let exit_kb_error = 3
+let exit_query_error = 4
+
+let common_exits =
+  Cmd.Exit.info 1 ~doc:"on a negative verdict (e.g. an inconsistent KB)."
+  :: Cmd.Exit.info 2
+       ~doc:
+         "when no engine is applicable to the query, or the KB is outside \
+          the decidable fragment."
+  :: Cmd.Exit.info exit_kb_error
+       ~doc:"on knowledge-base load or validation failure."
+  :: Cmd.Exit.info exit_query_error ~doc:"on query parse failure."
+  :: Cmd.Exit.defaults
 
 (* ------------------------------------------------------------------ *)
 (* KB file loading                                                    *)
@@ -50,16 +76,16 @@ let engine_conv =
   in
   Arg.conv (parse, print)
 
-let run_query kb_path query_src engine seed samples ci_width verbose =
+let run_query kb_path query_src engine seed samples ci_width verbose json =
   match load_kb kb_path with
   | Error msg ->
     Fmt.epr "error loading %s:@.%s@." kb_path msg;
-    1
+    exit_kb_error
   | Ok kb -> (
     match parse_formula_arg query_src with
     | Error msg ->
       Fmt.epr "error parsing query: %s@." msg;
-      1
+      exit_query_error
     | Ok query ->
       let answer =
         match engine with
@@ -83,8 +109,20 @@ let run_query kb_path query_src engine seed samples ci_width verbose =
           let vocab = Vocab.of_formulas [ kb; query ] in
           Mc_engine.estimate ~seed ?samples ?ci_width ~vocab ~kb query
       in
-      Fmt.pr "Pr( %a | KB ) = %a@." Pretty.pp_formula query Answer.pp answer;
-      if verbose then List.iter (Fmt.pr "  %s@.") answer.Answer.notes;
+      if json then
+        (* The same encoder the serve protocol uses, so scripted
+           callers see one answer shape everywhere. *)
+        print_endline
+          (Rw_service.Json.to_string
+             (Rw_service.Protocol.ok_reply
+                [
+                  ("query", Rw_service.Json.String query_src);
+                  ("answer", Rw_service.Protocol.json_of_answer answer);
+                ]))
+      else begin
+        Fmt.pr "Pr( %a | KB ) = %a@." Pretty.pp_formula query Answer.pp answer;
+        if verbose then List.iter (Fmt.pr "  %s@.") answer.Answer.notes
+      end;
       (match answer.Answer.result with Answer.Not_applicable _ -> 2 | _ -> 0))
 
 let kb_arg =
@@ -133,13 +171,183 @@ let ci_width_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print engine diagnostics.")
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit the answer as a single JSON line (the serve-protocol \
+           encoding) instead of the pretty-printer.")
+
 let query_cmd =
   let doc = "compute a degree of belief Pr(query | KB)" in
   Cmd.v
-    (Cmd.info "query" ~doc)
+    (Cmd.info "query" ~doc ~exits:common_exits)
     Term.(
       const run_query $ kb_arg $ query_arg $ engine_arg $ seed_arg
-      $ samples_arg $ ci_width_arg $ verbose_arg)
+      $ samples_arg $ ci_width_arg $ verbose_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* batch                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let service_config cache_size budget =
+  {
+    Rw_service.Service.default_config with
+    Rw_service.Service.cache_capacity = cache_size;
+    budget;
+  }
+
+let read_query_lines = function
+  | "-" -> In_channel.input_lines stdin
+  | path -> In_channel.with_open_text path In_channel.input_lines
+
+let run_batch kb_path queries_path cache_size budget json verbose =
+  let svc = Rw_service.Service.create ~config:(service_config cache_size budget) () in
+  match Rw_service.Service.load_kb_file svc kb_path with
+  | Error msg ->
+    Fmt.epr "error loading %s:@.%s@." kb_path msg;
+    exit_kb_error
+  | Ok () -> (
+    match read_query_lines queries_path with
+    | exception Sys_error msg ->
+      Fmt.epr "error reading queries: %s@." msg;
+      exit_query_error
+    | lines ->
+      let srcs =
+        List.filter
+          (fun l ->
+            let l = String.trim l in
+            l <> "" && l.[0] <> '#')
+          (List.map String.trim lines)
+      in
+      let failures = ref 0 in
+      List.iter
+        (fun src ->
+          match Rw_service.Service.query_src svc src with
+          | Ok (answer, origin) ->
+            let cached = origin = Rw_service.Service.Cached in
+            if json then
+              print_endline
+                (Rw_service.Json.to_string
+                   (Rw_service.Protocol.ok_reply
+                      [
+                        ("query", Rw_service.Json.String src);
+                        ( "answer",
+                          Rw_service.Protocol.json_of_answer ~cached answer );
+                      ]))
+            else
+              Fmt.pr "Pr( %s | KB ) = %a%s@." src Answer.pp answer
+                (if cached then "  (cached)" else "")
+          | Error msg ->
+            incr failures;
+            if json then
+              print_endline
+                (Rw_service.Json.to_string
+                   (Rw_service.Protocol.error_reply
+                      ~id:(Rw_service.Json.String src) msg))
+            else Fmt.epr "%s: %s@." src msg)
+        srcs;
+      if verbose then begin
+        let stats = Rw_service.Service.stats svc in
+        Fmt.epr "-- %d queries, cache %d/%d hits, %d failures@."
+          stats.Rw_service.Service.queries stats.Rw_service.Service.cache.Rw_service.Lru.hits
+          (stats.Rw_service.Service.cache.Rw_service.Lru.hits
+          + stats.Rw_service.Service.cache.Rw_service.Lru.misses)
+          !failures
+      end;
+      if !failures > 0 then exit_query_error else 0)
+
+let queries_arg =
+  Arg.(
+    value & opt string "-"
+    & info [ "queries" ] ~docv:"FILE"
+        ~doc:
+          "File of queries, one formula per line ('#' comments and blank \
+           lines skipped); '-' reads stdin.")
+
+let cache_arg =
+  Arg.(
+    value & opt int 1024
+    & info [ "cache" ] ~docv:"N"
+        ~doc:"Answer-cache capacity (LRU entries); 0 disables caching.")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "budget" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-query wall-clock budget. On expiry the request degrades to \
+           the rules engine's provably-sound answer instead of blocking.")
+
+let batch_cmd =
+  let doc = "evaluate a file or stream of queries against one resident KB" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Loads and validates the knowledge base once, then evaluates every \
+         query line against it through the service layer's answer cache — \
+         repeated or syntactically-variant queries cost one engine dispatch \
+         between them.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "batch" ~doc ~man ~exits:common_exits)
+    Term.(
+      const run_batch $ kb_arg $ queries_arg $ cache_arg $ budget_arg
+      $ json_arg $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_serve kb_path cache_size budget verbose =
+  (* Replies own stdout; logging goes to stderr unconditionally. *)
+  Logs.set_reporter (Logs_fmt.reporter ~app:Fmt.stderr ~dst:Fmt.stderr ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning));
+  let svc = Rw_service.Service.create ~config:(service_config cache_size budget) () in
+  let serve () = Rw_service.Server.run svc in
+  match kb_path with
+  | None -> serve ()
+  | Some path -> (
+    match Rw_service.Service.load_kb_file svc path with
+    | Error msg ->
+      Fmt.epr "error loading %s:@.%s@." path msg;
+      exit_kb_error
+    | Ok () -> serve ())
+
+let serve_kb_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "k"; "kb" ] ~docv:"FILE"
+        ~doc:
+          "Knowledge base to preload; clients can also send load_kb \
+           requests.")
+
+let serve_cmd =
+  let doc = "answer degree-of-belief queries over NDJSON on stdin/stdout" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Speaks newline-delimited JSON: one request object per line on \
+         stdin, one reply per line on stdout. Ops: query, batch, load_kb, \
+         stats, shutdown. Answers are cached across requests keyed on \
+         canonical (KB, query, options) digests; per-request budgets \
+         degrade to the rules engine's sound interval on expiry. Request \
+         logs go to stderr.";
+      `P
+        "Example session: echo \
+         '{\"op\":\"query\",\"query\":\"Hep(Eric)\"}' | rw serve --kb \
+         examples/kb/hepatitis.kb";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~man ~exits:common_exits)
+    Term.(const run_serve $ serve_kb_arg $ cache_arg $ budget_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* consistent                                                         *)
@@ -149,7 +357,7 @@ let run_consistent kb_path =
   match load_kb kb_path with
   | Error msg ->
     Fmt.epr "error loading %s:@.%s@." kb_path msg;
-    1
+    exit_kb_error
   | Ok kb -> (
     let parts = Rw_unary.Analysis.analyze kb in
     if not (Rw_unary.Analysis.fully_supported parts) then begin
@@ -174,7 +382,7 @@ let run_consistent kb_path =
 
 let consistent_cmd =
   let doc = "check eventual consistency of a knowledge base" in
-  Cmd.v (Cmd.info "consistent" ~doc) Term.(const run_consistent $ kb_arg)
+  Cmd.v (Cmd.info "consistent" ~doc ~exits:common_exits) Term.(const run_consistent $ kb_arg)
 
 (* ------------------------------------------------------------------ *)
 (* series                                                             *)
@@ -184,12 +392,12 @@ let run_series kb_path query_src sizes tol_scale =
   match load_kb kb_path with
   | Error msg ->
     Fmt.epr "error loading %s:@.%s@." kb_path msg;
-    1
+    exit_kb_error
   | Ok kb -> (
     match parse_formula_arg query_src with
     | Error msg ->
       Fmt.epr "error parsing query: %s@." msg;
-      1
+      exit_query_error
     | Ok query ->
       let tol = Tolerance.uniform tol_scale in
       Fmt.pr "# exact Pr_N( %a | KB ) at tau = %g@." Pretty.pp_formula query
@@ -227,7 +435,7 @@ let series_cmd =
       & info [ "t"; "tolerance" ] ~docv:"TAU" ~doc:"Uniform tolerance scale.")
   in
   Cmd.v
-    (Cmd.info "series" ~doc)
+    (Cmd.info "series" ~doc ~exits:common_exits)
     Term.(const run_series_safe $ kb_arg $ query_arg $ sizes_arg $ tol_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -263,7 +471,7 @@ let zoo_cmd =
       value & opt (some string) None
       & info [ "id" ] ~docv:"ID" ~doc:"Run a single experiment (e.g. E02).")
   in
-  Cmd.v (Cmd.info "zoo" ~doc) Term.(const run_zoo $ id_arg)
+  Cmd.v (Cmd.info "zoo" ~doc ~exits:common_exits) Term.(const run_zoo $ id_arg)
 
 (* ------------------------------------------------------------------ *)
 (* parse                                                              *)
@@ -281,21 +489,24 @@ let run_parse src =
     0
   | Error msg ->
     Fmt.epr "%s@." msg;
-    1
+    exit_query_error
 
 let parse_cmd =
   let doc = "parse a formula and print its analysis" in
   let src_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FORMULA")
   in
-  Cmd.v (Cmd.info "parse" ~doc) Term.(const run_parse $ src_arg)
+  Cmd.v (Cmd.info "parse" ~doc ~exits:common_exits) Term.(const run_parse $ src_arg)
 
 (* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "degrees of belief from statistical knowledge bases (random worlds)" in
-  let info = Cmd.info "rw" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "rw" ~version:"1.0.0" ~doc ~exits:common_exits in
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ query_cmd; consistent_cmd; series_cmd; zoo_cmd; parse_cmd ]))
+          [
+            query_cmd; batch_cmd; serve_cmd; consistent_cmd; series_cmd;
+            zoo_cmd; parse_cmd;
+          ]))

@@ -15,4 +15,19 @@ dune exec bin/rw.exe -- query \
   --kb examples/kb/hepatitis.kb --query 'Hep(Eric)' \
   --engine mc --seed 1 > /dev/null
 
+# Smoke: the NDJSON serve loop — three requests in, three well-formed
+# JSON replies out, clean shutdown exit.
+serve_out=$(printf '%s\n' \
+  '{"id":1,"op":"query","query":"Hep(Eric)"}' \
+  '{"id":2,"op":"stats"}' \
+  '{"id":3,"op":"shutdown"}' \
+  | dune exec bin/rw.exe -- serve --kb examples/kb/hepatitis.kb)
+[ "$(printf '%s\n' "$serve_out" | wc -l)" -eq 3 ]
+printf '%s\n' "$serve_out" | while IFS= read -r line; do
+  case $line in
+    '{'*'"ok":true'*'}') ;;
+    *) echo "ci: bad serve reply: $line" >&2; exit 1 ;;
+  esac
+done
+
 echo "ci: all green"

@@ -1,0 +1,54 @@
+(** Canonical forms and digests for [L≈] formulas.
+
+    The random-worlds degree of belief [Pr_∞(φ | KB)] is a pure
+    function of the {e semantics} of [(KB, φ)], so syntactic variants
+    of the same sentence — alpha-renamed bound variables, reordered
+    conjunctions, swapped operands of the symmetric [≈_i] — must share
+    one cache entry in the query service. This module normalizes a
+    formula to a canonical representative of its (alpha + AC +
+    boolean-simplification) equivalence class and hashes the rendered
+    form into a stable digest.
+
+    Normalization steps, in order:
+
+    + boolean constant folding and double-negation elimination
+      ({!Simplify.simplify});
+    + negation normal form with [⇒]/[⟺] expanded ({!Simplify.nnf}),
+      so e.g. [¬(A ∧ B)] and [¬A ∨ ¬B] coincide;
+    + alpha-renaming of every bound variable — quantifier-bound and
+      proportion-subscript-bound alike — to a positional name
+      determined by its binding depth;
+    + flattening and sorting of [∧]/[∨] chains and of [+]/[·]
+      proportion chains (associativity + commutativity), with
+      duplicate operands collapsed;
+    + orientation of the symmetric constructs: term equality, [⟺],
+      and the approximately-equal comparison [ζ ≈_i ζ'] have their
+      operands put in a fixed order ([⪯_i] is {e not} symmetric and
+      keeps its orientation);
+    + proportion subscripts of small arity try every variable
+      permutation and keep the least rendering, so [||R(x,y)||_{x,y}]
+      and [||R(y,x)||_{y,x}] coincide.
+
+    Every step preserves truth in each world, hence preserves
+    [Pr_N^τ̄] and its double limit — canonically-equal formulas are
+    interchangeable as far as any engine's answer is concerned.
+
+    The canonical formula is for {e keying}: its bound-variable names
+    ([#0], [#1], …) are deliberately outside the parser's lexicon, so
+    render it with {!Pretty} but do not feed it back through
+    {!Parser}. *)
+
+val canonicalize : Syntax.formula -> Syntax.formula
+(** The canonical representative. Idempotent. *)
+
+val to_string : Syntax.formula -> string
+(** [Pretty.to_string (canonicalize f)] — the rendered canonical
+    form, the preimage of {!digest}. *)
+
+val digest : Syntax.formula -> string
+(** Hex MD5 of {!to_string} — the formula's cache key component. Two
+    formulas in the same equivalence class get equal digests; distinct
+    canonical forms get distinct digests (modulo MD5 collisions). *)
+
+val equivalent : Syntax.formula -> Syntax.formula -> bool
+(** Same canonical form — alpha/AC/simplification equivalence. *)

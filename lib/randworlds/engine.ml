@@ -245,5 +245,11 @@ and cross_check ~options ~vocab ~kb query answer =
     end
 
 (** [degree_of_belief ~kb query] — the headline API:
-    [Pr_∞(query | kb)] computed by the best applicable engine. *)
-let degree_of_belief ?options ~kb query = infer ?options ~kb query
+    [Pr_∞(query | kb)] computed by the best applicable engine. Every
+    call is credited to the winning engine in {!Instr}, which is what
+    the query service's [stats] reply reports. *)
+let degree_of_belief ?options ~kb query =
+  let t0 = Instr.now () in
+  let answer = infer ?options ~kb query in
+  Instr.record ~engine:answer.Answer.engine ~seconds:(Instr.now () -. t0);
+  answer

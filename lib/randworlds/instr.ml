@@ -1,0 +1,29 @@
+(** Engine instrumentation — see the interface. *)
+
+type entry = { engine : string; count : int; seconds : float }
+
+type cell = { mutable n : int; mutable secs : float }
+
+let table : (string, cell) Hashtbl.t = Hashtbl.create 16
+
+let now () = Unix.gettimeofday ()
+
+let record ~engine ~seconds =
+  let cell =
+    match Hashtbl.find_opt table engine with
+    | Some c -> c
+    | None ->
+      let c = { n = 0; secs = 0.0 } in
+      Hashtbl.add table engine c;
+      c
+  in
+  cell.n <- cell.n + 1;
+  cell.secs <- cell.secs +. seconds
+
+let snapshot () =
+  Hashtbl.fold
+    (fun engine c acc -> { engine; count = c.n; seconds = c.secs } :: acc)
+    table []
+  |> List.sort (fun a b -> Stdlib.compare a.engine b.engine)
+
+let reset () = Hashtbl.reset table

@@ -1,0 +1,30 @@
+(** Engine instrumentation: per-engine dispatch counters and wall-clock
+    accounting for the top-level {!Engine.degree_of_belief} entry
+    point.
+
+    The query service's [stats] reply reports which engines actually
+    answered traffic and how much wall-clock each consumed; the
+    counters here are the source of truth. Counters are process-global
+    (the library is single-threaded) and cheap enough to leave on
+    unconditionally. *)
+
+type entry = {
+  engine : string;  (** the engine named in the winning {!Answer.t} *)
+  count : int;  (** dispatches resolved by this engine *)
+  seconds : float;  (** total wall-clock spent in those dispatches *)
+}
+
+val now : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]) — shared so every layer
+    times with the same clock. *)
+
+val record : engine:string -> seconds:float -> unit
+(** Credit one dispatch to [engine]. Called by
+    {!Engine.degree_of_belief}; other entry points may record
+    themselves. *)
+
+val snapshot : unit -> entry list
+(** Current counters, sorted by engine name. *)
+
+val reset : unit -> unit
+(** Zero every counter (tests and service restarts). *)

@@ -1,0 +1,303 @@
+(** Minimal JSON codec — see the interface. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let escape_into buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 || Char.code c >= 0x7f ->
+        (* Control bytes and non-ASCII: escape byte-wise. Multi-byte
+           UTF-8 sequences come out as one \u00XX per byte, which is
+           wrong as Unicode but unambiguous and round-trips through
+           our own parser; the protocol's own strings are ASCII. *)
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Shortest decimal form that round-trips (same policy as the formula
+   pretty-printer), with a JSON-syntax guarantee: always contains a
+   '.', 'e' or leading digit form acceptable to strict parsers. *)
+let float_repr x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.1f" x
+  else begin
+    let rec shortest p =
+      if p > 17 then Printf.sprintf "%.17g" x
+      else begin
+        let s = Printf.sprintf "%.*g" p x in
+        if float_of_string s = x then s else shortest (p + 1)
+      end
+    in
+    shortest 1
+  end
+
+let rec encode buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float x ->
+    if not (Float.is_finite x) then
+      (* nan / ±inf: not representable in JSON. *)
+      Buffer.add_string buf "null"
+    else Buffer.add_string buf (float_repr x)
+  | String s -> escape_into buf s
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        encode buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_into buf k;
+        Buffer.add_char buf ':';
+        encode buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  encode buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                           *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string * int
+
+let parse_value src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (msg, !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub src !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let s = String.sub src !pos 4 in
+    pos := !pos + 4;
+    match int_of_string_opt ("0x" ^ s) with
+    | Some v -> v
+    | None -> fail "bad \\u escape"
+  in
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xf0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' ->
+        advance ();
+        Buffer.contents buf
+      | Some '\\' -> begin
+        advance ();
+        (match peek () with
+        | Some '"' -> advance (); Buffer.add_char buf '"'
+        | Some '\\' -> advance (); Buffer.add_char buf '\\'
+        | Some '/' -> advance (); Buffer.add_char buf '/'
+        | Some 'b' -> advance (); Buffer.add_char buf '\b'
+        | Some 'f' -> advance (); Buffer.add_char buf '\012'
+        | Some 'n' -> advance (); Buffer.add_char buf '\n'
+        | Some 'r' -> advance (); Buffer.add_char buf '\r'
+        | Some 't' -> advance (); Buffer.add_char buf '\t'
+        | Some 'u' ->
+          advance ();
+          let cp = hex4 () in
+          let cp =
+            (* Combine a surrogate pair when the low half follows. *)
+            if cp >= 0xd800 && cp <= 0xdbff && !pos + 6 <= n
+               && src.[!pos] = '\\' && src.[!pos + 1] = 'u' then begin
+              pos := !pos + 2;
+              let lo = hex4 () in
+              if lo >= 0xdc00 && lo <= 0xdfff then
+                0x10000 + (((cp - 0xd800) lsl 10) lor (lo - 0xdc00))
+              else fail "unpaired surrogate"
+            end
+            else cp
+          in
+          add_utf8 buf cp
+        | _ -> fail "bad escape");
+        go ()
+      end
+      | Some c ->
+        advance ();
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    let s = String.sub src start (!pos - start) in
+    let floaty = String.exists (function '.' | 'e' | 'E' -> true | _ -> false) s in
+    if floaty then
+      match float_of_string_opt s with
+      | Some x -> Float x
+      | None -> fail "bad number"
+    else begin
+      match int_of_string_opt s with
+      | Some i -> Int i
+      | None -> (
+        match float_of_string_opt s with
+        | Some x -> Float x
+        | None -> fail "bad number")
+    end
+  in
+  let rec parse_v () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "empty input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_v () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        List (items [])
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_v () in
+          (k, v)
+        in
+        let rec fields acc =
+          let kv = field () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields (kv :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev (kv :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Obj (fields [])
+      end
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected %C" c)
+  in
+  let v = parse_v () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let of_string s =
+  match parse_value s with
+  | v -> Ok v
+  | exception Bad (msg, pos) ->
+    Error (Printf.sprintf "JSON error at offset %d: %s" pos msg)
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+let to_str = function String s -> Some s | _ -> None
+let to_int = function Int i -> Some i | _ -> None
+
+let to_float = function
+  | Float x -> Some x
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function List xs -> Some xs | _ -> None

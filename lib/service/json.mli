@@ -1,0 +1,43 @@
+(** A minimal JSON codec for the service protocol.
+
+    The serve loop speaks newline-delimited JSON over stdin/stdout;
+    this module is the whole of its wire format — a small, dependency-
+    free value type, a single-line encoder, and a recursive-descent
+    parser. It is deliberately not a general-purpose JSON library:
+    just enough of RFC 8259 for the request/response shapes in
+    {!Protocol}, with deterministic output (object fields print in the
+    order given, floats in shortest round-trip form). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** One line, no trailing newline, ASCII-safe (non-ASCII and control
+    bytes in strings are [\u]-escaped). Non-finite floats encode as
+    [null] — they never appear in well-formed answers, and NDJSON
+    readers choke on bare [NaN]. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; trailing garbage is an error. Numbers
+    without [.]/[e] become [Int] (falling back to [Float] on
+    overflow); [\uXXXX] escapes decode to UTF-8, pairing surrogates
+    when both halves are present. *)
+
+(** {2 Accessors} — each returns [None] on a shape mismatch. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj] ([None] for absent or non-object). *)
+
+val to_str : t -> string option
+val to_int : t -> int option
+val to_float : t -> float option
+(** [Int] values convert too. *)
+
+val to_bool : t -> bool option
+val to_list : t -> t list option

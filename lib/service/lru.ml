@@ -1,0 +1,110 @@
+(** Bounded LRU cache — see the interface. *)
+
+type 'v node = {
+  key : string;
+  mutable value : 'v;
+  mutable prev : 'v node option;  (** toward most-recent *)
+  mutable next : 'v node option;  (** toward least-recent *)
+}
+
+type 'v t = {
+  capacity : int;
+  tbl : (string, 'v node) Hashtbl.t;
+  mutable head : 'v node option;  (** most recently used *)
+  mutable tail : 'v node option;  (** least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Lru.create: negative capacity";
+  {
+    capacity;
+    tbl = Hashtbl.create (max 16 capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some nx -> nx.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find (t : _ t) key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some node ->
+    t.hits <- t.hits + 1;
+    unlink t node;
+    push_front t node;
+    Some node.value
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some lru ->
+    unlink t lru;
+    Hashtbl.remove t.tbl lru.key;
+    t.evictions <- t.evictions + 1
+
+let add (t : _ t) key value =
+  if t.capacity > 0 then begin
+    (match Hashtbl.find_opt t.tbl key with
+    | Some node ->
+      node.value <- value;
+      unlink t node;
+      push_front t node
+    | None ->
+      let node = { key; value; prev = None; next = None } in
+      Hashtbl.add t.tbl key node;
+      push_front t node);
+    while Hashtbl.length t.tbl > t.capacity do
+      evict_lru t
+    done
+  end
+
+let mem (t : _ t) key = Hashtbl.mem t.tbl key
+
+let stats (t : _ t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    size = Hashtbl.length t.tbl;
+    capacity = t.capacity;
+  }
+
+let clear (t : _ t) =
+  Hashtbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None
+
+let reset_stats (t : _ t) =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0

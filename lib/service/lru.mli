@@ -1,0 +1,46 @@
+(** A bounded LRU cache with hit/miss/eviction counters.
+
+    The answer cache of the query service: keys are canonical digests
+    (strings), values are whatever the caller memoizes (answers).
+    O(1) lookup and insertion via a hash table over an intrusive
+    doubly-linked recency list; the least-recently-used entry is
+    evicted when insertion exceeds capacity.
+
+    Not thread-safe — the service is a single-threaded request loop. *)
+
+type 'v t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;  (** live entries *)
+  capacity : int;
+}
+
+val create : capacity:int -> 'v t
+(** [create ~capacity] — a cache holding at most [capacity] entries.
+    Capacity [0] disables caching (every lookup is a counted miss,
+    insertions are dropped). Raises [Invalid_argument] when
+    negative. *)
+
+val find : 'v t -> string -> 'v option
+(** Lookup; a hit refreshes the entry's recency and bumps [hits], a
+    miss bumps [misses]. *)
+
+val add : 'v t -> string -> 'v -> unit
+(** Insert or overwrite, making the entry most-recent. Evicts the
+    least-recently-used entry (bumping [evictions]) when the cache is
+    over capacity. *)
+
+val mem : 'v t -> string -> bool
+(** Presence test that touches neither recency nor counters. *)
+
+val stats : 'v t -> stats
+
+val clear : 'v t -> unit
+(** Drop every entry; counters keep accumulating (cleared entries are
+    not evictions). *)
+
+val reset_stats : 'v t -> unit
+(** Zero the hit/miss/eviction counters, keeping entries. *)

@@ -1,0 +1,130 @@
+(** NDJSON protocol codecs — see the interface. *)
+
+open Randworlds
+
+type request =
+  | Query of { id : Json.t option; src : string; budget : float option }
+  | Batch of { id : Json.t option; srcs : string list; budget : float option }
+  | Load_kb of { id : Json.t option; path : string option; text : string option }
+  | Stats of { id : Json.t option }
+  | Shutdown of { id : Json.t option }
+
+let request_id = function
+  | Query { id; _ } | Batch { id; _ } | Load_kb { id; _ } | Stats { id }
+  | Shutdown { id } ->
+    id
+
+let request_of_json json =
+  let id = Json.member "id" json in
+  let budget = Option.bind (Json.member "budget" json) Json.to_float in
+  match Option.bind (Json.member "op" json) Json.to_str with
+  | None -> Error "missing \"op\" field"
+  | Some "query" -> (
+    match Option.bind (Json.member "query" json) Json.to_str with
+    | Some src -> Ok (Query { id; src; budget })
+    | None -> Error "\"query\" op needs a string \"query\" field")
+  | Some "batch" -> (
+    match Option.bind (Json.member "queries" json) Json.to_list with
+    | Some items -> (
+      let srcs = List.filter_map Json.to_str items in
+      if List.length srcs = List.length items then
+        Ok (Batch { id; srcs; budget })
+      else Error "\"queries\" must be a list of strings")
+    | None -> Error "\"batch\" op needs a \"queries\" list")
+  | Some "load_kb" -> (
+    let path = Option.bind (Json.member "path" json) Json.to_str in
+    let text = Option.bind (Json.member "kb" json) Json.to_str in
+    match (path, text) with
+    | None, None -> Error "\"load_kb\" op needs a \"path\" or inline \"kb\""
+    | _ -> Ok (Load_kb { id; path; text }))
+  | Some "stats" -> Ok (Stats { id })
+  | Some "shutdown" -> Ok (Shutdown { id })
+  | Some op -> Error (Printf.sprintf "unknown op %S" op)
+
+(* ------------------------------------------------------------------ *)
+(* Encoders                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_result = function
+  | Answer.Point v -> Json.Obj [ ("kind", Json.String "point"); ("value", Json.Float v) ]
+  | Answer.Within i ->
+    Json.Obj
+      [
+        ("kind", Json.String "within");
+        ("lo", Json.Float (Rw_prelude.Interval.lo i));
+        ("hi", Json.Float (Rw_prelude.Interval.hi i));
+      ]
+  | Answer.No_limit why ->
+    Json.Obj [ ("kind", Json.String "no_limit"); ("why", Json.String why) ]
+  | Answer.Inconsistent -> Json.Obj [ ("kind", Json.String "inconsistent") ]
+  | Answer.Not_applicable why ->
+    Json.Obj [ ("kind", Json.String "not_applicable"); ("why", Json.String why) ]
+
+let json_of_answer ?cached ?elapsed_ms (a : Answer.t) =
+  let base =
+    [
+      ("result", json_of_result a.Answer.result);
+      ("engine", Json.String a.Answer.engine);
+      ("notes", Json.List (List.map (fun n -> Json.String n) a.Answer.notes));
+    ]
+  in
+  let base =
+    match cached with
+    | Some c -> base @ [ ("cached", Json.Bool c) ]
+    | None -> base
+  in
+  let base =
+    match elapsed_ms with
+    | Some ms -> base @ [ ("elapsed_ms", Json.Float ms) ]
+    | None -> base
+  in
+  Json.Obj base
+
+let json_of_stats (s : Service.stats) =
+  Json.Obj
+    [
+      ( "cache",
+        Json.Obj
+          [
+            ("hits", Json.Int s.Service.cache.Lru.hits);
+            ("misses", Json.Int s.Service.cache.Lru.misses);
+            ("evictions", Json.Int s.Service.cache.Lru.evictions);
+            ("size", Json.Int s.Service.cache.Lru.size);
+            ("capacity", Json.Int s.Service.cache.Lru.capacity);
+          ] );
+      ( "engines",
+        Json.List
+          (List.map
+             (fun (e : Instr.entry) ->
+               Json.Obj
+                 [
+                   ("engine", Json.String e.Instr.engine);
+                   ("dispatches", Json.Int e.Instr.count);
+                   ("seconds", Json.Float e.Instr.seconds);
+                 ])
+             s.Service.engines) );
+      ("queries", Json.Int s.Service.queries);
+      ("timeouts", Json.Int s.Service.timeouts);
+      ("kb_loads", Json.Int s.Service.kb_loads);
+      ( "latency_ms",
+        Json.Obj
+          [
+            ("requests", Json.Int s.Service.latency.Service.requests);
+            ("mean", Json.Float s.Service.latency.Service.mean_ms);
+            ("p50", Json.Float s.Service.latency.Service.p50_ms);
+            ("p95", Json.Float s.Service.latency.Service.p95_ms);
+            ("max", Json.Float s.Service.latency.Service.max_ms);
+          ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Replies                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let with_id id fields =
+  match id with Some id -> ("id", id) :: fields | None -> fields
+
+let ok_reply ?id payload = Json.Obj (with_id id (("ok", Json.Bool true) :: payload))
+
+let error_reply ?id msg =
+  Json.Obj (with_id id [ ("ok", Json.Bool false); ("error", Json.String msg) ])

@@ -1,0 +1,53 @@
+(** The NDJSON serve protocol: request shapes, and the JSON encoders
+    shared between [rw serve], [rw batch --json] and [rw query
+    --json].
+
+    One request per line on stdin, one reply per line on stdout.
+    Requests are objects with an ["op"] field:
+
+    {v
+  {"op":"load_kb","path":"examples/kb/hepatitis.kb"}   load from disk
+  {"op":"load_kb","kb":"Jaun(Eric) /\\ ..."}           inline KB text
+  {"op":"query","query":"Hep(Eric)","budget":0.5}      one query
+  {"op":"batch","queries":["Hep(Eric)","~Hep(Eric)"]}  many queries
+  {"op":"stats"}                                       counters
+  {"op":"shutdown"}                                    clean exit
+    v}
+
+    Every request may carry an ["id"] (any JSON value), echoed
+    verbatim in the reply. Every reply has ["ok"] — [true] with the
+    op's payload, or [false] with an ["error"] string; a malformed
+    line yields an [ok:false] reply rather than killing the session. *)
+
+open Randworlds
+
+type request =
+  | Query of { id : Json.t option; src : string; budget : float option }
+  | Batch of { id : Json.t option; srcs : string list; budget : float option }
+  | Load_kb of { id : Json.t option; path : string option; text : string option }
+  | Stats of { id : Json.t option }
+  | Shutdown of { id : Json.t option }
+
+val request_of_json : Json.t -> (request, string) result
+
+val request_id : request -> Json.t option
+
+(** {2 Encoders} *)
+
+val json_of_answer :
+  ?cached:bool -> ?elapsed_ms:float -> Answer.t -> Json.t
+(** The one answer encoding every [--json] surface shares:
+    [{"result":{"kind":...},"engine":...,"notes":[...]}], plus
+    ["cached"]/["elapsed_ms"] when given. Point results carry
+    ["value"]; intervals ["lo"]/["hi"]; the failure kinds carry
+    ["why"]. *)
+
+val json_of_stats : Service.stats -> Json.t
+
+(** {2 Replies} *)
+
+val ok_reply : ?id:Json.t -> (string * Json.t) list -> Json.t
+(** [{"ok":true, ...payload}] with the echoed [id] first. *)
+
+val error_reply : ?id:Json.t -> string -> Json.t
+(** [{"ok":false,"error":msg}]. *)

@@ -1,0 +1,131 @@
+(** The serve loop — see the interface. *)
+
+open Randworlds
+
+let src = Logs.Src.create "rw.serve" ~doc:"rw serve request log"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let origin_tag = function
+  | Service.Computed -> "miss"
+  | Service.Cached -> "hit"
+  | Service.Degraded -> "degraded"
+
+let answer_payload (a, origin) elapsed_ms =
+  Protocol.json_of_answer ~cached:(origin = Service.Cached) ~elapsed_ms a
+
+let handle_request service req =
+  let id = Protocol.request_id req in
+  let timed f =
+    let t0 = Instr.now () in
+    let r = f () in
+    (r, (Instr.now () -. t0) *. 1000.0)
+  in
+  match req with
+  | Protocol.Query { src = qsrc; budget; _ } -> begin
+    let result, ms = timed (fun () -> Service.query_src ?budget service qsrc) in
+    match result with
+    | Ok ((_, origin) as hit) ->
+      Log.info (fun m -> m "query %s %.2fms %s" (origin_tag origin) ms qsrc);
+      `Reply (Protocol.ok_reply ?id [ ("answer", answer_payload hit ms) ])
+    | Error msg ->
+      Log.warn (fun m -> m "query error: %s" msg);
+      `Reply (Protocol.error_reply ?id msg)
+  end
+  | Protocol.Batch { srcs; budget; _ } ->
+    let results, ms =
+      timed (fun () -> List.map (Service.query_src ?budget service) srcs)
+    in
+    let items =
+      List.map2
+        (fun qsrc result ->
+          match result with
+          | Ok ((_, origin) as hit) ->
+            Json.Obj
+              [
+                ("query", Json.String qsrc);
+                ("ok", Json.Bool true);
+                ("answer", answer_payload hit 0.0);
+                ("cached", Json.Bool (origin = Service.Cached));
+              ]
+          | Error msg ->
+            Json.Obj
+              [
+                ("query", Json.String qsrc);
+                ("ok", Json.Bool false);
+                ("error", Json.String msg);
+              ])
+        srcs results
+    in
+    let failed =
+      List.length (List.filter (function Error _ -> true | _ -> false) results)
+    in
+    Log.info (fun m ->
+        m "batch of %d (%d failed) %.2fms" (List.length srcs) failed ms);
+    `Reply
+      (Protocol.ok_reply ?id
+         [
+           ("answers", Json.List items);
+           ("count", Json.Int (List.length srcs));
+           ("failed", Json.Int failed);
+           ("elapsed_ms", Json.Float ms);
+         ])
+  | Protocol.Load_kb { path; text; _ } -> begin
+    let result =
+      match (text, path) with
+      | Some text, _ -> Service.load_kb_string service text
+      | None, Some path -> Service.load_kb_file service path
+      | None, None -> Error "load_kb needs a \"path\" or inline \"kb\""
+    in
+    match result with
+    | Ok () ->
+      Log.info (fun m ->
+          m "load_kb %s" (match path with Some p -> p | None -> "<inline>"));
+      `Reply (Protocol.ok_reply ?id [ ("loaded", Json.Bool true) ])
+    | Error msg ->
+      Log.warn (fun m -> m "load_kb failed: %s" msg);
+      `Reply (Protocol.error_reply ?id msg)
+  end
+  | Protocol.Stats _ ->
+    Log.info (fun m -> m "stats");
+    `Reply
+      (Protocol.ok_reply ?id
+         [ ("stats", Protocol.json_of_stats (Service.stats service)) ])
+  | Protocol.Shutdown _ ->
+    Log.info (fun m -> m "shutdown");
+    `Quit (Protocol.ok_reply ?id [ ("bye", Json.Bool true) ])
+
+let handle_line service line =
+  match Json.of_string line with
+  | Error msg ->
+    Log.warn (fun m -> m "malformed request: %s" msg);
+    `Reply (Protocol.error_reply msg)
+  | Ok json -> (
+    match Protocol.request_of_json json with
+    | Error msg ->
+      Log.warn (fun m -> m "bad request: %s" msg);
+      `Reply (Protocol.error_reply ?id:(Json.member "id" json) msg)
+    | Ok req -> handle_request service req)
+
+let run ?(ic = stdin) ?(oc = stdout) service =
+  let emit reply =
+    output_string oc (Json.to_string reply);
+    output_char oc '\n';
+    flush oc
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file ->
+      Log.info (fun m -> m "eof; exiting");
+      0
+    | line when String.trim line = "" -> loop ()
+    | line -> (
+      match handle_line service line with
+      | `Reply reply ->
+        emit reply;
+        loop ()
+      | `Quit reply ->
+        emit reply;
+        0)
+  in
+  loop ()

@@ -1,0 +1,22 @@
+(** The serve loop: newline-delimited JSON requests in, replies out.
+
+    Channel-parametric so tests can drive a server through pipes or
+    strings; [rw serve] runs it over stdin/stdout. Every request is
+    logged on the [rw.serve] {!Logs} source (op, outcome, latency) —
+    logging goes wherever the reporter sends it (stderr in the CLI),
+    never onto the reply stream. *)
+
+val src : Logs.src
+(** The [rw.serve] log source. *)
+
+val handle_line : Service.t -> string -> [ `Reply of Json.t | `Quit of Json.t ]
+(** Process one request line: parse, dispatch, build the reply.
+    Malformed JSON or an unknown op yields an [ok:false] [`Reply];
+    only a well-formed [shutdown] yields [`Quit]. Exposed for
+    tests. *)
+
+val run : ?ic:in_channel -> ?oc:out_channel -> Service.t -> int
+(** Read requests from [ic] (default stdin) until [shutdown] or EOF,
+    writing one reply line per request to [oc] (default stdout,
+    flushed per reply). Returns the process exit code (0 on clean
+    shutdown or EOF). *)

@@ -1,0 +1,290 @@
+(** The query service — see the interface for the design. *)
+
+open Rw_logic
+open Randworlds
+
+type config = {
+  cache_capacity : int;
+  budget : float option;
+  engine_options : Engine.options;
+}
+
+let default_config =
+  {
+    cache_capacity = 1024;
+    budget = None;
+    engine_options = Engine.default_options;
+  }
+
+type origin = Computed | Cached | Degraded
+
+(* Latency accounting: running aggregates plus a bounded ring of the
+   most recent samples for the percentile estimates — a service that
+   has answered millions of requests must not retain millions of
+   floats. *)
+type latency = {
+  mutable count : int;
+  mutable total_ms : float;
+  mutable max_ms : float;
+  ring : float array;
+  mutable ring_len : int;
+  mutable ring_pos : int;
+}
+
+let ring_size = 512
+
+let latency_create () =
+  {
+    count = 0;
+    total_ms = 0.0;
+    max_ms = 0.0;
+    ring = Array.make ring_size 0.0;
+    ring_len = 0;
+    ring_pos = 0;
+  }
+
+let latency_record l ms =
+  l.count <- l.count + 1;
+  l.total_ms <- l.total_ms +. ms;
+  if ms > l.max_ms then l.max_ms <- ms;
+  l.ring.(l.ring_pos) <- ms;
+  l.ring_pos <- (l.ring_pos + 1) mod ring_size;
+  if l.ring_len < ring_size then l.ring_len <- l.ring_len + 1
+
+type latency_summary = {
+  requests : int;
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  max_ms : float;
+}
+
+let latency_summary l =
+  if l.count = 0 then
+    { requests = 0; mean_ms = 0.0; p50_ms = 0.0; p95_ms = 0.0; max_ms = 0.0 }
+  else begin
+    let sample = Array.sub l.ring 0 l.ring_len in
+    Array.sort Stdlib.compare sample;
+    let pct p =
+      let idx =
+        int_of_float (Float.of_int (l.ring_len - 1) *. p /. 100.0 +. 0.5)
+      in
+      sample.(max 0 (min (l.ring_len - 1) idx))
+    in
+    {
+      requests = l.count;
+      mean_ms = l.total_ms /. float_of_int l.count;
+      p50_ms = pct 50.0;
+      p95_ms = pct 95.0;
+      max_ms = l.max_ms;
+    }
+  end
+
+type t = {
+  config : config;
+  cache : Answer.t Lru.t;
+  opts_digest : string;
+  mutable kb : Syntax.formula option;
+  mutable kb_digest : string;
+  latency : latency;
+  mutable queries : int;
+  mutable timeouts : int;
+  mutable kb_loads : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Option fingerprinting                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Two services answer from interchangeable cache entries only when
+   every knob that can change an engine verdict agrees: the tolerance
+   schedule, the domain-size grids, and the Monte-Carlo parameters.
+   Render them all deterministically and hash. *)
+let tolerance_fingerprint (tol : Tolerance.t) =
+  let pairs ps =
+    String.concat ","
+      (List.map
+         (fun (i, v) -> Printf.sprintf "%d:%h" i v)
+         (List.sort Stdlib.compare ps))
+  in
+  Printf.sprintf "%h[w%s][p%s]" tol.Tolerance.scale
+    (pairs tol.Tolerance.weights)
+    (pairs tol.Tolerance.powers)
+
+let options_fingerprint (o : Engine.options) =
+  let ints = function
+    | None -> "-"
+    | Some xs -> String.concat "," (List.map string_of_int xs)
+  in
+  let s =
+    Printf.sprintf "tols=%s;unary=%s;enum=%s;use_enum=%b;seed=%d;samples=%s;ciw=%s;xchk=%b"
+      (match o.Engine.tols with
+      | None -> "-"
+      | Some ts -> String.concat ";" (List.map tolerance_fingerprint ts))
+      (ints o.Engine.unary_sizes) (ints o.Engine.enum_sizes) o.Engine.use_enum
+      o.Engine.mc_seed
+      (match o.Engine.mc_samples with None -> "-" | Some n -> string_of_int n)
+      (match o.Engine.mc_ci_width with None -> "-" | Some w -> Printf.sprintf "%h" w)
+      o.Engine.mc_cross_check
+  in
+  Digest.to_hex (Digest.string s)
+
+let create ?(config = default_config) () =
+  {
+    config;
+    cache = Lru.create ~capacity:config.cache_capacity;
+    opts_digest = options_fingerprint config.engine_options;
+    kb = None;
+    kb_digest = "";
+    latency = latency_create ();
+    queries = 0;
+    timeouts = 0;
+    kb_loads = 0;
+  }
+
+let config t = t.config
+
+(* ------------------------------------------------------------------ *)
+(* KB lifecycle                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let load_kb t kb =
+  t.kb <- Some kb;
+  t.kb_digest <- Canonical.digest kb;
+  t.kb_loads <- t.kb_loads + 1
+
+let load_kb_string t src =
+  match Kb_file.of_string src with
+  | Error errs ->
+    Error
+      (String.concat "\n" (List.map (Fmt.str "%a" Kb_file.pp_parse_error) errs))
+  | Ok kb -> (
+    match Validate.errors kb with
+    | [] ->
+      load_kb t kb;
+      Ok ()
+    | errs ->
+      Error (String.concat "\n" (List.map (Fmt.str "%a" Validate.pp_issue) errs)))
+
+let load_kb_file t path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | src -> load_kb_string t src
+  | exception Sys_error msg -> Error msg
+
+let kb t = t.kb
+
+(* ------------------------------------------------------------------ *)
+(* Budgets                                                            *)
+(* ------------------------------------------------------------------ *)
+
+exception Timed_out
+
+(* Wall-clock preemption via SIGALRM: the handler raises from the next
+   allocation point, which every engine reaches constantly. The
+   previous handler and timer are restored on every exit path so
+   nested users (and the test runner) are unaffected. *)
+let with_budget budget ~fallback f =
+  match budget with
+  | None -> (f (), false)
+  | Some s when s <= 0.0 -> (fallback (), true)
+  | Some s -> (
+    let old_handler =
+      Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> raise Timed_out))
+    in
+    let disarm () =
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL
+           { Unix.it_interval = 0.0; it_value = 0.0 });
+      Sys.set_signal Sys.sigalrm old_handler
+    in
+    ignore
+      (Unix.setitimer Unix.ITIMER_REAL { Unix.it_interval = 0.0; it_value = s });
+    match f () with
+    | v ->
+      disarm ();
+      (v, false)
+    | exception Timed_out ->
+      disarm ();
+      (fallback (), true)
+    | exception e ->
+      disarm ();
+      raise e)
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let cache_key t q = t.kb_digest ^ "|" ^ Canonical.digest q ^ "|" ^ t.opts_digest
+
+let degraded_answer ~kb ~budget q =
+  let a = Rules_engine.infer ~kb q in
+  Answer.add_notes a
+    [
+      Printf.sprintf
+        "request budget %gs exhausted: degraded to the rules-engine sound answer"
+        budget;
+    ]
+
+let query ?budget t q =
+  match t.kb with
+  | None -> Error "no knowledge base loaded"
+  | Some kb ->
+    let budget =
+      match budget with Some _ as b -> b | None -> t.config.budget
+    in
+    let t0 = Instr.now () in
+    t.queries <- t.queries + 1;
+    let key = cache_key t q in
+    let answer, origin =
+      match Lru.find t.cache key with
+      | Some a -> (a, Cached)
+      | None ->
+        let a, timed_out =
+          with_budget budget
+            ~fallback:(fun () ->
+              degraded_answer ~kb ~budget:(Option.value budget ~default:0.0) q)
+            (fun () ->
+              Engine.degree_of_belief ~options:t.config.engine_options ~kb q)
+        in
+        if timed_out then begin
+          (* Wall-clock-dependent: never cached. *)
+          t.timeouts <- t.timeouts + 1;
+          (a, Degraded)
+        end
+        else begin
+          Lru.add t.cache key a;
+          (a, Computed)
+        end
+    in
+    latency_record t.latency ((Instr.now () -. t0) *. 1000.0);
+    Ok (answer, origin)
+
+let query_src ?budget t src =
+  match Parser.formula src with
+  | Error msg -> Error (Printf.sprintf "query parse error: %s" msg)
+  | Ok q -> query ?budget t q
+
+let batch ?budget t qs = List.map (fun q -> query ?budget t q) qs
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  cache : Lru.stats;
+  engines : Instr.entry list;
+  queries : int;
+  timeouts : int;
+  kb_loads : int;
+  latency : latency_summary;
+}
+
+let stats (t : t) =
+  {
+    cache = Lru.stats t.cache;
+    engines = Instr.snapshot ();
+    queries = t.queries;
+    timeouts = t.timeouts;
+    kb_loads = t.kb_loads;
+    latency = latency_summary t.latency;
+  }

@@ -1,0 +1,119 @@
+(** The query service: a resident KB session with a memoized
+    degree-of-belief evaluator.
+
+    The one-shot CLI re-parses, re-validates and re-dispatches every
+    query from scratch, even though [Pr_∞(φ | KB)] is a pure function
+    of the (KB, query, tolerance schedule, engine options) quadruple.
+    A {!t} instead holds one KB resident — parsed, validated and
+    canonically digested once per load — and answers queries through a
+    bounded LRU cache keyed on
+
+    {v canonical KB digest × canonical query digest × options digest v}
+
+    so syntactic variants of the same question ({!Rw_logic.Canonical})
+    cost one engine dispatch between them. The options digest folds in
+    the tolerance schedule and every engine knob, so services with
+    different configurations never share entries.
+
+    Per-request wall-clock budgets degrade gracefully: when the budget
+    expires mid-dispatch the request is answered by the rules engine's
+    provably-sound interval instead (never cached, counted in
+    [timeouts]). A non-positive budget degrades immediately — the
+    "shed load but stay sound" mode.
+
+    Answers served from the cache are the very same {!Answer.t} values
+    the engine produced — byte-identical verdicts, by construction. *)
+
+open Rw_logic
+open Randworlds
+
+type config = {
+  cache_capacity : int;  (** LRU entries; [0] disables caching *)
+  budget : float option;  (** default per-request seconds; [None] = unlimited *)
+  engine_options : Engine.options;  (** fixed per service instance *)
+}
+
+val default_config : config
+(** 1024 cache entries, no budget, {!Engine.default_options}. *)
+
+type t
+
+(** Where an answer came from — the cache-behaviour tests and the
+    serve protocol's [cached] flag key off this. *)
+type origin =
+  | Computed  (** full engine dispatch, now cached *)
+  | Cached  (** served from the LRU *)
+  | Degraded  (** budget expired: rules-engine sound interval *)
+
+val create : ?config:config -> unit -> t
+
+val config : t -> config
+
+(** {2 KB lifecycle} *)
+
+val load_kb : t -> Syntax.formula -> unit
+(** Install an (assumed well-formed) KB, digesting it once. *)
+
+val load_kb_string : t -> string -> (unit, string) result
+(** Parse ({!Kb_file.of_string}) + validate + install. The error
+    string is display-ready. *)
+
+val load_kb_file : t -> string -> (unit, string) result
+(** As {!load_kb_string}, reading the file; I/O failures are
+    reported, not raised. *)
+
+val kb : t -> Syntax.formula option
+
+(** {2 Queries} *)
+
+val query :
+  ?budget:float -> t -> Syntax.formula -> (Answer.t * origin, string) result
+(** Evaluate one query against the resident KB. [Error] only when no
+    KB is loaded. [?budget] overrides the config default for this
+    request. *)
+
+val query_src :
+  ?budget:float -> t -> string -> (Answer.t * origin, string) result
+(** Parse, then {!query} — parse failures land in [Error]. *)
+
+val batch :
+  ?budget:float ->
+  t ->
+  Syntax.formula list ->
+  (Answer.t * origin, string) result list
+(** The batch evaluator: every query runs against the same resident
+    KB, sharing its digest, validation, and the cache — the KB is
+    loaded and keyed once for the whole batch. *)
+
+(** {2 Observability} *)
+
+type latency_summary = {
+  requests : int;
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  max_ms : float;
+}
+
+type stats = {
+  cache : Lru.stats;
+  engines : Instr.entry list;
+      (** per-engine dispatch counts and wall-clock
+          (process-global, see {!Instr}) *)
+  queries : int;  (** query requests handled, batch items included *)
+  timeouts : int;  (** requests degraded on budget expiry *)
+  kb_loads : int;
+  latency : latency_summary;
+}
+
+val stats : t -> stats
+
+(** {2 Budgets (exposed for tests)} *)
+
+val with_budget :
+  float option -> fallback:(unit -> 'a) -> (unit -> 'a) -> 'a * bool
+(** [with_budget budget ~fallback f] runs [f] under a [SIGALRM]
+    wall-clock budget; on expiry (or a non-positive budget) it runs
+    [fallback] instead and flags the degradation. [None] runs [f]
+    unbudgeted. The previous signal handler and interval timer are
+    restored either way. *)

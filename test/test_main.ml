@@ -16,4 +16,5 @@ let () =
       ("cross_engine", Test_cross_engine.suite);
       ("mc", Test_mc.suite);
       ("kb_corpus", Test_kb_corpus.suite);
+      ("service", Test_service.suite);
     ]
