@@ -48,7 +48,7 @@ let table_zoo () =
         (Fmt.str "%a" Rw_kbzoo.Kbzoo.pp_expectation e.expected)
         (Fmt.str "%a" Answer.pp a)
         (if hit then "yes" else "NO"))
-    Rw_kbzoo.Kbzoo.all;
+    (Rw_kbzoo.Kbzoo.all ());
   Fmt.pr "-- %d/%d reproduced@." !ok !total
 
 (* ------------------------------------------------------------------ *)
@@ -545,7 +545,7 @@ let table_service () =
       Fmt.pr "  %-5s %12.3f %12.3f %8s@." e.id (direct_t *. 1000.0)
         (service_t *. 1000.0)
         (if agree then "yes" else "NO"))
-    Rw_kbzoo.Kbzoo.all;
+    (Rw_kbzoo.Kbzoo.all ());
   let stats = Rw_service.Service.stats svc in
   let cache = stats.Rw_service.Service.cache in
   let lookups = cache.Rw_service.Lru.hits + cache.Rw_service.Lru.misses in

@@ -87,27 +87,24 @@ let run_query kb_path query_src engine seed samples ci_width verbose json =
       Fmt.epr "error parsing query: %s@." msg;
       exit_query_error
     | Ok query ->
+      let options =
+        {
+          Engine.default_options with
+          Engine.mc_seed = seed;
+          mc_samples = samples;
+          mc_ci_width = ci_width;
+        }
+      in
       let answer =
         match engine with
-        | Auto ->
-          let options =
-            {
-              Engine.default_options with
-              Engine.mc_seed = seed;
-              mc_samples = samples;
-              mc_ci_width = ci_width;
-            }
-          in
-          Engine.degree_of_belief ~options ~kb query
-        | Rules -> Rules_engine.infer ~kb query
-        | Maxent -> Maxent_engine.estimate ~kb query
-        | Unary -> Unary_engine.estimate ~kb query
-        | Enum ->
-          let vocab = Vocab.of_formulas [ kb; query ] in
-          Enum_engine.estimate ~vocab ~kb query
-        | Mc ->
-          let vocab = Vocab.of_formulas [ kb; query ] in
-          Mc_engine.estimate ~seed ?samples ?ci_width ~vocab ~kb query
+        | Auto -> Engine.degree_of_belief ~options ~kb query
+        (* Engine.run is total: out-of-fragment engines decline with
+           Not_applicable (exit 2) instead of raising. *)
+        | Rules -> Engine.run ~options Engine.Rules ~kb query
+        | Maxent -> Engine.run ~options Engine.Maxent ~kb query
+        | Unary -> Engine.run ~options Engine.Unary ~kb query
+        | Enum -> Engine.run ~options Engine.Enum ~kb query
+        | Mc -> Engine.run ~options Engine.Mc ~kb query
       in
       if json then
         (* The same encoder the serve protocol uses, so scripted
@@ -443,26 +440,34 @@ let series_cmd =
 (* ------------------------------------------------------------------ *)
 
 let run_zoo id =
-  let entries =
-    match id with
-    | None -> Rw_kbzoo.Kbzoo.all
-    | Some id -> (
-      match Rw_kbzoo.Kbzoo.find id with
-      | Some e -> [ e ]
-      | None ->
-        Fmt.epr "unknown experiment id %s@." id;
-        [])
-  in
-  if entries = [] then 1
-  else begin
-    List.iter
-      (fun (e : Rw_kbzoo.Kbzoo.entry) ->
-        let a = Engine.degree_of_belief ~kb:e.kb e.query in
-        Fmt.pr "%-5s %-14s expected %a; got %a@." e.id e.source
-          Rw_kbzoo.Kbzoo.pp_expectation e.expected Answer.pp a)
-      entries;
-    0
-  end
+  (* The zoo is parsed lazily: a malformed in-tree KB is a KB load
+     failure (exit 3) under the documented contract, not an uncaught
+     exception. *)
+  match Rw_kbzoo.Kbzoo.checked () with
+  | Error msg ->
+    Fmt.epr "error loading the KB zoo: %s@." msg;
+    exit_kb_error
+  | Ok entries -> (
+    let entries =
+      match id with
+      | None -> entries
+      | Some id -> (
+        match Rw_kbzoo.Kbzoo.find id with
+        | Some e -> [ e ]
+        | None ->
+          Fmt.epr "unknown experiment id %s@." id;
+          [])
+    in
+    if entries = [] then 1
+    else begin
+      List.iter
+        (fun (e : Rw_kbzoo.Kbzoo.entry) ->
+          let a = Engine.degree_of_belief ~kb:e.kb e.query in
+          Fmt.pr "%-5s %-14s expected %a; got %a@." e.id e.source
+            Rw_kbzoo.Kbzoo.pp_expectation e.expected Answer.pp a)
+        entries;
+      0
+    end)
 
 let zoo_cmd =
   let doc = "run the paper's worked examples (the KB zoo)" in
@@ -499,14 +504,117 @@ let parse_cmd =
   Cmd.v (Cmd.info "parse" ~doc ~exits:common_exits) Term.(const run_parse $ src_arg)
 
 (* ------------------------------------------------------------------ *)
+(* fuzz                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_fuzz seed cases max_size oracles corpus_dir verbose =
+  (match oracles with
+  | [] -> ()
+  | l ->
+    List.iter
+      (fun o ->
+        if not (List.mem o Rw_fuzz.Oracle.names) then begin
+          Fmt.epr "unknown oracle %S (known: %a)@." o
+            Fmt.(list ~sep:(any ", ") string)
+            Rw_fuzz.Oracle.names;
+          exit exit_query_error
+        end)
+      l);
+  let oracles = match oracles with [] -> None | l -> Some l in
+  let progress =
+    if verbose then
+      Some
+        (fun i ->
+          if (i + 1) mod 50 = 0 then Fmt.epr "… %d cases@." (i + 1))
+    else None
+  in
+  let report =
+    Rw_fuzz.Driver.run ?oracles ?corpus_dir ?progress ~max_size ~seed ~cases ()
+  in
+  Fmt.pr "%a@." Rw_fuzz.Driver.pp_report report;
+  if report.Rw_fuzz.Driver.failures = [] then 0 else 1
+
+let fuzz_cmd =
+  let doc = "differentially fuzz the six engines against each other" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Generates seeded random L≈ knowledge bases and queries (biased \
+         toward the unary fragment, where four engines overlap) and checks \
+         metamorphic properties no correct implementation can violate: \
+         applicable engines agree within tolerance, Pr(φ)+Pr(¬φ)=1, \
+         canonically-equivalent variants get identical digests and answers, \
+         cached answers match direct dispatch, exact finite-N series \
+         converge, and the parser is total on mutated input.";
+      `P
+        "Failures are minimized by a greedy shrinker and printed as a \
+         reproduction recipe; $(b,--corpus) additionally writes each \
+         minimized case to a directory the test suite replays. The run is \
+         deterministic in $(b,--seed).";
+    ]
+  in
+  let fuzz_seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"INT"
+          ~doc:"Root seed; the whole run is a pure function of it.")
+  in
+  let cases_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "cases" ] ~docv:"INT" ~doc:"Number of cases to generate.")
+  in
+  let max_size_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "max-size" ] ~docv:"INT"
+          ~doc:"Maximum number of KB conjuncts per case.")
+  in
+  let oracle_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "oracle" ] ~docv:"NAME"
+          ~doc:
+            "Restrict to one oracle (repeatable): agreement, duality, \
+             canonical, cache, convergence, or parser. Default: all.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Write minimized failing cases into DIR as .case files.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc ~man ~exits:common_exits)
+    Term.(
+      const run_fuzz $ fuzz_seed_arg $ cases_arg $ max_size_arg $ oracle_arg
+      $ corpus_arg $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "degrees of belief from statistical knowledge bases (random worlds)" in
   let info = Cmd.info "rw" ~version:"1.0.0" ~doc ~exits:common_exits in
-  exit
-    (Cmd.eval'
-       (Cmd.group info
-          [
-            query_cmd; batch_cmd; serve_cmd; consistent_cmd; series_cmd;
-            zoo_cmd; parse_cmd;
-          ]))
+  (* Last line of the exit-code contract: structured parse exceptions
+     that slip past a command's own Result handling still map to the
+     documented codes (3 = KB, 4 = query) instead of an OCaml
+     backtrace. *)
+  let code =
+    try
+      Cmd.eval'
+        (Cmd.group info
+           [
+             query_cmd; batch_cmd; serve_cmd; consistent_cmd; series_cmd;
+             zoo_cmd; parse_cmd; fuzz_cmd;
+           ])
+    with
+    | Rw_kbzoo.Kbzoo.Parse_error (src, msg) ->
+      Fmt.epr "malformed in-tree knowledge base %S: %s@." src msg;
+      exit_kb_error
+    | Parser.Parse_failure msg ->
+      Fmt.epr "parse failure: %s@." msg;
+      exit_query_error
+  in
+  exit code

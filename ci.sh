@@ -15,6 +15,13 @@ dune exec bin/rw.exe -- query \
   --kb examples/kb/hepatitis.kb --query 'Hep(Eric)' \
   --engine mc --seed 1 > /dev/null
 
+# Differential fuzz: a fixed-seed budgeted sweep of the metamorphic
+# oracle suite (engine agreement, duality, canonicalization, cache,
+# convergence, parser totality). Any violation fails the gate and the
+# report prints the shrunk counterexample. ~30s; the deeper 500-case
+# sweep is run manually (see EXPERIMENTS.md).
+dune exec bin/rw.exe -- fuzz --seed 42 --cases 20
+
 # Smoke: the NDJSON serve loop — three requests in, three well-formed
 # JSON replies out, clean shutdown exit.
 serve_out=$(printf '%s\n' \

@@ -1,0 +1,141 @@
+open Rw_logic
+
+type entry = {
+  path : string;
+  description : string;
+  oracle : string;
+  seed : int;
+  kb : Syntax.formula list;
+  query : Syntax.formula option;
+  raw : string option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let render ~description ~oracle (c : Gen.case) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b ("# " ^ description ^ "\n");
+  Buffer.add_string b ("oracle: " ^ oracle ^ "\n");
+  Buffer.add_string b (Printf.sprintf "seed: %d\n" c.Gen.seed);
+  List.iter
+    (fun f -> Buffer.add_string b ("kb: " ^ Pretty.to_string f ^ "\n"))
+    c.Gen.kb;
+  Buffer.add_string b ("query: " ^ Pretty.to_string c.Gen.query ^ "\n");
+  Buffer.contents b
+
+let save ~dir ~description ~oracle c =
+  let content = render ~description ~oracle c in
+  let name =
+    Printf.sprintf "%s-%s.case" oracle
+      (String.sub (Digest.to_hex (Digest.string content)) 0 12)
+  in
+  let path = Filename.concat dir name in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc content);
+  path
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let parse_formula ~path ~what src =
+  match Parser.formula src with
+  | Ok f -> Ok f
+  | Error msg -> Error (Printf.sprintf "%s: bad %s %S: %s" path what src msg)
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | content ->
+    let lines = String.split_on_char '\n' content in
+    let ( let* ) = Result.bind in
+    List.fold_left
+      (fun acc line ->
+        let* e = acc in
+        let line = String.trim line in
+        if line = "" then Ok e
+        else if String.length line >= 1 && line.[0] = '#' then
+          Ok
+            {
+              e with
+              description = String.trim (String.sub line 1 (String.length line - 1));
+            }
+        else begin
+          match String.index_opt line ':' with
+          | None -> Error (Printf.sprintf "%s: malformed line %S" path line)
+          | Some i ->
+            let key = String.sub line 0 i in
+            let value =
+              String.trim (String.sub line (i + 1) (String.length line - i - 1))
+            in
+            (match key with
+            | "oracle" -> Ok { e with oracle = value }
+            | "seed" -> (
+              match int_of_string_opt value with
+              | Some s -> Ok { e with seed = s }
+              | None -> Error (Printf.sprintf "%s: bad seed %S" path value))
+            | "kb" ->
+              let* f = parse_formula ~path ~what:"kb conjunct" value in
+              Ok { e with kb = e.kb @ [ f ] }
+            | "query" ->
+              let* f = parse_formula ~path ~what:"query" value in
+              Ok { e with query = Some f }
+            | "raw" -> Ok { e with raw = Some value }
+            | _ -> Error (Printf.sprintf "%s: unknown key %S" path key))
+        end)
+      (Ok
+         {
+           path;
+           description = "";
+           oracle = "";
+           seed = 0;
+           kb = [];
+           query = None;
+           raw = None;
+         })
+      lines
+
+let load_dir dir =
+  if not (Sys.file_exists dir) then Ok []
+  else begin
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".case")
+      |> List.sort String.compare
+    in
+    List.fold_left
+      (fun acc f ->
+        Result.bind acc (fun es ->
+            Result.map
+              (fun e -> es @ [ e ])
+              (load_file (Filename.concat dir f))))
+      (Ok []) files
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let replay e =
+  match e.raw with
+  | Some s -> begin
+    match Oracle.parser_totality_of_string ~what:("corpus " ^ e.path) s with
+    | [] -> Ok ()
+    | v :: _ -> Error (Fmt.str "%a" Oracle.pp_violation v)
+  end
+  | None -> begin
+    match e.query with
+    | None -> Error (Printf.sprintf "%s: no query and no raw payload" e.path)
+    | Some query -> begin
+      let case =
+        { Gen.index = 0; seed = e.seed; kb = e.kb; query }
+      in
+      let only = if e.oracle = "" then None else Some [ e.oracle ] in
+      match Oracle.check ?only ~options:Oracle.fuzz_options case with
+      | [] -> Ok ()
+      | v :: _ -> Error (Fmt.str "%a" Oracle.pp_violation v)
+    end
+  end

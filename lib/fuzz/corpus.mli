@@ -1,0 +1,40 @@
+(** The regression corpus: minimized counterexamples on disk.
+
+    Every bug the fuzzer shakes out is checked in as a small [.case]
+    file and replayed forever by the test suite — fuzzing finds each
+    bug once. Two payload shapes:
+
+    - {b formula cases} ([kb:]*, [query:]): re-run the named oracle on
+      the KB/query pair and expect silence;
+    - {b raw cases} ([raw:]): feed the (possibly unparseable) string to
+      the parser entry points and expect a clean [Ok]/[Error]/
+      [Parse_failure] — these capture lexer/parser crashes that no
+      well-formed AST can reach. *)
+
+open Rw_logic
+
+type entry = {
+  path : string;
+  description : string;
+  oracle : string;
+  seed : int;
+  kb : Syntax.formula list;
+  query : Syntax.formula option;
+  raw : string option;
+}
+
+val save :
+  dir:string -> description:string -> oracle:string -> Gen.case -> string
+(** Write a minimized case; the filename is derived from the content
+    digest (stable, collision-free for distinct cases). Returns the
+    path. *)
+
+val load_file : string -> (entry, string) result
+
+val load_dir : string -> (entry list, string) result
+(** All [.case] files in [dir], sorted by filename; [Ok []] when the
+    directory does not exist. *)
+
+val replay : entry -> (unit, string) result
+(** Re-check the property the entry witnesses, on today's code.
+    [Error] describes the (re-)violation. *)

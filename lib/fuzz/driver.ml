@@ -1,0 +1,78 @@
+type failure = {
+  case : Gen.case;
+  original : Gen.case;
+  violations : Oracle.violation list;
+  corpus_path : string option;
+}
+
+type report = {
+  seed : int;
+  cases : int;
+  failures : failure list;
+  seconds : float;
+}
+
+let pp_failure ppf f =
+  Fmt.pf ppf "@[<v>%a@,%a%a@]" Gen.pp_case f.case
+    (Fmt.list ~sep:Fmt.cut Oracle.pp_violation)
+    f.violations
+    Fmt.(option (fun ppf p -> Fmt.pf ppf "@,saved: %s" p))
+    f.corpus_path
+
+let pp_report ppf r =
+  if r.failures = [] then
+    Fmt.pf ppf "fuzz: %d cases, 0 violations (seed %d, %.1fs)" r.cases r.seed
+      r.seconds
+  else
+    Fmt.pf ppf "@[<v>fuzz: %d cases, %d FAILING (seed %d, %.1fs)@,%a@]"
+      r.cases
+      (List.length r.failures)
+      r.seed r.seconds
+      (Fmt.list ~sep:(Fmt.any "@,@,") pp_failure)
+      r.failures
+
+let run ?(options = Oracle.fuzz_options) ?oracles ?corpus_dir ?progress
+    ?(max_size = 5) ~seed ~cases () =
+  let t0 = Unix.gettimeofday () in
+  let failures = ref [] in
+  for i = 0 to cases - 1 do
+    let case = Gen.case ~seed ~max_size i in
+    let violations = Oracle.check ?only:oracles ~options case in
+    if violations <> [] then begin
+      let failing =
+        List.sort_uniq String.compare
+          (List.map (fun v -> v.Oracle.oracle) violations)
+      in
+      let shrunk = Shrink.shrink ~options ~failing case in
+      let violations' = Oracle.check ~only:failing ~options shrunk in
+      (* Shrinking re-checks with the failing subset only; if the step
+         logic somehow lost the failure, report the original. *)
+      let case', vs =
+        if violations' <> [] then (shrunk, violations')
+        else (case, violations)
+      in
+      let corpus_path =
+        Option.map
+          (fun dir ->
+            let oracle =
+              match vs with v :: _ -> v.Oracle.oracle | [] -> "unknown"
+            in
+            Corpus.save ~dir
+              ~description:
+                (Printf.sprintf "found by rw fuzz --seed %d (case %d)" seed
+                   case.Gen.index)
+              ~oracle case')
+          corpus_dir
+      in
+      failures :=
+        { case = case'; original = case; violations = vs; corpus_path }
+        :: !failures
+    end;
+    Option.iter (fun f -> f i) progress
+  done;
+  {
+    seed;
+    cases;
+    failures = List.rev !failures;
+    seconds = Unix.gettimeofday () -. t0;
+  }

@@ -1,0 +1,38 @@
+(** The fuzzing loop: generate, check, shrink, report.
+
+    Deterministic end-to-end — a [(seed, cases, max_size, oracles)]
+    quadruple names one exact run, so a violation report is a complete
+    reproduction recipe. *)
+
+type failure = {
+  case : Gen.case;  (** the minimized counterexample *)
+  original : Gen.case;  (** as generated, before shrinking *)
+  violations : Oracle.violation list;  (** on the minimized case *)
+  corpus_path : string option;  (** where it was saved, if requested *)
+}
+
+type report = {
+  seed : int;
+  cases : int;  (** cases executed *)
+  failures : failure list;
+  seconds : float;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val run :
+  ?options:Randworlds.Engine.options ->
+  ?oracles:string list ->
+  ?corpus_dir:string ->
+  ?progress:(int -> unit) ->
+  ?max_size:int ->
+  seed:int ->
+  cases:int ->
+  unit ->
+  report
+(** [run ~seed ~cases ()] fuzzes [cases] cases. [?options] overrides
+    the engine budget (default: {!Oracle.fuzz_options} — the test
+    suite's smoke run passes an even lighter one); [?oracles]
+    restricts the property set (default: all of {!Oracle.names});
+    [?corpus_dir] saves each minimized failure as a [.case] file;
+    [?progress] is called after each case with its index. *)

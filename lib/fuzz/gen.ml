@@ -1,0 +1,145 @@
+open Rw_logic
+module Prng = Rw_mc.Prng
+
+type case = {
+  index : int;
+  seed : int;
+  kb : Syntax.formula list;
+  query : Syntax.formula;
+}
+
+let kb_formula c = Syntax.conj c.kb
+
+let pp_case ppf c =
+  Fmt.pf ppf "@[<v>case %d (seed %d)@,KB:@,%a@,query: %a@]" c.index c.seed
+    (Fmt.list ~sep:Fmt.cut (fun ppf f -> Fmt.pf ppf "  %a" Pretty.pp_formula f))
+    c.kb Pretty.pp_formula c.query
+
+(* ------------------------------------------------------------------ *)
+(* Pools                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let unary_pool = [| "P"; "Q"; "R"; "S" |]
+let const_pool = [| "C"; "D"; "E" |]
+let binary_pred = "B2"
+
+(* Statistic values: cluster on the landmarks the rules engine keys on
+   (0 and 1 — defaults) plus a spread of interior points. *)
+let value_pool = [| 0.0; 0.1; 0.2; 0.25; 0.5; 0.75; 0.8; 0.9; 1.0 |]
+let tol_pool = [| 1; 2; 3 |]
+
+let pick rng arr = arr.(Prng.int rng (Array.length arr))
+
+(* ------------------------------------------------------------------ *)
+(* Formula pieces                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let unary_atom rng ~preds x = Syntax.pred (pick rng preds) [ Syntax.var x ]
+
+(* Boolean combination over unary atoms of [x], depth-bounded. *)
+let rec body rng ~preds ~depth x =
+  if depth = 0 || Prng.int rng 3 = 0 then begin
+    let a = unary_atom rng ~preds x in
+    if Prng.bool rng then a else Syntax.Not a
+  end
+  else begin
+    let l = body rng ~preds ~depth:(depth - 1) x in
+    let r = body rng ~preds ~depth:(depth - 1) x in
+    match Prng.int rng 3 with
+    | 0 -> Syntax.And (l, r)
+    | 1 -> Syntax.Or (l, r)
+    | _ -> Syntax.Implies (l, r)
+  end
+
+let statistic rng ~preds ~binary =
+  let i = pick rng tol_pool in
+  let v = Syntax.Num (pick rng value_pool) in
+  if binary && Prng.int rng 4 = 0 then
+    (* ||B2(x,y)||_{x,y} ≈_i v — pushes cases out of the unary
+       fragment toward enum/mc. *)
+    let p =
+      Syntax.Prop
+        (Syntax.pred binary_pred [ Syntax.var "x"; Syntax.var "y" ],
+         [ "x"; "y" ])
+    in
+    if Prng.bool rng then Syntax.approx_eq ~i p v else Syntax.approx_le ~i p v
+  else begin
+    let phi = body rng ~preds ~depth:1 "x" in
+    match Prng.int rng 4 with
+    | 0 -> Syntax.approx_eq ~i (Syntax.Prop (phi, [ "x" ])) v
+    | 1 ->
+      let theta = body rng ~preds ~depth:1 "x" in
+      Syntax.approx_eq ~i (Syntax.Cond (phi, theta, [ "x" ])) v
+    | 2 -> Syntax.approx_le ~i (Syntax.Prop (phi, [ "x" ])) v
+    | _ -> Syntax.approx_le ~i v (Syntax.Prop (phi, [ "x" ]))
+  end
+
+let default_conjunct rng ~preds =
+  let i = pick rng tol_pool in
+  let b = unary_atom rng ~preds "x" in
+  let g = unary_atom rng ~preds "x" in
+  if Prng.bool rng then Syntax.default ~i b g [ "x" ]
+  else Syntax.neg_default ~i b g [ "x" ]
+
+let fact rng ~preds ~binary =
+  let c () = Syntax.const (pick rng const_pool) in
+  let a =
+    if binary && Prng.int rng 4 = 0 then
+      Syntax.pred binary_pred [ c (); c () ]
+    else Syntax.pred (pick rng preds) [ c () ]
+  in
+  if Prng.bool rng then a else Syntax.Not a
+
+let implication rng ~preds =
+  Syntax.Forall
+    ("x",
+     Syntax.Implies (unary_atom rng ~preds "x", unary_atom rng ~preds "x"))
+
+let conjunct rng ~preds ~binary =
+  match Prng.int rng 10 with
+  | 0 | 1 | 2 | 3 -> statistic rng ~preds ~binary
+  | 4 | 5 -> default_conjunct rng ~preds
+  | 6 | 7 | 8 -> fact rng ~preds ~binary
+  | _ -> implication rng ~preds
+
+(* Ground boolean combination — the query. *)
+let rec ground rng ~preds ~binary ~depth =
+  if depth = 0 || Prng.int rng 2 = 0 then begin
+    let a =
+      if binary && Prng.int rng 6 = 0 then
+        Syntax.pred binary_pred
+          [ Syntax.const (pick rng const_pool);
+            Syntax.const (pick rng const_pool) ]
+      else Syntax.pred (pick rng preds) [ Syntax.const (pick rng const_pool) ]
+    in
+    if Prng.bool rng then a else Syntax.Not a
+  end
+  else begin
+    let l = ground rng ~preds ~binary ~depth:(depth - 1) in
+    let r = ground rng ~preds ~binary ~depth:(depth - 1) in
+    if Prng.bool rng then Syntax.And (l, r) else Syntax.Or (l, r)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Cases                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* SplitMix re-mixes its seed, so consecutive derived seeds still give
+   unrelated streams; the golden-ratio stride keeps per-case seeds
+   distinct across overlapping (seed, index) ranges. *)
+let derive_seed seed i = seed + (i * 0x9E3779B9)
+
+let case ~seed ~max_size i =
+  let case_seed = derive_seed seed i in
+  let rng = Prng.create case_seed in
+  (* ~1 in 5 cases get the binary predicate: out-of-unary coverage
+     without drowning the fragment where engines overlap. *)
+  let binary = Prng.int rng 5 = 0 in
+  (* Shrink the predicate pool at random: fewer predicates = denser
+     interaction between conjuncts. *)
+  let npreds = 1 + Prng.int rng (Array.length unary_pool) in
+  let preds = Array.sub unary_pool 0 npreds in
+  let size = 1 + Prng.int rng (max 1 max_size) in
+  let kb = List.init size (fun _ -> conjunct rng ~preds ~binary) in
+  let query = ground rng ~preds ~binary ~depth:(1 + Prng.int rng 2) in
+  { index = i; seed = case_seed; kb; query }

@@ -1,0 +1,31 @@
+(** Seeded random generation of well-typed [L≈] knowledge bases and
+    queries for the differential fuzzer.
+
+    The distribution is deliberately biased toward the unary fragment
+    (unary predicates + constants, no equality): that is where four of
+    the six engines overlap, so it is where differential oracles have
+    the most cross-checking power. A minority of cases add a binary
+    predicate to exercise the enum/mc-only paths.
+
+    Everything is driven by {!Rw_mc.Prng} — the same [seed] always
+    regenerates the same case stream, which is what makes a fuzz
+    failure reportable as "[--seed S], case [i]". *)
+
+open Rw_logic
+
+type case = {
+  index : int;  (** position in the stream for this seed *)
+  seed : int;  (** derived per-case seed (replays and shrinks) *)
+  kb : Syntax.formula list;  (** KB as conjuncts — the shrink unit *)
+  query : Syntax.formula;
+}
+
+val kb_formula : case -> Syntax.formula
+(** The KB conjuncts as one sentence ([True] when the list is empty). *)
+
+val pp_case : Format.formatter -> case -> unit
+
+val case : seed:int -> max_size:int -> int -> case
+(** [case ~seed ~max_size i] — the [i]-th case of the stream for
+    [seed]. KBs carry between 1 and [max_size] conjuncts; queries are
+    ground sentences over the same vocabulary. *)

@@ -1,0 +1,45 @@
+open Rw_logic
+
+(* The failure is preserved as long as any of the originally-failing
+   oracles still fires — shrinking may legitimately simplify one
+   manifestation into another of the same property. *)
+let still_fails ~options ~failing (c : Gen.case) =
+  Oracle.check ~only:failing ~options c <> []
+
+(* Direct subformulas a query can shrink to, plus the trivial
+   sentences. *)
+let query_candidates q =
+  let subs =
+    match q with
+    | Syntax.Not g -> [ g ]
+    | Syntax.And (g, h) | Syntax.Or (g, h) -> [ g; h ]
+    | _ -> []
+  in
+  subs @ [ Syntax.True ]
+
+let remove_nth n l = List.filteri (fun i _ -> i <> n) l
+
+let step ~options ~failing (c : Gen.case) =
+  (* Candidate order: structural size first — dropping a whole
+     conjunct beats rewriting the query. *)
+  let drop_conjunct =
+    List.init (List.length c.Gen.kb) (fun i ->
+        { c with Gen.kb = remove_nth i c.Gen.kb })
+  in
+  let simplify_query =
+    List.map (fun q -> { c with Gen.query = q }) (query_candidates c.Gen.query)
+  in
+  List.find_opt (still_fails ~options ~failing) (drop_conjunct @ simplify_query)
+
+let shrink ~options ~failing c =
+  let rec go c fuel =
+    if fuel = 0 then c
+    else begin
+      match step ~options ~failing c with
+      | Some c' -> go c' (fuel - 1)
+      | None -> c
+    end
+  in
+  (* Fuel bounds pathological ping-pong; 32 single steps is far more
+     than any generated case needs to reach a fixpoint. *)
+  go c 32

@@ -1,0 +1,19 @@
+(** Greedy minimization of failing fuzz cases.
+
+    A counterexample with one conjunct and a literal query is worth
+    ten with eight conjuncts each: the corpus stores (and the human
+    reads) the shrunk form. The strategy is plain greedy descent —
+    drop a KB conjunct, or replace the query by one of its direct
+    subformulas — re-checking after each step that the {e same}
+    oracles still fire, until no single step preserves the failure. *)
+
+open Randworlds
+
+val shrink :
+  options:Engine.options ->
+  failing:string list ->
+  Gen.case ->
+  Gen.case
+(** [shrink ~options ~failing case] — [failing] is the list of oracle
+    names that fired on [case]; the result is a (weakly) smaller case
+    on which at least one of them still fires. Deterministic. *)

@@ -5,15 +5,24 @@
 
     Tolerance-index conventions follow the paper: distinct measurements
     get distinct [≈_i] subscripts unless the example specifically
-    relies on equal strengths (the Nixon diamond's 1/2). *)
+    relies on equal strengths (the Nixon diamond's 1/2).
+
+    Construction is deferred: nothing is parsed until the zoo is first
+    consulted, and a malformed entry surfaces as {!Parse_error} (or an
+    [Error] from {!checked}) at that point — never as a [Failure]
+    escaping module initialization before a caller's error handling
+    can run. *)
 
 open Rw_logic
 open Rw_prelude
 
+exception Parse_error of string * string
+(** [(source_text, message)] — an in-tree KB failed to parse. *)
+
 let parse s =
   match Parser.formula s with
   | Ok f -> f
-  | Error msg -> failwith (Printf.sprintf "Kbzoo: parse error in %S: %s" s msg)
+  | Error msg -> raise (Parse_error (s, msg))
 
 type expectation =
   | Exactly of float
@@ -32,250 +41,17 @@ type entry = {
   unary : bool;  (** inside the unary fragment (maxent/profile apply) *)
 }
 
-(* ------------------------------------------------------------------ *)
-(* Hepatitis (Examples 5.8, 5.18)                                     *)
-(* ------------------------------------------------------------------ *)
-
-let hep_core = "Jaun(Eric) /\\ ||Hep(x) | Jaun(x)||_x ~=_1 0.8"
-
-(** KB'_hep: just the jaundice fact and its statistic. *)
-let hep_simple = parse hep_core
-
-(** KB_hep: adds a general-population bound and a more specific class
-    (which must be ignored while Eric is only known to be jaundiced). *)
-let hep_full =
-  parse
-    (hep_core
-   ^ " /\\ ||Hep(x)||_x <=_2 0.05 /\\ ||Hep(x) | Jaun(x) /\\ Fever(x)||_x ~=_3 1")
-
-let e01 =
-  {
-    id = "E01";
-    source = "Example 5.8";
-    description = "direct inference: the jaundice statistic transfers to Eric";
-    kb = parse (hep_core ^ " /\\ ||Hep(x)||_x <=_2 0.05 /\\ Hep(Tom)");
-    query = parse "Hep(Eric)";
-    expected = Exactly 0.8;
-    unary = true;
-  }
-
-let e01b =
-  {
-    id = "E01b";
-    source = "Example 5.18";
-    description = "irrelevant extra facts (fever, tall) are ignored";
-    kb = parse (hep_core ^ " /\\ Fever(Eric) /\\ Tall(Eric)");
-    query = parse "Hep(Eric)";
-    expected = Exactly 0.8;
-    unary = true;
-  }
-
-let e01c =
-  {
-    id = "E01c";
-    source = "Example 5.18";
-    description = "with the more specific Jaun∧Fever statistic, it wins";
-    kb =
-      parse
-        (hep_core
-       ^ " /\\ ||Hep(x) | Jaun(x) /\\ Fever(x)||_x ~=_3 1 /\\ Fever(Eric) /\\ Tall(Eric)");
-    query = parse "Hep(Eric)";
-    expected = Exactly 1.0;
-    unary = true;
-  }
-
-(* ------------------------------------------------------------------ *)
-(* Tweety (Examples 5.10, 5.19, 5.20, 5.21)                           *)
-(* ------------------------------------------------------------------ *)
-
-let fly_core =
-  "||Fly(x) | Bird(x)||_x ~=_1 1 /\\ ||Fly(x) | Penguin(x)||_x ~=_2 0 /\\ \
-   forall x (Penguin(x) => Bird(x))"
-
-let kb_fly = parse fly_core
-
-let e02 =
-  {
-    id = "E02";
-    source = "Example 5.10";
-    description = "specificity: Tweety the penguin does not fly";
-    kb = parse (fly_core ^ " /\\ Penguin(Tweety)");
-    query = parse "Fly(Tweety)";
-    expected = Exactly 0.0;
-    unary = true;
-  }
-
-let e06 =
-  {
-    id = "E06";
-    source = "Example 5.19";
-    description = "irrelevance: the yellow penguin still does not fly";
-    kb = parse (fly_core ^ " /\\ Penguin(Tweety) /\\ Yellow(Tweety)");
-    query = parse "Fly(Tweety)";
-    expected = Exactly 0.0;
-    unary = true;
-  }
-
-let e07 =
-  {
-    id = "E07";
-    source = "Example 5.20";
-    description = "exceptional-subclass inheritance: penguins are warm-blooded";
-    kb =
-      parse
-        (fly_core ^ " /\\ ||Warm(x) | Bird(x)||_x ~=_3 1 /\\ Penguin(Tweety)");
-    query = parse "Warm(Tweety)";
-    expected = Exactly 1.0;
-    unary = true;
-  }
-
-let e08 =
-  {
-    id = "E08";
-    source = "Example 5.21";
-    description = "drowning problem: the yellow penguin is easy to see";
-    kb =
-      parse
-        (fly_core
-       ^ " /\\ ||Easy(x) | Yellow(x)||_x ~=_3 1 /\\ Penguin(Tweety) /\\ Yellow(Tweety)");
-    query = parse "Easy(Tweety)";
-    expected = Exactly 1.0;
-    unary = true;
-  }
-
-(* ------------------------------------------------------------------ *)
-(* Elephants and zookeepers (Examples 4.4, 5.12)                      *)
-(* ------------------------------------------------------------------ *)
-
-let kb_likes =
-  parse
-    "||Likes(x,y) | Elephant(x) /\\ Zookeeper(y)||_{x,y} ~=_1 1 /\\ \
-     ||Likes(x,Fred) | Elephant(x)||_x ~=_2 0 /\\ \
-     Zookeeper(Fred) /\\ Elephant(Clyde) /\\ Zookeeper(Eric)"
-
-let e04a =
-  {
-    id = "E04a";
-    source = "Example 5.12";
-    description = "open default: Clyde likes the generic zookeeper Eric";
-    kb = kb_likes;
-    query = parse "Likes(Clyde, Eric)";
-    expected = Exactly 1.0;
-    unary = false;
-  }
-
-let e04b =
-  {
-    id = "E04b";
-    source = "Example 5.12";
-    description = "the specific default wins: Clyde does not like Fred";
-    kb = kb_likes;
-    query = parse "Likes(Clyde, Fred)";
-    expected = Exactly 0.0;
-    unary = false;
-  }
-
-(* ------------------------------------------------------------------ *)
-(* Tall parents (Examples 4.5, 5.13)                                  *)
-(* ------------------------------------------------------------------ *)
-
-let e05 =
-  {
-    id = "E05";
-    source = "Example 5.13";
-    description = "default with a quantified class: Alice of tall parent is tall";
-    kb =
-      parse
-        "||Tall(x) | exists y (Child(x,y) /\\ Tall(y))||_x ~=_1 1 /\\ \
-         exists y (Child(Alice,y) /\\ Tall(y))";
-    query = parse "Tall(Alice)";
-    expected = Exactly 1.0;
-    unary = false;
-  }
-
-(* ------------------------------------------------------------------ *)
-(* Nested defaults (Examples 4.6, 5.14)                               *)
-(* ------------------------------------------------------------------ *)
-
-let kb_late =
-  parse
-    "|| ||Rises(x,y) | Day(y)||_y ~=_1 1 | ||Bed(x,y') | Day(y')||_{y'} ~=_2 1 ||_x \
-     ~=_3 1 /\\ ||Bed(Alice,y') | Day(y')||_{y'} ~=_2 1"
-
-let e05n =
-  {
-    id = "E05n";
-    source = "Example 5.14";
-    description = "nested default: Alice normally rises late";
-    kb = kb_late;
-    query = parse "||Rises(Alice,y) | Day(y)||_y ~=_1 1";
-    expected = Exactly 1.0;
-    unary = false;
-  }
-
-let e05n2 =
-  {
-    id = "E05n2";
-    source = "Example 5.14";
-    description = "…and hence rises late tomorrow (via Cut)";
-    kb = Syntax.And (kb_late, parse "||Rises(Alice,y) | Day(y)||_y ~=_1 1 /\\ Day(Tomorrow)");
-    query = parse "Rises(Alice, Tomorrow)";
-    expected = Exactly 1.0;
-    unary = false;
-  }
-
-(* ------------------------------------------------------------------ *)
-(* Tay-Sachs (Section 2.2, Example 5.22)                              *)
-(* ------------------------------------------------------------------ *)
-
-let e09 =
-  {
-    id = "E09";
-    source = "Example 5.22";
-    description = "disjunctive reference class used positively";
-    kb = parse "||TS(x) | EEJ(x) \\/ FC(x)||_x ~=_1 0.02 /\\ EEJ(Eric)";
-    query = parse "TS(Eric)";
-    expected = Exactly 0.02;
-    unary = true;
-  }
-
-(* ------------------------------------------------------------------ *)
-(* Chirping magpies (Example 5.24, Theorem 5.23)                      *)
-(* ------------------------------------------------------------------ *)
-
-let e10 =
-  {
-    id = "E10";
-    source = "Example 5.24";
-    description = "strength rule: the tighter superclass interval wins";
-    kb =
-      parse
-        "0.7 <=_1 ||Chirps(x) | Bird(x)||_x <=_2 0.8 /\\ \
-         0 <=_3 ||Chirps(x) | Magpie(x)||_x <=_4 0.99 /\\ \
-         forall x (Magpie(x) => Bird(x)) /\\ Magpie(Tweety)";
-    query = parse "Chirps(Tweety)";
-    expected = Inside (Interval.make 0.7 0.8);
-    unary = true;
-  }
-
-(* ------------------------------------------------------------------ *)
-(* Moody magpies (Example 5.25)                                       *)
-(* ------------------------------------------------------------------ *)
-
-let e11 =
-  {
-    id = "E11";
-    source = "Example 5.25";
-    description = "subclass information is not ignored: belief < 0.9";
-    kb =
-      parse
-        "||Chirps(x) | Bird(x)||_x ~=_1 0.9 /\\ \
-         ||Chirps(x) | Magpie(x) /\\ Moody(x)||_x ~=_2 0.2 /\\ \
-         forall x (Magpie(x) => Bird(x)) /\\ Magpie(Tweety)";
-    query = parse "Chirps(Tweety)";
-    expected = Less_than 0.9;
-    unary = true;
-  }
+(* The named KBs exported alongside the entry list. *)
+type zoo = {
+  z_hep_simple : Syntax.formula;
+  z_hep_full : Syntax.formula;
+  z_kb_fly : Syntax.formula;
+  z_kb_likes : Syntax.formula;
+  z_kb_late : Syntax.formula;
+  z_kb_arm : Syntax.formula;
+  z_kb_yale : Syntax.formula;
+  z_all : entry list;
+}
 
 (* ------------------------------------------------------------------ *)
 (* Nixon diamond / Dempster (Theorem 5.26, Section 5.3)               *)
@@ -284,7 +60,8 @@ let e11 =
 (* Essential disjointness is expressed statistically (the overlap is a
    negligible class) — the generalisation the paper sketches right
    after Theorem 5.26; the ∃!-form of the theorem is checked separately
-   with the enumeration engine. *)
+   with the enumeration engine. Exported directly: it parses on call,
+   after module initialization. *)
 let nixon ~alpha ~beta ~i1 ~i2 =
   parse
     (Printf.sprintf
@@ -292,354 +69,576 @@ let nixon ~alpha ~beta ~i1 ~i2 =
         ||Quaker(x) /\\ Repub(x)||_x <=_9 0.0001 /\\ Quaker(Nixon) /\\ Repub(Nixon)"
        i1 alpha i2 beta)
 
-let e12_dempster =
-  {
-    id = "E12a";
-    source = "Theorem 5.26";
-    description = "two supporting classes combine: δ(0.8, 0.8) = 16/17";
-    kb = nixon ~alpha:0.8 ~beta:0.8 ~i1:1 ~i2:2;
-    query = parse "Pac(Nixon)";
-    expected = Exactly (16.0 /. 17.0);
-    unary = true;
-  }
-
-let e12_neutral =
-  {
-    id = "E12b";
-    source = "Section 5.3";
-    description = "a neutral class defers to the informative one: δ(α, 0.5) = α";
-    kb = nixon ~alpha:0.7 ~beta:0.5 ~i1:1 ~i2:2;
-    query = parse "Pac(Nixon)";
-    expected = Exactly 0.7;
-    unary = true;
-  }
-
-let e12_conflict =
-  {
-    id = "E12c";
-    source = "Section 5.3";
-    description = "conflicting hard defaults with independent strengths: no limit";
-    kb = nixon ~alpha:1.0 ~beta:0.0 ~i1:1 ~i2:2;
-    query = parse "Pac(Nixon)";
-    expected = NoLimit;
-    unary = true;
-  }
-
-let e12_equal =
-  {
-    id = "E12d";
-    source = "Section 5.3";
-    description = "conflicting defaults of equal strength: 1/2";
-    kb = nixon ~alpha:1.0 ~beta:0.0 ~i1:1 ~i2:1;
-    query = parse "Pac(Nixon)";
-    expected = Exactly 0.5;
-    unary = true;
-  }
-
-let e12_mixed =
-  {
-    id = "E12e";
-    source = "Section 5.3";
-    description = "a default dominates soft statistics: δ(1, β>0) = 1";
-    kb = nixon ~alpha:1.0 ~beta:0.3 ~i1:1 ~i2:2;
-    query = parse "Pac(Nixon)";
-    expected = Exactly 1.0;
-    unary = true;
-  }
-
 (* ------------------------------------------------------------------ *)
-(* Independence (Example 5.28, Theorem 5.27)                          *)
+(* Deferred construction of the whole zoo                             *)
 (* ------------------------------------------------------------------ *)
 
-let e13 =
+let build () =
+  (* -------------------- Hepatitis (Examples 5.8, 5.18) ------------ *)
+  let hep_core = "Jaun(Eric) /\\ ||Hep(x) | Jaun(x)||_x ~=_1 0.8" in
+  (* KB'_hep: just the jaundice fact and its statistic. *)
+  let hep_simple = parse hep_core in
+  (* KB_hep: adds a general-population bound and a more specific class
+     (which must be ignored while Eric is only known to be jaundiced). *)
+  let hep_full =
+    parse
+      (hep_core
+     ^ " /\\ ||Hep(x)||_x <=_2 0.05 /\\ ||Hep(x) | Jaun(x) /\\ Fever(x)||_x ~=_3 1")
+  in
+  let e01 =
+    {
+      id = "E01";
+      source = "Example 5.8";
+      description = "direct inference: the jaundice statistic transfers to Eric";
+      kb = parse (hep_core ^ " /\\ ||Hep(x)||_x <=_2 0.05 /\\ Hep(Tom)");
+      query = parse "Hep(Eric)";
+      expected = Exactly 0.8;
+      unary = true;
+    }
+  in
+  let e01b =
+    {
+      id = "E01b";
+      source = "Example 5.18";
+      description = "irrelevant extra facts (fever, tall) are ignored";
+      kb = parse (hep_core ^ " /\\ Fever(Eric) /\\ Tall(Eric)");
+      query = parse "Hep(Eric)";
+      expected = Exactly 0.8;
+      unary = true;
+    }
+  in
+  let e01c =
+    {
+      id = "E01c";
+      source = "Example 5.18";
+      description = "with the more specific Jaun∧Fever statistic, it wins";
+      kb =
+        parse
+          (hep_core
+         ^ " /\\ ||Hep(x) | Jaun(x) /\\ Fever(x)||_x ~=_3 1 /\\ Fever(Eric) /\\ Tall(Eric)");
+      query = parse "Hep(Eric)";
+      expected = Exactly 1.0;
+      unary = true;
+    }
+  in
+  (* -------------------- Tweety (Examples 5.10, 5.19–5.21) --------- *)
+  let fly_core =
+    "||Fly(x) | Bird(x)||_x ~=_1 1 /\\ ||Fly(x) | Penguin(x)||_x ~=_2 0 /\\ \
+     forall x (Penguin(x) => Bird(x))"
+  in
+  let kb_fly = parse fly_core in
+  let e02 =
+    {
+      id = "E02";
+      source = "Example 5.10";
+      description = "specificity: Tweety the penguin does not fly";
+      kb = parse (fly_core ^ " /\\ Penguin(Tweety)");
+      query = parse "Fly(Tweety)";
+      expected = Exactly 0.0;
+      unary = true;
+    }
+  in
+  let e06 =
+    {
+      id = "E06";
+      source = "Example 5.19";
+      description = "irrelevance: the yellow penguin still does not fly";
+      kb = parse (fly_core ^ " /\\ Penguin(Tweety) /\\ Yellow(Tweety)");
+      query = parse "Fly(Tweety)";
+      expected = Exactly 0.0;
+      unary = true;
+    }
+  in
+  let e07 =
+    {
+      id = "E07";
+      source = "Example 5.20";
+      description = "exceptional-subclass inheritance: penguins are warm-blooded";
+      kb =
+        parse
+          (fly_core ^ " /\\ ||Warm(x) | Bird(x)||_x ~=_3 1 /\\ Penguin(Tweety)");
+      query = parse "Warm(Tweety)";
+      expected = Exactly 1.0;
+      unary = true;
+    }
+  in
+  let e08 =
+    {
+      id = "E08";
+      source = "Example 5.21";
+      description = "drowning problem: the yellow penguin is easy to see";
+      kb =
+        parse
+          (fly_core
+         ^ " /\\ ||Easy(x) | Yellow(x)||_x ~=_3 1 /\\ Penguin(Tweety) /\\ Yellow(Tweety)");
+      query = parse "Easy(Tweety)";
+      expected = Exactly 1.0;
+      unary = true;
+    }
+  in
+  (* -------------- Elephants and zookeepers (Examples 4.4, 5.12) --- *)
+  let kb_likes =
+    parse
+      "||Likes(x,y) | Elephant(x) /\\ Zookeeper(y)||_{x,y} ~=_1 1 /\\ \
+       ||Likes(x,Fred) | Elephant(x)||_x ~=_2 0 /\\ \
+       Zookeeper(Fred) /\\ Elephant(Clyde) /\\ Zookeeper(Eric)"
+  in
+  let e04a =
+    {
+      id = "E04a";
+      source = "Example 5.12";
+      description = "open default: Clyde likes the generic zookeeper Eric";
+      kb = kb_likes;
+      query = parse "Likes(Clyde, Eric)";
+      expected = Exactly 1.0;
+      unary = false;
+    }
+  in
+  let e04b =
+    {
+      id = "E04b";
+      source = "Example 5.12";
+      description = "the specific default wins: Clyde does not like Fred";
+      kb = kb_likes;
+      query = parse "Likes(Clyde, Fred)";
+      expected = Exactly 0.0;
+      unary = false;
+    }
+  in
+  (* -------------------- Tall parents (Examples 4.5, 5.13) --------- *)
+  let e05 =
+    {
+      id = "E05";
+      source = "Example 5.13";
+      description = "default with a quantified class: Alice of tall parent is tall";
+      kb =
+        parse
+          "||Tall(x) | exists y (Child(x,y) /\\ Tall(y))||_x ~=_1 1 /\\ \
+           exists y (Child(Alice,y) /\\ Tall(y))";
+      query = parse "Tall(Alice)";
+      expected = Exactly 1.0;
+      unary = false;
+    }
+  in
+  (* -------------------- Nested defaults (Examples 4.6, 5.14) ------ *)
+  let kb_late =
+    parse
+      "|| ||Rises(x,y) | Day(y)||_y ~=_1 1 | ||Bed(x,y') | Day(y')||_{y'} ~=_2 1 ||_x \
+       ~=_3 1 /\\ ||Bed(Alice,y') | Day(y')||_{y'} ~=_2 1"
+  in
+  let e05n =
+    {
+      id = "E05n";
+      source = "Example 5.14";
+      description = "nested default: Alice normally rises late";
+      kb = kb_late;
+      query = parse "||Rises(Alice,y) | Day(y)||_y ~=_1 1";
+      expected = Exactly 1.0;
+      unary = false;
+    }
+  in
+  let e05n2 =
+    {
+      id = "E05n2";
+      source = "Example 5.14";
+      description = "…and hence rises late tomorrow (via Cut)";
+      kb =
+        Syntax.And
+          (kb_late, parse "||Rises(Alice,y) | Day(y)||_y ~=_1 1 /\\ Day(Tomorrow)");
+      query = parse "Rises(Alice, Tomorrow)";
+      expected = Exactly 1.0;
+      unary = false;
+    }
+  in
+  (* -------------------- Tay-Sachs (Section 2.2, Example 5.22) ----- *)
+  let e09 =
+    {
+      id = "E09";
+      source = "Example 5.22";
+      description = "disjunctive reference class used positively";
+      kb = parse "||TS(x) | EEJ(x) \\/ FC(x)||_x ~=_1 0.02 /\\ EEJ(Eric)";
+      query = parse "TS(Eric)";
+      expected = Exactly 0.02;
+      unary = true;
+    }
+  in
+  (* ------------- Chirping magpies (Example 5.24, Theorem 5.23) ---- *)
+  let e10 =
+    {
+      id = "E10";
+      source = "Example 5.24";
+      description = "strength rule: the tighter superclass interval wins";
+      kb =
+        parse
+          "0.7 <=_1 ||Chirps(x) | Bird(x)||_x <=_2 0.8 /\\ \
+           0 <=_3 ||Chirps(x) | Magpie(x)||_x <=_4 0.99 /\\ \
+           forall x (Magpie(x) => Bird(x)) /\\ Magpie(Tweety)";
+      query = parse "Chirps(Tweety)";
+      expected = Inside (Interval.make 0.7 0.8);
+      unary = true;
+    }
+  in
+  (* -------------------- Moody magpies (Example 5.25) -------------- *)
+  let e11 =
+    {
+      id = "E11";
+      source = "Example 5.25";
+      description = "subclass information is not ignored: belief < 0.9";
+      kb =
+        parse
+          "||Chirps(x) | Bird(x)||_x ~=_1 0.9 /\\ \
+           ||Chirps(x) | Magpie(x) /\\ Moody(x)||_x ~=_2 0.2 /\\ \
+           forall x (Magpie(x) => Bird(x)) /\\ Magpie(Tweety)";
+      query = parse "Chirps(Tweety)";
+      expected = Less_than 0.9;
+      unary = true;
+    }
+  in
+  (* ---------- Nixon diamond / Dempster (Theorem 5.26, §5.3) ------- *)
+  let e12_dempster =
+    {
+      id = "E12a";
+      source = "Theorem 5.26";
+      description = "two supporting classes combine: δ(0.8, 0.8) = 16/17";
+      kb = nixon ~alpha:0.8 ~beta:0.8 ~i1:1 ~i2:2;
+      query = parse "Pac(Nixon)";
+      expected = Exactly (16.0 /. 17.0);
+      unary = true;
+    }
+  in
+  let e12_neutral =
+    {
+      id = "E12b";
+      source = "Section 5.3";
+      description = "a neutral class defers to the informative one: δ(α, 0.5) = α";
+      kb = nixon ~alpha:0.7 ~beta:0.5 ~i1:1 ~i2:2;
+      query = parse "Pac(Nixon)";
+      expected = Exactly 0.7;
+      unary = true;
+    }
+  in
+  let e12_conflict =
+    {
+      id = "E12c";
+      source = "Section 5.3";
+      description = "conflicting hard defaults with independent strengths: no limit";
+      kb = nixon ~alpha:1.0 ~beta:0.0 ~i1:1 ~i2:2;
+      query = parse "Pac(Nixon)";
+      expected = NoLimit;
+      unary = true;
+    }
+  in
+  let e12_equal =
+    {
+      id = "E12d";
+      source = "Section 5.3";
+      description = "conflicting defaults of equal strength: 1/2";
+      kb = nixon ~alpha:1.0 ~beta:0.0 ~i1:1 ~i2:1;
+      query = parse "Pac(Nixon)";
+      expected = Exactly 0.5;
+      unary = true;
+    }
+  in
+  let e12_mixed =
+    {
+      id = "E12e";
+      source = "Section 5.3";
+      description = "a default dominates soft statistics: δ(1, β>0) = 1";
+      kb = nixon ~alpha:1.0 ~beta:0.3 ~i1:1 ~i2:2;
+      query = parse "Pac(Nixon)";
+      expected = Exactly 1.0;
+      unary = true;
+    }
+  in
+  (* ------------- Independence (Example 5.28, Theorem 5.27) -------- *)
+  let e13 =
+    {
+      id = "E13";
+      source = "Example 5.28";
+      description = "disjoint sub-vocabularies multiply: 0.8 × 0.4 = 0.32";
+      kb =
+        parse
+          (hep_core
+         ^ " /\\ ||Over60(x) | Patient(x)||_x ~=_5 0.4 /\\ Patient(Eric)");
+      query = parse "Hep(Eric) /\\ Over60(Eric)";
+      expected = Exactly 0.32;
+      unary = true;
+    }
+  in
+  (* -------------------- Black birds (Example 5.29) ---------------- *)
+  let e14 =
+    {
+      id = "E14";
+      source = "Example 5.29";
+      description = "maxent, not naive independence: Pr(Black(Clyde)) ≈ 0.47";
+      kb =
+        parse
+          "||Black(x) | Bird(x)||_x ~=_1 0.2 /\\ ||Bird(x)||_x ~=_2 0.1 /\\ \
+           Animal(Clyde)";
+      query = parse "Black(Clyde)";
+      expected = Exactly 0.47;
+      unary = true;
+    }
+  in
+  (* -------------------- Broken arm (Example 5.4) ------------------ *)
+  let arm_core =
+    "||LUsable(x)||_x ~=_1 1 /\\ ||LUsable(x) | LBroken(x)||_x ~=_2 0 /\\ \
+     ||RUsable(x)||_x ~=_3 1 /\\ ||RUsable(x) | RBroken(x)||_x ~=_4 0"
+  in
+  let kb_arm = parse (arm_core ^ " /\\ (LBroken(Eric) \\/ RBroken(Eric))") in
+  let e23_one_usable =
+    {
+      id = "E23a";
+      source = "Example 5.4";
+      description = "broken arm: some arm is unusable";
+      kb = kb_arm;
+      query = parse "~LUsable(Eric) \\/ ~RUsable(Eric)";
+      expected = Exactly 1.0;
+      unary = true;
+    }
+  in
+  let e23_other_usable =
+    {
+      id = "E23b";
+      source = "Example 5.4";
+      description = "broken arm: some arm is usable";
+      kb = kb_arm;
+      query = parse "LUsable(Eric) \\/ RUsable(Eric)";
+      expected = Exactly 1.0;
+      unary = true;
+    }
+  in
+  let e23_exactly_one =
+    {
+      id = "E23c";
+      source = "Example 5.4";
+      description = "broken arm: exactly one arm is usable (And rule)";
+      kb = kb_arm;
+      query =
+        parse
+          "(LUsable(Eric) \\/ RUsable(Eric)) /\\ (~LUsable(Eric) \\/ ~RUsable(Eric))";
+      expected = Exactly 1.0;
+      unary = true;
+    }
+  in
+  (* -------------------- Section 6 worked maxent example ----------- *)
+  let e19 =
+    {
+      id = "E19";
+      source = "Section 6";
+      description = "maxent point (0.3, 0.7, 0, 0): Pr(P2(c)) = 0.3";
+      kb = parse "forall x (P1(x)) /\\ ||P1(x) /\\ P2(x)||_x <=_1 0.3 /\\ P1(C)";
+      query = parse "P2(C)";
+      expected = Exactly 0.3;
+      unary = true;
+    }
+  in
+  let e19_stat =
+    {
+      id = "E19s";
+      source = "Section 6";
+      description = "the statistical conclusion itself has belief 1";
+      kb = parse "forall x (P1(x)) /\\ ||P1(x) /\\ P2(x)||_x <=_1 0.3";
+      query = parse "0.29 <=_2 ||P2(x)||_x <=_2 0.31";
+      expected = Exactly 1.0;
+      unary = true;
+    }
+  in
+  (* ------------- Representation dependence (Section 7.2) ---------- *)
+  let e22_white =
+    {
+      id = "E22a";
+      source = "Section 7.2";
+      description = "bare vocabulary {White}: Pr(White(c)) = 1/2";
+      kb = parse "White(C) \\/ ~White(C)";
+      query = parse "White(C)";
+      expected = Exactly 0.5;
+      unary = true;
+    }
+  in
+  let e22_refined =
+    {
+      id = "E22b";
+      source = "Section 7.2";
+      description = "refining ¬White into Red/Blue shifts it to 1/3";
+      kb =
+        parse
+          "forall x ((White(x) \\/ Red(x) \\/ Blue(x)) /\\ ~(White(x) /\\ Red(x)) /\\ \
+           ~(White(x) /\\ Blue(x)) /\\ ~(Red(x) /\\ Blue(x)))";
+      query = parse "White(C)";
+      expected = Exactly (1.0 /. 3.0);
+      unary = true;
+    }
+  in
+  let flying_bird_half = "||Fly(x) | Bird(x)||_x ~=_1 0.5 /\\ Bird(Tweety)" in
+  let e22_fly =
+    {
+      id = "E22c";
+      source = "Section 7.2";
+      description = "Pr(Fly(Tweety)) = 0.5 under the {Bird, Fly} encoding";
+      kb = parse flying_bird_half;
+      query = parse "Fly(Tweety)";
+      expected = Exactly 0.5;
+      unary = true;
+    }
+  in
+  let e22_opus1 =
+    {
+      id = "E22d";
+      source = "Section 7.2";
+      description = "Pr(Bird(Opus)) = 1/2 under the {Bird, Fly} encoding";
+      kb = parse flying_bird_half;
+      query = parse "Bird(Opus)";
+      expected = Exactly 0.5;
+      unary = true;
+    }
+  in
+  let e22_opus2 =
+    {
+      id = "E22e";
+      source = "Section 7.2";
+      description = "Pr(Bird(Opus)) = 2/3 under the {Bird, FlyingBird} reencoding";
+      kb =
+        parse
+          "||FlyingBird(x) | Bird(x)||_x ~=_1 0.5 /\\ Bird(Tweety) /\\ \
+           forall x (FlyingBird(x) => Bird(x))";
+      query = parse "Bird(Opus)";
+      expected = Exactly (2.0 /. 3.0);
+      unary = true;
+    }
+  in
+  (* -------------------- Sampling failure (Section 7.3) ------------ *)
+  let e24_sampling =
+    {
+      id = "E24";
+      source = "Section 7.3";
+      description =
+        "random worlds does not learn from samples: the S-statistic does not \
+         transfer to a bird outside S";
+      kb =
+        parse
+          "||Fly(x) | Bird(x) /\\ S(x)||_x ~=_1 0.9 /\\ Bird(Tweety) /\\ ~S(Tweety)";
+      query = parse "Fly(Tweety)";
+      expected = Exactly 0.5;
+      unary = true;
+    }
+  in
+  (* ---------- Competing classes (Section 2.3, footnote 14) -------- *)
+  let e26_heart =
+    {
+      id = "E26";
+      source = "Section 2.3";
+      description =
+        "Fred's two risk factors (15%, 9%): incomparable classes combine to \
+         δ(0.15, 0.09) where reference classes give up";
+      kb =
+        parse
+          "||Heart(x) | Chol(x)||_x ~=_1 0.15 /\\ ||Heart(x) | Smoker(x)||_x ~=_2 0.09 \
+           /\\ ||Chol(x) /\\ Smoker(x)||_x <=_3 0.0001 /\\ Chol(Fred) /\\ Smoker(Fred)";
+      query = parse "Heart(Fred)";
+      expected = Exactly (0.15 *. 0.09 /. ((0.15 *. 0.09) +. (0.85 *. 0.91)));
+      unary = true;
+    }
+  in
+  let e26_banker =
+    {
+      id = "E26b";
+      source = "Footnote 14";
+      description =
+        "the Republican banker: two 0.2 classes count *against* pacifism \
+         (δ(0.2,0.2) < 0.2, contra Kyburg's strength rule)";
+      kb =
+        parse
+          "||Pacifist(x) | Republican(x)||_x ~=_1 0.2 /\\ \
+           ||Pacifist(x) | Banker(x)||_x ~=_2 0.2 /\\ \
+           ||Republican(x) /\\ Banker(x)||_x <=_3 0.0001 /\\ \
+           Republican(Morgan) /\\ Banker(Morgan)";
+      query = parse "Pacifist(Morgan)";
+      expected = Exactly (1.0 /. 17.0);
+      unary = true;
+    }
+  in
+  let e09b =
+    {
+      id = "E09b";
+      source = "Example 5.22";
+      description =
+        "Tay-Sachs with the population known: inheritance from the disjunctive \
+         class still applies";
+      kb =
+        parse
+          "||TS(x) | EEJ(x) \\/ FC(x)||_x ~=_1 0.02 /\\ EEJ(Eric) /\\ ~FC(Eric)";
+      query = parse "TS(Eric)";
+      expected = Exactly 0.02;
+      unary = true;
+    }
+  in
+  (* ------- Yale shooting, naively represented (Section 7.1) ------- *)
+  (* The naive temporal encoding of the Yale Shooting Problem: domain
+     individuals are scenarios, fluents at each time are unary
+     predicates. The symmetric persistence defaults conflict through the
+     causal rule, and random worlds splits the difference — the §7.1
+     criticism, reproduced as a negative experiment. *)
+  let kb_yale =
+    parse
+      "||Loaded1(s) | Loaded0(s)||_s ~=_1 1 /\\ \
+       ||Alive1(s) | Alive0(s)||_s ~=_2 1 /\\ \
+       forall s (Loaded1(s) => ~Alive1(s)) /\\ \
+       Loaded0(Story) /\\ Alive0(Story)"
+  in
+  let e25_yale =
+    {
+      id = "E25";
+      source = "Section 7.1";
+      description =
+        "Yale shooting, naive encoding: persistence defaults conflict and the \
+         intuitive answer (Fred dies, 1) is NOT reached";
+      kb = kb_yale;
+      query = parse "~Alive1(Story)";
+      expected = Exactly 0.5;
+      unary = true;
+    }
+  in
   {
-    id = "E13";
-    source = "Example 5.28";
-    description = "disjoint sub-vocabularies multiply: 0.8 × 0.4 = 0.32";
-    kb =
-      parse
-        (hep_core
-       ^ " /\\ ||Over60(x) | Patient(x)||_x ~=_5 0.4 /\\ Patient(Eric)");
-    query = parse "Hep(Eric) /\\ Over60(Eric)";
-    expected = Exactly 0.32;
-    unary = true;
+    z_hep_simple = hep_simple;
+    z_hep_full = hep_full;
+    z_kb_fly = kb_fly;
+    z_kb_likes = kb_likes;
+    z_kb_late = kb_late;
+    z_kb_arm = kb_arm;
+    z_kb_yale = kb_yale;
+    z_all =
+      [
+        e01; e01b; e01c; e02; e04a; e04b; e05; e05n; e05n2; e06; e07; e08; e09;
+        e10; e11; e12_dempster; e12_neutral; e12_conflict; e12_equal; e12_mixed;
+        e13; e14; e19; e19_stat; e22_white; e22_refined; e22_fly; e22_opus1;
+        e22_opus2; e23_one_usable; e23_other_usable; e23_exactly_one;
+        e24_sampling; e25_yale; e26_heart; e26_banker; e09b;
+      ];
   }
 
-(* ------------------------------------------------------------------ *)
-(* Black birds (Example 5.29)                                         *)
-(* ------------------------------------------------------------------ *)
+(* Parsed at most once; re-forcing a failed lazy re-raises the same
+   exception, so a malformed entry is reported identically on every
+   access. *)
+let zoo = lazy (build ())
 
-let e14 =
-  {
-    id = "E14";
-    source = "Example 5.29";
-    description = "maxent, not naive independence: Pr(Black(Clyde)) ≈ 0.47";
-    kb =
-      parse
-        "||Black(x) | Bird(x)||_x ~=_1 0.2 /\\ ||Bird(x)||_x ~=_2 0.1 /\\ \
-         Animal(Clyde)";
-    query = parse "Black(Clyde)";
-    expected = Exactly 0.47;
-    unary = true;
-  }
+let checked () =
+  match Lazy.force zoo with
+  | z -> Ok z.z_all
+  | exception Parse_error (src, msg) ->
+    Error (Printf.sprintf "zoo entry %S: %s" src msg)
 
-(* ------------------------------------------------------------------ *)
-(* Broken arm (Example 5.4)                                           *)
-(* ------------------------------------------------------------------ *)
+let all () = (Lazy.force zoo).z_all
+let unary () = List.filter (fun e -> e.unary) (all ())
+let find id = List.find_opt (fun e -> e.id = id) (all ())
 
-let arm_core =
-  "||LUsable(x)||_x ~=_1 1 /\\ ||LUsable(x) | LBroken(x)||_x ~=_2 0 /\\ \
-   ||RUsable(x)||_x ~=_3 1 /\\ ||RUsable(x) | RBroken(x)||_x ~=_4 0"
-
-let kb_arm = parse (arm_core ^ " /\\ (LBroken(Eric) \\/ RBroken(Eric))")
-
-let e23_one_usable =
-  {
-    id = "E23a";
-    source = "Example 5.4";
-    description = "broken arm: some arm is unusable";
-    kb = kb_arm;
-    query = parse "~LUsable(Eric) \\/ ~RUsable(Eric)";
-    expected = Exactly 1.0;
-    unary = true;
-  }
-
-let e23_other_usable =
-  {
-    id = "E23b";
-    source = "Example 5.4";
-    description = "broken arm: some arm is usable";
-    kb = kb_arm;
-    query = parse "LUsable(Eric) \\/ RUsable(Eric)";
-    expected = Exactly 1.0;
-    unary = true;
-  }
-
-let e23_exactly_one =
-  {
-    id = "E23c";
-    source = "Example 5.4";
-    description = "broken arm: exactly one arm is usable (And rule)";
-    kb = kb_arm;
-    query =
-      parse
-        "(LUsable(Eric) \\/ RUsable(Eric)) /\\ (~LUsable(Eric) \\/ ~RUsable(Eric))";
-    expected = Exactly 1.0;
-    unary = true;
-  }
-
-(* ------------------------------------------------------------------ *)
-(* Section 6 worked maxent example                                    *)
-(* ------------------------------------------------------------------ *)
-
-let e19 =
-  {
-    id = "E19";
-    source = "Section 6";
-    description = "maxent point (0.3, 0.7, 0, 0): Pr(P2(c)) = 0.3";
-    kb = parse "forall x (P1(x)) /\\ ||P1(x) /\\ P2(x)||_x <=_1 0.3 /\\ P1(C)";
-    query = parse "P2(C)";
-    expected = Exactly 0.3;
-    unary = true;
-  }
-
-let e19_stat =
-  {
-    id = "E19s";
-    source = "Section 6";
-    description = "the statistical conclusion itself has belief 1";
-    kb = parse "forall x (P1(x)) /\\ ||P1(x) /\\ P2(x)||_x <=_1 0.3";
-    query = parse "0.29 <=_2 ||P2(x)||_x <=_2 0.31";
-    expected = Exactly 1.0;
-    unary = true;
-  }
-
-(* ------------------------------------------------------------------ *)
-(* Representation dependence (Section 7.2)                            *)
-(* ------------------------------------------------------------------ *)
-
-let e22_white =
-  {
-    id = "E22a";
-    source = "Section 7.2";
-    description = "bare vocabulary {White}: Pr(White(c)) = 1/2";
-    kb = parse "White(C) \\/ ~White(C)";
-    query = parse "White(C)";
-    expected = Exactly 0.5;
-    unary = true;
-  }
-
-let e22_refined =
-  {
-    id = "E22b";
-    source = "Section 7.2";
-    description = "refining ¬White into Red/Blue shifts it to 1/3";
-    kb =
-      parse
-        "forall x ((White(x) \\/ Red(x) \\/ Blue(x)) /\\ ~(White(x) /\\ Red(x)) /\\ \
-         ~(White(x) /\\ Blue(x)) /\\ ~(Red(x) /\\ Blue(x)))";
-    query = parse "White(C)";
-    expected = Exactly (1.0 /. 3.0);
-    unary = true;
-  }
-
-let flying_bird_half = "||Fly(x) | Bird(x)||_x ~=_1 0.5 /\\ Bird(Tweety)"
-
-let e22_fly =
-  {
-    id = "E22c";
-    source = "Section 7.2";
-    description = "Pr(Fly(Tweety)) = 0.5 under the {Bird, Fly} encoding";
-    kb = parse flying_bird_half;
-    query = parse "Fly(Tweety)";
-    expected = Exactly 0.5;
-    unary = true;
-  }
-
-let e22_opus1 =
-  {
-    id = "E22d";
-    source = "Section 7.2";
-    description = "Pr(Bird(Opus)) = 1/2 under the {Bird, Fly} encoding";
-    kb = parse flying_bird_half;
-    query = parse "Bird(Opus)";
-    expected = Exactly 0.5;
-    unary = true;
-  }
-
-let e22_opus2 =
-  {
-    id = "E22e";
-    source = "Section 7.2";
-    description = "Pr(Bird(Opus)) = 2/3 under the {Bird, FlyingBird} reencoding";
-    kb =
-      parse
-        "||FlyingBird(x) | Bird(x)||_x ~=_1 0.5 /\\ Bird(Tweety) /\\ \
-         forall x (FlyingBird(x) => Bird(x))";
-    query = parse "Bird(Opus)";
-    expected = Exactly (2.0 /. 3.0);
-    unary = true;
-  }
-
-(* ------------------------------------------------------------------ *)
-(* Sampling failure (Section 7.3)                                     *)
-(* ------------------------------------------------------------------ *)
-
-let e24_sampling =
-  {
-    id = "E24";
-    source = "Section 7.3";
-    description =
-      "random worlds does not learn from samples: the S-statistic does not \
-       transfer to a bird outside S";
-    kb =
-      parse
-        "||Fly(x) | Bird(x) /\\ S(x)||_x ~=_1 0.9 /\\ Bird(Tweety) /\\ ~S(Tweety)";
-    query = parse "Fly(Tweety)";
-    expected = Exactly 0.5;
-    unary = true;
-  }
-
-(* ------------------------------------------------------------------ *)
-(* Competing classes (Section 2.3, footnote 14)                       *)
-(* ------------------------------------------------------------------ *)
-
-let e26_heart =
-  {
-    id = "E26";
-    source = "Section 2.3";
-    description =
-      "Fred's two risk factors (15%, 9%): incomparable classes combine to \
-       δ(0.15, 0.09) where reference classes give up";
-    kb =
-      parse
-        "||Heart(x) | Chol(x)||_x ~=_1 0.15 /\\ ||Heart(x) | Smoker(x)||_x ~=_2 0.09 \
-         /\\ ||Chol(x) /\\ Smoker(x)||_x <=_3 0.0001 /\\ Chol(Fred) /\\ Smoker(Fred)";
-    query = parse "Heart(Fred)";
-    expected = Exactly (0.15 *. 0.09 /. ((0.15 *. 0.09) +. (0.85 *. 0.91)));
-    unary = true;
-  }
-
-let e26_banker =
-  {
-    id = "E26b";
-    source = "Footnote 14";
-    description =
-      "the Republican banker: two 0.2 classes count *against* pacifism \
-       (δ(0.2,0.2) < 0.2, contra Kyburg's strength rule)";
-    kb =
-      parse
-        "||Pacifist(x) | Republican(x)||_x ~=_1 0.2 /\\ \
-         ||Pacifist(x) | Banker(x)||_x ~=_2 0.2 /\\ \
-         ||Republican(x) /\\ Banker(x)||_x <=_3 0.0001 /\\ \
-         Republican(Morgan) /\\ Banker(Morgan)";
-    query = parse "Pacifist(Morgan)";
-    expected = Exactly (1.0 /. 17.0);
-    unary = true;
-  }
-
-let e09b =
-  {
-    id = "E09b";
-    source = "Example 5.22";
-    description =
-      "Tay-Sachs with the population known: inheritance from the disjunctive \
-       class still applies";
-    kb =
-      parse
-        "||TS(x) | EEJ(x) \\/ FC(x)||_x ~=_1 0.02 /\\ EEJ(Eric) /\\ ~FC(Eric)";
-    query = parse "TS(Eric)";
-    expected = Exactly 0.02;
-    unary = true;
-  }
-
-(* ------------------------------------------------------------------ *)
-(* Yale shooting, naively represented (Section 7.1)                   *)
-(* ------------------------------------------------------------------ *)
-
-(** The naive temporal encoding of the Yale Shooting Problem: domain
-    individuals are scenarios, fluents at each time are unary
-    predicates. The symmetric persistence defaults conflict through the
-    causal rule, and random worlds splits the difference — the §7.1
-    criticism, reproduced as a negative experiment. *)
-let kb_yale =
-  parse
-    "||Loaded1(s) | Loaded0(s)||_s ~=_1 1 /\\ \
-     ||Alive1(s) | Alive0(s)||_s ~=_2 1 /\\ \
-     forall s (Loaded1(s) => ~Alive1(s)) /\\ \
-     Loaded0(Story) /\\ Alive0(Story)"
-
-let e25_yale =
-  {
-    id = "E25";
-    source = "Section 7.1";
-    description =
-      "Yale shooting, naive encoding: persistence defaults conflict and the \
-       intuitive answer (Fred dies, 1) is NOT reached";
-    kb = kb_yale;
-    query = parse "~Alive1(Story)";
-    expected = Exactly 0.5;
-    unary = true;
-  }
-
-(* ------------------------------------------------------------------ *)
-(* The zoo                                                             *)
-(* ------------------------------------------------------------------ *)
-
-(** All entries, in experiment order. *)
-let all =
-  [
-    e01; e01b; e01c; e02; e04a; e04b; e05; e05n; e05n2; e06; e07; e08; e09;
-    e10; e11; e12_dempster; e12_neutral; e12_conflict; e12_equal; e12_mixed;
-    e13; e14; e19; e19_stat; e22_white; e22_refined; e22_fly; e22_opus1;
-    e22_opus2; e23_one_usable; e23_other_usable; e23_exactly_one; e24_sampling;
-    e25_yale; e26_heart; e26_banker; e09b;
-  ]
-
-(** The unary subset (maxent / profile engines apply). *)
-let unary = List.filter (fun e -> e.unary) all
-
-let find id = List.find_opt (fun e -> e.id = id) all
+let hep_simple () = (Lazy.force zoo).z_hep_simple
+let hep_full () = (Lazy.force zoo).z_hep_full
+let kb_fly () = (Lazy.force zoo).z_kb_fly
+let kb_likes () = (Lazy.force zoo).z_kb_likes
+let kb_late () = (Lazy.force zoo).z_kb_late
+let kb_arm () = (Lazy.force zoo).z_kb_arm
+let kb_yale () = (Lazy.force zoo).z_kb_yale
 
 let pp_expectation ppf = function
   | Exactly v -> Fmt.pf ppf "= %a" Floats.pp_prob v

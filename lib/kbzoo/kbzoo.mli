@@ -4,10 +4,20 @@
     of belief, and the source — the test suite and benchmark harness
     iterate over this zoo. Tolerance-index conventions follow the
     paper: distinct measurements get distinct [≈_i] subscripts unless
-    an example relies on equal strengths (the Nixon diamond's 1/2). *)
+    an example relies on equal strengths (the Nixon diamond's 1/2).
+
+    Construction is deferred until first access, so a malformed
+    in-tree KB surfaces as {!Parse_error} (or through {!checked}) at a
+    point where callers can map it onto their error contract, rather
+    than as a [Failure] thrown during module initialization. *)
 
 open Rw_logic
 open Rw_prelude
+
+exception Parse_error of string * string
+(** [(source_text, message)] — an in-tree KB failed to parse. Raised
+    on first access by the accessors below; {!checked} returns it as
+    an [Error] instead. *)
 
 type expectation =
   | Exactly of float
@@ -26,37 +36,41 @@ type entry = {
   unary : bool;  (** inside the unary fragment *)
 }
 
-val hep_simple : Syntax.formula
+val checked : unit -> (entry list, string) result
+(** Force the zoo, threading a parse failure as [Error] — what the
+    [rw zoo] command uses to honour its exit-code contract. *)
+
+val hep_simple : unit -> Syntax.formula
 (** KB'_hep: the jaundice fact and its statistic (Example 5.8). *)
 
-val hep_full : Syntax.formula
+val hep_full : unit -> Syntax.formula
 (** KB_hep: adds a general-population bound and a more specific
     class. *)
 
-val kb_fly : Syntax.formula
+val kb_fly : unit -> Syntax.formula
 (** The Tweety defaults (Section 3.3). *)
 
-val kb_likes : Syntax.formula
+val kb_likes : unit -> Syntax.formula
 (** The elephant–zookeeper KB (Example 4.4). *)
 
-val kb_late : Syntax.formula
+val kb_late : unit -> Syntax.formula
 (** Nested defaults: late risers (Example 4.6). *)
 
-val kb_arm : Syntax.formula
+val kb_arm : unit -> Syntax.formula
 (** Poole's broken-arm KB (Example 5.4). *)
 
 val nixon : alpha:float -> beta:float -> i1:int -> i2:int -> Syntax.formula
 (** The Nixon diamond with evidence strengths α, β and tolerance
     indices [i1], [i2]. *)
 
-val kb_yale : Syntax.formula
+val kb_yale : unit -> Syntax.formula
 (** The naive temporal encoding of the Yale Shooting Problem
     (Section 7.1's negative experiment). *)
 
-val all : entry list
+val all : unit -> entry list
 (** Every entry, in experiment order. *)
 
-val unary : entry list
+val unary : unit -> entry list
 (** The unary subset (maxent / profile engines apply). *)
 
 val find : string -> entry option

@@ -104,7 +104,14 @@ let tokenize src =
       let rec stop j = if j < n && is_digit src.[j] then stop (j + 1) else j in
       let j = stop (i + 1) in
       if j = i + 1 then raise (Lex_error ("expected digits after '_'", i))
-      else (int_of_string (String.sub src (i + 1) (j - i - 1)), j)
+      else begin
+        (* [int_of_string] raises on digit runs beyond [max_int] — a
+           tolerance index that large is malformed input, not a crash. *)
+        match int_of_string_opt (String.sub src (i + 1) (j - i - 1)) with
+        | Some idx -> (idx, j)
+        | None ->
+          raise (Lex_error ("tolerance index out of range", i))
+      end
     | _ -> (1, i)
   in
   (* Read a proportion subscript: [_x] or [_{x,y}]. *)

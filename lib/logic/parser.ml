@@ -341,7 +341,14 @@ let term src = run_parser parse_term_st src
 (** [proportion src] parses a proportion expression. *)
 let proportion src = run_parser parse_propexpr src
 
-(** [formula_exn src] parses a formula, raising [Failure] on error —
-    convenient for building the in-tree knowledge bases. *)
+exception Parse_failure of string
+
+(** [formula_exn src] parses a formula, raising {!Parse_failure} on
+    error — convenient for building the in-tree knowledge bases.
+    Callers with an exit-code contract (the [rw] CLI) catch the
+    structured exception and map it to the documented code instead of
+    letting a bare [Failure] escape. *)
 let formula_exn src =
-  match formula src with Ok f -> f | Error msg -> failwith msg
+  match formula src with
+  | Ok f -> f
+  | Error msg -> raise (Parse_failure (Printf.sprintf "%S: %s" src msg))

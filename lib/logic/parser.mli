@@ -17,6 +17,11 @@ val term : string -> (Syntax.term, string) result
 
 val proportion : string -> (Syntax.proportion, string) result
 
+exception Parse_failure of string
+(** Raised by {!formula_exn}; carries the offending source and the
+    parse diagnostic. Structured (unlike a bare [Failure]) so CLI
+    callers can map it onto their exit-code contract. *)
+
 val formula_exn : string -> Syntax.formula
-(** Like {!formula} but raises [Failure] — convenient for inline
-    knowledge bases. *)
+(** Like {!formula} but raises {!Parse_failure} — convenient for
+    inline knowledge bases. *)

@@ -68,7 +68,8 @@ type stats = {
 
 type outcome =
   | Estimate of { mean : float; ci : Interval.t; stats : stats }
-  | Starved of stats  (** the KB was never satisfied within budget *)
+  | Starved of stats  (** no usable evidence: the KB was never satisfied within budget,
+          or every importance weight underflowed to zero *)
 
 let pp_stats ppf s =
   Fmt.pf ppf "N=%d seed=%d samples=%d kb-hits=%d (rate %.2e) ess=%.0f%s %.2fs"
@@ -85,10 +86,20 @@ let pp_outcome ppf = function
     binomial proportion: centre [(p̂ + z²/2n) / (1 + z²/n)], half-width
     [z·√(p̂(1−p̂)/n + z²/4n²) / (1 + z²/n)]. Accepts fractional counts
     (effective sample sizes). Returns [(p̂, interval)]; the vacuous
-    interval when [total = 0]. *)
+    interval (and a NaN proportion) on degenerate input.
+
+    Degenerate inputs are real, not hypothetical: importance-weight
+    underflow can hand this function [hits = NaN] (0/0 upstream),
+    round-off can push fractional hits slightly outside [0, total],
+    and a collapsed effective sample size makes [z²/total] overflow.
+    Every such case must land on honest bounds inside [0, 1] — never
+    a [nan, nan] interval, which comparisons silently accept. *)
 let wilson ~z ~hits ~total =
-  if total <= 0.0 then (Float.nan, Interval.vacuous)
+  if (not (Float.is_finite total)) || total <= 0.0 || not (Float.is_finite hits)
+  then (Float.nan, Interval.vacuous)
   else begin
+    (* Round-off in Σw accumulators can leave hits ∉ [0, total]. *)
+    let hits = Float.min (Float.max hits 0.0) total in
     let p = hits /. total in
     let z2 = z *. z in
     let denom = 1.0 +. (z2 /. total) in
@@ -98,7 +109,11 @@ let wilson ~z ~hits ~total =
       *. Float.sqrt
            (((p *. (1.0 -. p)) /. total) +. (z2 /. (4.0 *. total *. total)))
     in
-    (p, Interval.clamp01 (Interval.make (centre -. half) (centre +. half)))
+    if Float.is_finite centre then
+      (p, Interval.clamp01 (Interval.make (centre -. half) (centre +. half)))
+    else
+      (* [z²/total] overflowed: the sample carries no information. *)
+      (p, Interval.vacuous)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -224,7 +239,13 @@ let estimate ?(config = default_config) ~seed ~vocab ~n ~tol ~kb query =
     if best.hits = 0 then Starved (stats ())
     else begin
       let mean, ci = accum_interval ~z:config.z best in
-      Estimate { mean; ci; stats = { (stats ()) with ess = ess best } }
+      (* Importance-weight collapse: hits happened but every weight
+         underflowed to 0 (or the effective sample size did), so the
+         ratio Σw_both/Σw_kb is 0/0. There is no estimate to report —
+         that is starvation, not an Estimate with NaN fields. *)
+      if Float.is_finite mean && ess best > 0.0 then
+        Estimate { mean; ci; stats = { (stats ()) with ess = ess best } }
+      else Starved (stats ())
     end
   in
   let rec loop () =

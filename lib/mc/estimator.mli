@@ -46,16 +46,20 @@ type stats = {
 
 type outcome =
   | Estimate of { mean : float; ci : Interval.t; stats : stats }
-  | Starved of stats  (** the KB was never satisfied within budget *)
+  | Starved of stats  (** no usable evidence: the KB was never satisfied within budget,
+          or every importance weight underflowed to zero *)
 
 val pp_stats : Format.formatter -> stats -> unit
 val pp_outcome : Format.formatter -> outcome -> unit
 
 val wilson : z:float -> hits:float -> total:float -> float * Interval.t
 (** The Wilson score interval for a binomial proportion; accepts
-    fractional counts (effective sample sizes). Returns the raw
-    proportion and the interval; the vacuous interval when
-    [total = 0]. *)
+    fractional counts (effective sample sizes). Total on degenerate
+    input: non-finite or non-positive [total], non-finite [hits], and
+    [z²/total] overflow all yield the vacuous interval (with a NaN
+    proportion where none is defined); fractional [hits] are clamped
+    into [0, total]. The returned interval always has finite bounds
+    inside [0, 1]. *)
 
 val estimate :
   ?config:config ->

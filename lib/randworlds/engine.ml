@@ -26,6 +26,7 @@ type options = {
   mc_seed : int;  (** PRNG seed for the Monte-Carlo engine *)
   mc_samples : int option;  (** Monte-Carlo sample budget override *)
   mc_ci_width : float option;  (** Monte-Carlo target CI half-width *)
+  mc_sizes : int list option;  (** domain sizes for the Monte-Carlo engine *)
   mc_cross_check : bool;
       (** statistically cross-check exact enum points by sampling *)
 }
@@ -39,6 +40,7 @@ let default_options =
     mc_seed = Mc_engine.default_seed;
     mc_samples = None;
     mc_ci_width = None;
+    mc_sizes = None;
     mc_cross_check = true;
   }
 
@@ -187,6 +189,7 @@ and fallback ~options ~kb query =
 and monte_carlo ~options ~vocab ~kb query blown =
   let a =
     Mc_engine.estimate ~seed:options.mc_seed ?samples:options.mc_samples
+      ?ns:options.mc_sizes
       ?ci_width:options.mc_ci_width ?tols:options.tols ~vocab ~kb query
   in
   match blown with
@@ -253,3 +256,85 @@ let degree_of_belief ?options ~kb query =
   let answer = infer ?options ~kb query in
   Instr.record ~engine:answer.Answer.engine ~seconds:(Instr.now () -. t0);
   answer
+
+(* ------------------------------------------------------------------ *)
+(* Per-engine access — the differential tester compares the engines   *)
+(* individually rather than through the dispatch above.               *)
+(* ------------------------------------------------------------------ *)
+
+type id = Rules | Maxent | Unary | Enum | Mc
+
+let all_ids = [ Rules; Maxent; Unary; Enum; Mc ]
+
+let id_name = function
+  | Rules -> "rules"
+  | Maxent -> "maxent"
+  | Unary -> "unary"
+  | Enum -> "enum"
+  | Mc -> "mc"
+
+let id_of_string = function
+  | "rules" -> Some Rules
+  | "maxent" -> Some Maxent
+  | "unary" -> Some Unary
+  | "enum" -> Some Enum
+  | "mc" -> Some Mc
+  | _ -> None
+
+(* Cheap syntactic applicability — "this engine is expected to speak
+   here", not "it will certainly reach a point". The oracle uses it to
+   decide which engines to interrogate; [run] below stays total either
+   way. *)
+let applicable ?(options = default_options) eid ~kb query =
+  let both = Syntax.And (kb, query) in
+  match eid with
+  | Rules -> true (* total: at worst Not_applicable *)
+  | Maxent | Unary ->
+    Syntax.is_unary_vocab both
+    && (not (Syntax.mentions_equality both))
+    && Syntax.is_closed kb && Syntax.is_closed query
+  | Enum ->
+    let vocab = Vocab.of_formulas [ kb; query ] in
+    let ns = Option.value options.enum_sizes ~default:[ 3; 4; 5; 6 ] in
+    Syntax.is_closed kb && Syntax.is_closed query
+    && List.exists
+         (fun n -> Rw_model.Enum.log10_world_count vocab n <= 6.5)
+         ns
+  | Mc -> Syntax.is_closed kb && Syntax.is_closed query
+
+(* [run eid ~kb query] — one engine's raw answer, bypassing dispatch.
+   Total: engines that raise on out-of-fragment input are caught and
+   mapped to [Not_applicable], preserving the Answer contract. *)
+let run ?(options = default_options) eid ~kb query =
+  match eid with
+  | Rules -> Rules_engine.infer ~kb query
+  | Maxent -> Maxent_engine.estimate ?tols:options.tols ~kb query
+  | Unary -> (
+    (* Only the fragment refusal is caught: [applicable] plus
+       [Unsupported] cover every legitimate way the engine declines,
+       so anything else (e.g. an interval-clamp [Invalid_argument])
+       is an invariant break that must surface — the fuzzer's
+       agreement oracle reports escaped exceptions as violations. *)
+    try Unary_engine.estimate ?ns:options.unary_sizes ?tols:options.tols ~kb query
+    with Rw_unary.Profile.Unsupported why ->
+      Answer.make ~engine:"unary" (Answer.Not_applicable why))
+  | Enum -> (
+    let vocab = Vocab.of_formulas [ kb; query ] in
+    try
+      Enum_engine.estimate ~max_log10_worlds:6.5 ?ns:options.enum_sizes
+        ?tols:options.tols ~vocab ~kb query
+    with
+    | Rw_model.Enum.Too_many_worlds m ->
+      Answer.make ~engine:"enum"
+        (Answer.Not_applicable
+           (Printf.sprintf "enumeration infeasible (10^%.0f worlds)" m))
+    | Invalid_argument why ->
+      Answer.make ~engine:"enum" (Answer.Not_applicable why))
+  | Mc -> (
+    let vocab = Vocab.of_formulas [ kb; query ] in
+    try
+      Mc_engine.estimate ~seed:options.mc_seed ?samples:options.mc_samples
+        ?ns:options.mc_sizes ?ci_width:options.mc_ci_width ?tols:options.tols
+        ~vocab ~kb query
+    with Invalid_argument why ->
+      Answer.make ~engine:"mc" (Answer.Not_applicable why))

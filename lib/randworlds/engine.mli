@@ -24,6 +24,7 @@ type options = {
   mc_seed : int;  (** PRNG seed for the Monte-Carlo engine *)
   mc_samples : int option;  (** Monte-Carlo sample budget override *)
   mc_ci_width : float option;  (** Monte-Carlo target CI half-width *)
+  mc_sizes : int list option;  (** domain sizes for the Monte-Carlo engine *)
   mc_cross_check : bool;
       (** statistically cross-check exact enum points by sampling *)
 }
@@ -45,3 +46,31 @@ val degree_of_belief :
   ?options:options -> kb:Syntax.formula -> Syntax.formula -> Answer.t
 (** The headline API: [Pr_∞(query | kb)] by the best applicable
     engine. *)
+
+(** {2 Per-engine access}
+
+    The differential fuzzer (and [rw query --engine]) interrogate the
+    engines individually rather than through {!infer}'s dispatch. *)
+
+type id = Rules | Maxent | Unary | Enum | Mc
+
+val all_ids : id list
+(** Dispatch order: most exact/cheapest first. *)
+
+val id_name : id -> string
+val id_of_string : string -> id option
+
+val applicable :
+  ?options:options -> id -> kb:Syntax.formula -> Syntax.formula -> bool
+(** Cheap syntactic test: is [id] {e expected} to speak on this input?
+    An applicable engine may still answer [Not_applicable] (e.g. a
+    blown enumeration guard at larger [N]); an inapplicable one never
+    owes an answer. The fuzz oracles only compare engines that pass
+    this predicate. *)
+
+val run :
+  ?options:options -> id -> kb:Syntax.formula -> Syntax.formula -> Answer.t
+(** One engine's raw answer, bypassing dispatch. Total: out-of-fragment
+    exceptions ([Rw_unary.Profile.Unsupported],
+    [Rw_model.Enum.Too_many_worlds], [Invalid_argument]) are mapped to
+    [Answer.Not_applicable]. *)

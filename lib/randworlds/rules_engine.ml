@@ -132,6 +132,68 @@ let merge_stats stats =
     [] stats
 
 (* ------------------------------------------------------------------ *)
+(* Eventual-inconsistency pre-checks                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Every theorem below presupposes an (eventually) consistent KB —
+   Pr_N(φ | KB) has a vacuous denominator otherwise, and matching a
+   statistic against an inconsistent KB yields confident nonsense
+   (e.g. answering 0 from ||P(x)|P(x)|| ≈ 0 ∧ P(D), a KB with no
+   worlds once τ < 1). Two cheap sound checks run first; either one
+   firing makes the whole inference [Inconsistent]. *)
+
+let is_ground f = Syntax.Sset.is_empty (Syntax.all_vars_formula f)
+
+(* A complementary pair of ground literals, or a ground [t ≠ t],
+   admits no worlds at any domain size. *)
+let ground_contradiction kb_conjuncts =
+  let lits =
+    List.filter_map
+      (fun f ->
+        match f with
+        | Pred _ when is_ground f -> Some (true, f)
+        | Not (Pred _ as a) when is_ground a -> Some (false, a)
+        | _ -> None)
+      kb_conjuncts
+  in
+  List.exists
+    (fun (sign, a) ->
+      List.exists (fun (sign', a') -> sign <> sign' && a = a') lits)
+    lits
+  || List.exists
+       (function Not (Eq (t, t')) -> t = t' | _ -> false)
+       kb_conjuncts
+
+(* A self-conditional statistic [||φ | ψ|| ⪯ v] with φ ≡ ψ and v < 1 is
+   satisfiable only by worlds where ψ is empty (the proportion is
+   pinned to 1 the moment #ψ > 0, and τᵢ → 0 eventually excludes it).
+   A further ground fact ψ(c) then leaves no worlds at all beyond the
+   first few tolerance steps: the KB is not eventually consistent. *)
+let degenerate_self_conditional kb_conjuncts =
+  let stats =
+    with_complements (List.filter_map stat_of_conjunct kb_conjuncts)
+  in
+  let consts =
+    Rw_prelude.Listx.sort_uniq_strings
+      (List.concat_map Syntax.constants kb_conjuncts)
+  in
+  List.exists
+    (fun s ->
+      Interval.hi s.bounds < 1.0 -. 1e-9
+      && (Unify.alpha_ac_equal s.target s.ref_class
+         || Canonical.equivalent s.target s.ref_class)
+      &&
+      match s.subscript with
+      | [ x ] ->
+        List.exists
+          (fun c ->
+            let psi_c = subst [ (x, Fn (c, [])) ] s.ref_class in
+            List.exists (fun g -> Unify.alpha_ac_equal g psi_c) kb_conjuncts)
+          consts
+      | _ -> false)
+    stats
+
+(* ------------------------------------------------------------------ *)
 (* Rule A: Theorem 5.6                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -463,6 +525,17 @@ let rule_d ~kb_conjuncts ctx =
     intersects the sound conclusions. *)
 let infer ~kb query =
   let kb_conjuncts = Rw_unary.Analysis.split_conjuncts kb in
+  if ground_contradiction kb_conjuncts then
+    Answer.make
+      ~notes:[ "ground facts contain a complementary literal pair" ]
+      ~engine:"rules" Answer.Inconsistent
+  else if degenerate_self_conditional kb_conjuncts then
+    Answer.make
+      ~notes:
+        [ "self-conditional statistic forces its class empty, but a \
+           ground fact populates it" ]
+      ~engine:"rules" Answer.Inconsistent
+  else begin
   let answers = ref [] in
   let note = ref [] in
   try
@@ -509,3 +582,4 @@ let infer ~kb query =
       ~notes:("Theorem 5.26: conflicting hard defaults" :: !note)
       ~engine:"rules"
       (Answer.No_limit "conflicting defaults with independent tolerances")
+  end

@@ -16,6 +16,26 @@ let unary_preds_of f =
   let preds, _ = Syntax.symbols f in
   List.filter_map (fun (p, a) -> if a = 1 then Some p else None) preds
 
+(* Does the KB state any conditional proportion? Their granularity is
+   governed by the (unknown, ≤ N) reference-class size rather than N,
+   so they need a stricter tolerance-resolution guard. *)
+let rec formula_has_cond f =
+  match f with
+  | Syntax.True | Syntax.False | Syntax.Pred _ | Syntax.Eq _ -> false
+  | Syntax.Not g | Syntax.Forall (_, g) | Syntax.Exists (_, g) ->
+    formula_has_cond g
+  | Syntax.And (g, h)
+  | Syntax.Or (g, h)
+  | Syntax.Implies (g, h)
+  | Syntax.Iff (g, h) -> formula_has_cond g || formula_has_cond h
+  | Syntax.Compare (p, _, q) -> prop_has_cond p || prop_has_cond q
+
+and prop_has_cond = function
+  | Syntax.Num _ -> false
+  | Syntax.Prop (g, _) -> formula_has_cond g
+  | Syntax.Cond _ -> true
+  | Syntax.Add (p, q) | Syntax.Mul (p, q) -> prop_has_cond p || prop_has_cond q
+
 (** [pr_n ~kb ~query ~n ~tol] — exact finite-[N] degree of belief. *)
 let pr_n ~kb ~query ~n ~tol =
   let parts = Analysis.analyze ~extra_preds:(unary_preds_of query) kb in
@@ -55,45 +75,178 @@ let estimate ?(ns = default_sizes) ?tols ~kb query =
       Answer.make ~engine:"unary"
         (Answer.Not_applicable "atom space too large for exact counting")
     else begin
+      (* A tolerance finer than the size grid resolves is meaningless:
+         once the width-2τ window drops below the 1/N spacing of
+         representable proportions, only vacuous-denominator worlds
+         satisfy the statistic and Pr_N degenerates to granularity
+         noise. Conditional proportions are spaced by the reference
+         class's size — unknown, but at most N — so they get twice the
+         threshold. Keep the tolerance steps the largest size can
+         resolve (a statistic-free KB has no tolerance indices and
+         keeps them all — its Pr_N does not depend on τ̄ anyway). *)
+      let max_n = List.fold_left max 1 ns in
+      let tau_floor =
+        if formula_has_cond kb then 1.0 /. float_of_int max_n
+        else 1.0 /. (2.0 *. float_of_int max_n)
+      in
+      let resolvable tol =
+        List.for_all
+          (fun i -> Tolerance.get tol i >= tau_floor)
+          (Syntax.tolerance_indices kb)
+      in
+      let tols = List.filter resolvable tols in
+      if tols = [] then
+        Answer.make ~engine:"unary"
+          (Answer.Not_applicable
+             "every tolerance step is below the resolution of the feasible \
+              domain sizes")
+      else begin
+      (* Aitken extrapolation is only trustworthy when the series
+         actually contracts geometrically: with step ratio r = d2/d1,
+         the extrapolated jump beyond the last value is |d2|·r/(1−r),
+         which the 1/(1−r) factor blows up without bound as r → 1.
+         At fuzzing-scale grids this produced confident Points on the
+         wrong side of the limit (a series decreasing towards 0.5 was
+         "extrapolated" to 0.41). So each inner limit is an interval:
+         a degenerate one when the ratio certifies contraction, a
+         bracket in the direction of travel when it does not — r ≤ 0.9
+         still bounds the remaining distance by 9·|d2|. *)
+      let flat = 1e-9 in
+      let bracket x2 d2 =
+        let far = x2 +. (9.0 *. d2) in
+        ( Rw_prelude.Floats.clamp01 (Float.min x2 far),
+          Rw_prelude.Floats.clamp01 (Float.max x2 far) )
+      in
       let inner_limit tol =
         let vals =
           List.filter_map
             (fun n ->
               match Profile.pr_n parts ~query ~n ~tol with
-              | Some v -> Some v
+              | Some v -> Some (n, v)
               | None -> None)
             ns
         in
         match vals with
         | [] -> None
-        | [ v ] -> Some v
-        | vs -> Some (Limits.richardson vs)
+        | [ (n, v) ] ->
+          (* One usable size says nothing about the trend, and the
+             finite-size bias (constant coincidences, granularity) is
+             O(1/N): all we can honestly claim is a ±1/n bracket. *)
+          let pad = 1.0 /. float_of_int n in
+          Some
+            ( Rw_prelude.Floats.clamp01 (v -. pad),
+              Rw_prelude.Floats.clamp01 (v +. pad) )
+        | vals ->
+          let vs = List.map snd vals in
+          let k = List.length vs in
+          let x2 = List.nth vs (k - 1) and x1 = List.nth vs (k - 2) in
+          let d2 = x2 -. x1 in
+          if Float.abs d2 <= flat then Some (x2, x2)
+          else if k = 2 then Some (bracket x2 d2)
+          else begin
+            let x0 = List.nth vs (k - 3) in
+            let d1 = x1 -. x0 in
+            (* A non-directional (oscillating, or step-growing) tail on
+               an exact, mathematically convergent Pr_N series is
+               tolerance-granularity noise, not a convergence trend:
+               bound the limit by the hull of the last two values,
+               padded by one step plus the O(1/N) finite-size bias
+               floor — the step alone understates badly when the
+               series has barely started moving at these sizes. *)
+            let noise () =
+              let pad = Float.abs d2 +. (1.0 /. float_of_int max_n) in
+              Some
+                ( Rw_prelude.Floats.clamp01 (Float.min x1 x2 -. pad),
+                  Rw_prelude.Floats.clamp01 (Float.max x1 x2 +. pad) )
+            in
+            if Float.abs d1 <= flat then noise ()
+            else begin
+              let r = d2 /. d1 in
+              if r > 0.0 && r <= 0.75 then begin
+                (* Certified contraction; the limit of probabilities is
+                   still a probability, so keep the value in [0,1]. *)
+                let v = Rw_prelude.Floats.clamp01 (Limits.richardson vs) in
+                Some (v, v)
+              end
+              else if r > 0.0 && r < 1.0 then
+                (* Genuinely slow monotone decay. *)
+                Some (bracket x2 d2)
+              else noise ()
+            end
+          end
       in
       let per_tol =
         List.filter_map
           (fun tol ->
-            match inner_limit tol with Some v -> Some (tol, v) | None -> None)
+            match inner_limit tol with Some iv -> Some (tol, iv) | None -> None)
           tols
       in
       match per_tol with
       | [] -> Answer.make ~engine:"unary" Answer.Inconsistent
       | _ ->
-        let values = List.map snd per_tol in
+        let point_like (lo, hi) = hi -. lo <= 1e-9 in
         let notes =
-          List.map (fun (tol, v) -> Fmt.str "%a -> %.6f" Tolerance.pp tol v) per_tol
+          List.map
+            (fun (tol, (lo, hi)) ->
+              if point_like (lo, hi) then Fmt.str "%a -> %.6f" Tolerance.pp tol lo
+              else Fmt.str "%a -> [%.6f, %.6f]" Tolerance.pp tol lo hi)
+            per_tol
         in
-        (match Limits.detect ~atol:0.02 values with
-        | Limits.Converged v ->
-          Answer.make ~notes ~engine:"unary"
-            (Answer.Point (Rw_prelude.Floats.clamp01 v))
-        | Limits.Oscillating (a, b) ->
-          Answer.make ~notes ~engine:"unary"
-            (Answer.No_limit (Fmt.str "oscillates between %.4f and %.4f" a b))
-        | Limits.Insufficient ->
-          let last = List.nth values (List.length values - 1) in
-          Answer.make ~notes ~engine:"unary"
-            (Answer.Within
-               (Rw_prelude.Interval.clamp01
-                  (Rw_prelude.Interval.widen (Rw_prelude.Interval.point last) 0.05))))
+        if List.for_all (fun (_, iv) -> point_like iv) per_tol then begin
+          let values = List.map (fun (_, (lo, _)) -> lo) per_tol in
+          match Limits.detect ~atol:0.02 values with
+          | Limits.Converged v ->
+            Answer.make ~notes ~engine:"unary"
+              (Answer.Point (Rw_prelude.Floats.clamp01 v))
+          | Limits.Oscillating (a, b) ->
+            Answer.make ~notes ~engine:"unary"
+              (Answer.No_limit (Fmt.str "oscillates between %.4f and %.4f" a b))
+          | Limits.Insufficient ->
+            let last = List.nth values (List.length values - 1) in
+            Answer.make ~notes ~engine:"unary"
+              (Answer.Within
+                 (Rw_prelude.Interval.clamp01
+                    (Rw_prelude.Interval.widen (Rw_prelude.Interval.point last) 0.05)))
+        end
+        else begin
+          (* Mixed evidence: some tolerance steps certified a
+             contraction and extrapolated to a point, others only
+             bracketed. A certified extrapolation is the sharpest
+             estimate available — when every certified point agrees
+             and every bracket corroborates it, report the point;
+             otherwise fall back to the honest hull of everything. *)
+          let points =
+            List.filter_map
+              (fun (_, ((lo, _) as iv)) -> if point_like iv then Some lo else None)
+              per_tol
+          in
+          let hull () =
+            let lo =
+              List.fold_left (fun acc (_, (l, _)) -> Float.min acc l) 1.0 per_tol
+            and hi =
+              List.fold_left (fun acc (_, (_, h)) -> Float.max acc h) 0.0 per_tol
+            in
+            Answer.make ~notes ~engine:"unary"
+              (Answer.Within
+                 (Rw_prelude.Interval.clamp01 (Rw_prelude.Interval.make lo hi)))
+          in
+          match points with
+          | [] -> hull ()
+          | _ ->
+            let v =
+              List.fold_left ( +. ) 0.0 points /. float_of_int (List.length points)
+            in
+            let agree =
+              List.for_all (fun p -> Float.abs (p -. v) <= 0.02) points
+              && List.for_all
+                   (fun (_, (lo, hi)) -> lo -. 0.02 <= v && v <= hi +. 0.02)
+                   per_tol
+            in
+            if agree then
+              Answer.make ~notes ~engine:"unary"
+                (Answer.Point (Rw_prelude.Floats.clamp01 v))
+            else hull ()
+        end
+      end
     end
   end

@@ -117,7 +117,7 @@ let options_fingerprint (o : Engine.options) =
     | Some xs -> String.concat "," (List.map string_of_int xs)
   in
   let s =
-    Printf.sprintf "tols=%s;unary=%s;enum=%s;use_enum=%b;seed=%d;samples=%s;ciw=%s;xchk=%b"
+    Printf.sprintf "tols=%s;unary=%s;enum=%s;use_enum=%b;seed=%d;samples=%s;ciw=%s;mcns=%s;xchk=%b"
       (match o.Engine.tols with
       | None -> "-"
       | Some ts -> String.concat ";" (List.map tolerance_fingerprint ts))
@@ -125,7 +125,7 @@ let options_fingerprint (o : Engine.options) =
       o.Engine.mc_seed
       (match o.Engine.mc_samples with None -> "-" | Some n -> string_of_int n)
       (match o.Engine.mc_ci_width with None -> "-" | Some w -> Printf.sprintf "%h" w)
-      o.Engine.mc_cross_check
+      (ints o.Engine.mc_sizes) o.Engine.mc_cross_check
   in
   Digest.to_hex (Digest.string s)
 
@@ -180,35 +180,62 @@ let kb t = t.kb
 exception Timed_out
 
 (* Wall-clock preemption via SIGALRM: the handler raises from the next
-   allocation point, which every engine reaches constantly. The
-   previous handler and timer are restored on every exit path so
-   nested users (and the test runner) are unaffected. *)
+   allocation point, which every engine reaches constantly.
+
+   Three hazards this discipline has to survive:
+   - a {e stale alarm}: the timer fires in the window between [f]'s
+     last instruction and cancellation, leaving [Timed_out] pending in
+     the runtime to kill an unrelated later query;
+   - {e nested budgets}: [setitimer] replaces the caller's timer, so an
+     inner budget must re-arm the outer one (minus the time it spent)
+     on the way out;
+   - an exception escaping [f] before the timer is cancelled. *)
 let with_budget budget ~fallback f =
   match budget with
   | None -> (f (), false)
   | Some s when s <= 0.0 -> (fallback (), true)
   | Some s -> (
+    let zero = { Unix.it_interval = 0.0; it_value = 0.0 } in
+    let started = Unix.gettimeofday () in
     let old_handler =
       Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> raise Timed_out))
     in
-    let disarm () =
-      ignore
-        (Unix.setitimer Unix.ITIMER_REAL
-           { Unix.it_interval = 0.0; it_value = 0.0 });
-      Sys.set_signal Sys.sigalrm old_handler
+    let old_timer =
+      Unix.setitimer Unix.ITIMER_REAL { zero with Unix.it_value = s }
     in
-    ignore
-      (Unix.setitimer Unix.ITIMER_REAL { Unix.it_interval = 0.0; it_value = s });
-    match f () with
-    | v ->
-      disarm ();
-      (v, false)
-    | exception Timed_out ->
-      disarm ();
-      (fallback (), true)
-    | exception e ->
-      disarm ();
-      raise e)
+    let restore () =
+      (* Cancel first; retry if a last-instant alarm preempts the
+         cancellation itself. *)
+      let rec cancel () =
+        try ignore (Unix.setitimer Unix.ITIMER_REAL zero)
+        with Timed_out -> cancel ()
+      in
+      cancel ();
+      (* Drain an alarm that was delivered before the cancellation but
+         whose OCaml-level handler hasn't run yet: force an allocation
+         point while our handler is still installed and swallow the
+         resulting [Timed_out]. *)
+      (try ignore (Sys.opaque_identity (ref ())) with Timed_out -> ());
+      Sys.set_signal Sys.sigalrm old_handler;
+      (* Re-arm the caller's outer budget with its remaining time, so
+         nesting narrows budgets instead of destroying them. A fully
+         spent outer budget fires (almost) immediately rather than
+         being silently disarmed. *)
+      if old_timer.Unix.it_value > 0.0 then begin
+        let elapsed = Unix.gettimeofday () -. started in
+        let remaining = Float.max 1e-6 (old_timer.Unix.it_value -. elapsed) in
+        ignore
+          (Unix.setitimer Unix.ITIMER_REAL
+             { old_timer with Unix.it_value = remaining })
+      end
+    in
+    match Fun.protect ~finally:restore f with
+    | v -> (v, false)
+    | exception Timed_out -> (fallback (), true)
+    | exception Fun.Finally_raised Timed_out ->
+      (* The alarm preempted the glue between [f]'s return and
+         [restore]'s first catch — treat it as an expiry. *)
+      (fallback (), true))
 
 (* ------------------------------------------------------------------ *)
 (* Queries                                                            *)

@@ -115,5 +115,8 @@ val with_budget :
 (** [with_budget budget ~fallback f] runs [f] under a [SIGALRM]
     wall-clock budget; on expiry (or a non-positive budget) it runs
     [fallback] instead and flags the degradation. [None] runs [f]
-    unbudgeted. The previous signal handler and interval timer are
-    restored either way. *)
+    unbudgeted. The previous signal handler is restored either way, a
+    pending alarm delivered in the cancellation race window is drained
+    (so a stale alarm can never kill a later request), and an
+    enclosing budget's timer is re-armed with its remaining time —
+    nesting narrows budgets rather than destroying them. *)

@@ -1,0 +1,89 @@
+(* The fuzzer's own regression surface: replay every minimized
+   counterexample in fuzz_corpus/ (each documents a bug fixed in this
+   tree — a violation here means a fix regressed), then a fixed-seed
+   smoke run so the generator/oracle/shrinker loop itself stays
+   exercised by tier-1. *)
+
+open Rw_fuzz
+
+let corpus_dir = "fuzz_corpus"
+
+let test_corpus_loads () =
+  match Corpus.load_dir corpus_dir with
+  | Error msg -> Alcotest.failf "corpus failed to load: %s" msg
+  | Ok entries ->
+    Alcotest.(check bool)
+      "at least 3 minimized counterexamples checked in" true
+      (List.length entries >= 3);
+    List.iter
+      (fun (e : Corpus.entry) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s names an oracle" e.Corpus.path)
+          true
+          (List.mem e.Corpus.oracle Oracle.names))
+      entries
+
+let test_corpus_replays_clean () =
+  match Corpus.load_dir corpus_dir with
+  | Error msg -> Alcotest.failf "corpus failed to load: %s" msg
+  | Ok entries ->
+    List.iter
+      (fun (e : Corpus.entry) ->
+        match Corpus.replay e with
+        | Ok () -> ()
+        | Error detail ->
+          Alcotest.failf "%s: replay found a violation (a fix regressed?): %s"
+            e.Corpus.path detail)
+      entries
+
+(* Deterministic: a fixed (seed, cases, max_size, options) quadruple
+   names one exact run. Budgets are trimmed below even the fuzz
+   defaults — this is a smoke test inside tier-1, not a bug hunt. *)
+let smoke_options =
+  {
+    Oracle.fuzz_options with
+    Randworlds.Engine.tols =
+      Some
+        (Rw_logic.Tolerance.schedule ~factor:0.5 ~steps:2
+           (Rw_logic.Tolerance.uniform 0.05));
+    unary_sizes = Some [ 4; 8 ];
+    enum_sizes = Some [ 2 ];
+    mc_samples = Some 500;
+    mc_ci_width = Some 0.15;
+    mc_sizes = Some [ 8 ];
+  }
+
+let test_smoke_200_cases () =
+  let report =
+    Driver.run ~options:smoke_options ~seed:20260807 ~cases:200 ()
+  in
+  if report.Driver.failures <> [] then
+    Alcotest.failf "seeded smoke run found violations:@.%a" Driver.pp_report
+      report
+
+let test_generator_deterministic () =
+  let show i =
+    Fmt.str "%a" Gen.pp_case (Gen.case ~seed:7 ~max_size:5 i)
+  in
+  List.iter
+    (fun i ->
+      Alcotest.(check string)
+        (Printf.sprintf "case %d reproducible" i)
+        (show i) (show i))
+    [ 0; 1; 17; 99 ];
+  (* Different seeds must not collapse onto the same stream. *)
+  Alcotest.(check bool)
+    "seeds 7 and 8 differ somewhere in the first 10 cases" true
+    (List.exists
+       (fun i ->
+         Fmt.str "%a" Gen.pp_case (Gen.case ~seed:7 ~max_size:5 i)
+         <> Fmt.str "%a" Gen.pp_case (Gen.case ~seed:8 ~max_size:5 i))
+       [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ])
+
+let suite =
+  [
+    ("corpus: loads and names oracles", `Quick, test_corpus_loads);
+    ("corpus: replays without violations", `Quick, test_corpus_replays_clean);
+    ("gen: deterministic per (seed, index)", `Quick, test_generator_deterministic);
+    ("smoke: 200 seeded cases, all oracles", `Slow, test_smoke_200_cases);
+  ]

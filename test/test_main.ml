@@ -17,4 +17,5 @@ let () =
       ("mc", Test_mc.suite);
       ("kb_corpus", Test_kb_corpus.suite);
       ("service", Test_service.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

@@ -104,6 +104,49 @@ let test_wilson_known_cases () =
   let _, vac = Rw_mc.Estimator.wilson ~z:1.96 ~hits:0.0 ~total:0.0 in
   Alcotest.(check bool) "empty sample is vacuous" true (Interval.is_vacuous vac)
 
+(* Degenerate inputs the fuzzer's importance-weight collapse produced:
+   every path must land on finite bounds inside [0,1] — a [nan, nan]
+   interval sails through `<=` comparisons and poisoned whole answers
+   before the guards existed. *)
+let test_wilson_degenerate_inputs () =
+  let sane name (p, ci) =
+    let lo = Interval.lo ci and hi = Interval.hi ci in
+    Alcotest.(check bool)
+      (name ^ ": finite bounds")
+      true
+      (Float.is_finite lo && Float.is_finite hi);
+    Alcotest.(check bool) (name ^ ": inside [0,1]") true
+      (0.0 <= lo && lo <= hi && hi <= 1.0);
+    ignore p
+  in
+  let w ~hits ~total = Rw_mc.Estimator.wilson ~z:1.96 ~hits ~total in
+  (* NaN hits: the 0/0 of a fully underflowed weight sum. *)
+  sane "nan hits" (w ~hits:Float.nan ~total:5.0);
+  let p_nan, ci_nan = w ~hits:Float.nan ~total:5.0 in
+  Alcotest.(check bool) "nan hits: no proportion" true (Float.is_nan p_nan);
+  Alcotest.(check bool) "nan hits: vacuous" true (Interval.is_vacuous ci_nan);
+  (* Non-finite / non-positive totals. *)
+  sane "nan total" (w ~hits:1.0 ~total:Float.nan);
+  sane "inf total" (w ~hits:1.0 ~total:Float.infinity);
+  sane "negative total" (w ~hits:1.0 ~total:(-3.0));
+  sane "zero total" (w ~hits:0.0 ~total:0.0);
+  (* Collapsed effective sample size: z²/total overflows. *)
+  sane "tiny total" (w ~hits:1e-300 ~total:1e-300);
+  sane "subnormal total" (w ~hits:0.0 ~total:4e-324);
+  (* Round-off pushing hits outside [0, total] must clamp, not leak
+     p̂ ∉ [0,1] into the centre term. *)
+  let p_over, _ = w ~hits:10.2 ~total:10.0 in
+  Alcotest.check floaty "hits > total clamps to p=1" 1.0 p_over;
+  let p_under, _ = w ~hits:(-0.2) ~total:10.0 in
+  Alcotest.check floaty "hits < 0 clamps to p=0" 0.0 p_under;
+  (* Boundary proportions stay exact. *)
+  let p0, ci0 = w ~hits:0.0 ~total:40.0 in
+  Alcotest.check floaty "p=0 exact" 0.0 p0;
+  Alcotest.check floaty "p=0 lower bound" 0.0 (Interval.lo ci0);
+  let p1, ci1 = w ~hits:40.0 ~total:40.0 in
+  Alcotest.check floaty "p=1 exact" 1.0 p1;
+  Alcotest.check floaty "p=1 upper bound" 1.0 (Interval.hi ci1)
+
 (* ------------------------------------------------------------------ *)
 (* Sampler marginals                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -165,7 +208,7 @@ let test_mc_vs_enum_zoo () =
           | Rw_mc.Estimator.Starved stats ->
             Alcotest.failf "%s starved: %a" e.id Rw_mc.Estimator.pp_stats stats)
       end)
-    Rw_kbzoo.Kbzoo.all;
+    (Rw_kbzoo.Kbzoo.all ());
   Alcotest.(check bool)
     (Fmt.str "at least 10 zoo entries cross-checked (got %d)" !tested)
     true (!tested >= 10)
@@ -295,6 +338,7 @@ let suite =
     ("prng.uniformity", `Quick, test_prng_uniformity);
     ("prng.split_independence", `Quick, test_prng_split_independence);
     ("wilson.known_cases", `Quick, test_wilson_known_cases);
+    ("wilson.degenerate_inputs", `Quick, test_wilson_degenerate_inputs);
     ("sampler.marginals", `Quick, test_sampler_marginals);
     ("agreement.zoo_vs_enum", `Slow, test_mc_vs_enum_zoo);
     ("estimator.deterministic", `Quick, test_estimator_deterministic);

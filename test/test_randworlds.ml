@@ -331,7 +331,7 @@ let test_saturate_nested_default () =
   (* Example 5.14 automated: from KB'_late, derive "Alice normally
      rises late", add it (Cut), then derive that she rises late
      tomorrow — a two-round chain the single-shot engine cannot do. *)
-  let kb = Syntax.And (Rw_kbzoo.Kbzoo.kb_late, parse "Day(Tomorrow)") in
+  let kb = Syntax.And ((Rw_kbzoo.Kbzoo.kb_late ()), parse "Day(Tomorrow)") in
   let step1 = parse "||Rises(Alice,y) | Day(y)||_y ~=_1 1" in
   let step2 = parse "Rises(Alice, Tomorrow)" in
   (* The final conclusion is not derivable in one shot… *)
@@ -411,7 +411,7 @@ let test_yale_priorities () =
      zoo); strengthening the causally sensible default flips the
      verdict to the intuitive answer, the anomalous weighting to the
      anomalous one. *)
-  let kb = Rw_kbzoo.Kbzoo.kb_yale in
+  let kb = (Rw_kbzoo.Kbzoo.kb_yale ()) in
   let dead = parse "~Alive1(Story)" in
   let probe powers =
     let tols =
@@ -468,4 +468,4 @@ let suite =
     ("engine.yale_priorities", `Slow, test_yale_priorities);
     ("engine.reflexivity_full_kb", `Quick, test_reflexivity_full_kb);
   ]
-  @ List.map zoo_case Rw_kbzoo.Kbzoo.all
+  @ List.map zoo_case (Rw_kbzoo.Kbzoo.all ())

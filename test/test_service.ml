@@ -105,7 +105,7 @@ let test_canon_zoo_properties () =
             (Canonical.digest f)
             (Canonical.digest (Syntax.And (f, Syntax.True))))
         [ e.kb; e.query ])
-    Rw_kbzoo.Kbzoo.all
+    (Rw_kbzoo.Kbzoo.all ())
 
 (* ------------------------------------------------------------------ *)
 (* JSON codec                                                         *)
@@ -208,7 +208,7 @@ let test_lru_disabled () =
 
 let hep_service () =
   let svc = Service.create () in
-  Service.load_kb svc Rw_kbzoo.Kbzoo.hep_simple;
+  Service.load_kb svc (Rw_kbzoo.Kbzoo.hep_simple ());
   svc
 
 let ask svc q =
@@ -255,7 +255,7 @@ let test_cache_counters_sequence () =
 let test_cache_eviction_end_to_end () =
   let config = { Service.default_config with Service.cache_capacity = 1 } in
   let svc = Service.create ~config () in
-  Service.load_kb svc Rw_kbzoo.Kbzoo.hep_simple;
+  Service.load_kb svc (Rw_kbzoo.Kbzoo.hep_simple ());
   let q1 = parse "Hep(Eric)" and q2 = parse "~Hep(Eric)" in
   ignore (ask svc q1);
   ignore (ask svc q2);
@@ -289,7 +289,7 @@ let test_zoo_service_matches_direct () =
           Alcotest.(check string)
             (e.id ^ " engine") direct.Answer.engine a.Answer.engine)
         [ miss; hit ])
-    Rw_kbzoo.Kbzoo.all
+    (Rw_kbzoo.Kbzoo.all ())
 
 (* ------------------------------------------------------------------ *)
 (* Budgets                                                            *)
@@ -341,6 +341,83 @@ let test_with_budget_alarm () =
   in
   Alcotest.(check int) "fast call completes" 1 v2;
   Alcotest.(check bool) "not degraded" false degraded2
+
+let spin_for seconds =
+  (* Allocating busy-wait, so a pending signal is delivered. *)
+  let t0 = Unix.gettimeofday () in
+  let r = ref 0 in
+  while Unix.gettimeofday () -. t0 < seconds do
+    r := !r + List.length (List.init 10 Fun.id)
+  done;
+  !r
+
+let test_with_budget_no_stale_alarm () =
+  (* A query that finishes just before its budget expires must not
+     leave a pending alarm behind to kill the next (fast, generously
+     budgeted) request. Run several near-expiry rounds to give the
+     race window real chances to occur. *)
+  for _ = 1 to 20 do
+    let _, _ =
+      Service.with_budget (Some 0.01)
+        ~fallback:(fun () -> "fallback")
+        (fun () ->
+          ignore (spin_for 0.0099);
+          "completed")
+    in
+    let v, degraded =
+      Service.with_budget (Some 10.0)
+        ~fallback:(fun () -> "fallback")
+        (fun () -> "fast")
+    in
+    Alcotest.(check string) "fast query survives" "fast" v;
+    Alcotest.(check bool) "fast query not degraded" false degraded
+  done
+
+let test_with_budget_nested () =
+  (* An inner budget wider than the outer one must not destroy the
+     outer timer: after the inner call returns, the outer budget's
+     remaining time is re-armed and still expires the outer request. *)
+  let t0 = Unix.gettimeofday () in
+  let v, degraded =
+    Service.with_budget (Some 0.1)
+      ~fallback:(fun () -> "outer-fallback")
+      (fun () ->
+        let inner, inner_degraded =
+          Service.with_budget (Some 10.0)
+            ~fallback:(fun () -> "inner-fallback")
+            (fun () ->
+              ignore (spin_for 0.3);
+              "inner-done")
+        in
+        Alcotest.(check string) "inner completes" "inner-done" inner;
+        Alcotest.(check bool) "inner not degraded" false inner_degraded;
+        (* Without the outer re-arm this spins to the 5 s failsafe. *)
+        ignore (spin_for 5.0);
+        "outer-done")
+  in
+  Alcotest.(check string) "outer degraded to fallback" "outer-fallback" v;
+  Alcotest.(check bool) "outer flagged degraded" true degraded;
+  Alcotest.(check bool) "outer expired promptly" true
+    (Unix.gettimeofday () -. t0 < 4.0);
+  (* Inner expiry inside a healthy outer budget: the outer request
+     continues unharmed. *)
+  let v2, degraded2 =
+    Service.with_budget (Some 10.0)
+      ~fallback:(fun () -> "outer-fallback")
+      (fun () ->
+        let inner, inner_degraded =
+          Service.with_budget (Some 0.05)
+            ~fallback:(fun () -> "inner-fallback")
+            (fun () ->
+              ignore (spin_for 5.0);
+              "inner-done")
+        in
+        Alcotest.(check string) "inner degraded" "inner-fallback" inner;
+        Alcotest.(check bool) "inner flagged" true inner_degraded;
+        "outer-done")
+  in
+  Alcotest.(check string) "outer completes" "outer-done" v2;
+  Alcotest.(check bool) "outer not degraded" false degraded2
 
 (* ------------------------------------------------------------------ *)
 (* Protocol / server                                                  *)
@@ -435,6 +512,10 @@ let suite =
     ("service: zero budget degrades to rules engine", `Quick,
      test_budget_zero_degrades);
     ("service: SIGALRM budget expiry", `Quick, test_with_budget_alarm);
+    ("service: no stale alarm after near-expiry request", `Quick,
+     test_with_budget_no_stale_alarm);
+    ("service: nested budgets restore the outer timer", `Quick,
+     test_with_budget_nested);
     ("server: NDJSON session", `Quick, test_server_session);
     ("server: errors and shutdown", `Quick, test_server_errors_and_shutdown);
   ]
