@@ -560,6 +560,123 @@ let table_service () =
     !mismatches
 
 (* ------------------------------------------------------------------ *)
+(* Table 11: domain-pool scaling                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The parallel contract measured: throughput scales with --jobs while
+   the answers stay bit-identical, because the MC engine splits its
+   generator per chunk (not per domain) and merges in chunk order. The
+   MC workload pins the sample count (target half-width 0 disables
+   early stopping) so every row does exactly the same work. *)
+let table_parallel () =
+  section "Table 11 — domain-pool scaling: MC sampling and batch throughput";
+  let job_counts = [ 1; 2; 4; 8 ] in
+  let hep_kb = parse "Jaun(Eric) /\\ ||Hep(x) | Jaun(x)||_x ~=_1 0.8" in
+  let hep_query = parse "Hep(Eric)" in
+  let vocab = Vocab.of_formulas [ hep_kb; hep_query ] in
+  let tol = Tolerance.uniform 0.2 in
+  let cfg =
+    {
+      Rw_mc.Estimator.default_config with
+      Rw_mc.Estimator.max_samples = 262_144;
+      target_halfwidth = 0.0;
+      max_seconds = 300.0;
+    }
+  in
+  let run_mc pool =
+    let t0 = Unix.gettimeofday () in
+    let o =
+      Rw_mc.Estimator.estimate ~config:cfg ?pool ~seed:42 ~vocab ~n:32 ~tol
+        ~kb:hep_kb hep_query
+    in
+    (o, Unix.gettimeofday () -. t0)
+  in
+  Fmt.pr "  mc sampling, fixed %d-sample workload (N=32, τ=0.2, seed 42):@."
+    cfg.Rw_mc.Estimator.max_samples;
+  Fmt.pr "  %4s %9s %12s %8s   %-24s@." "jobs" "time (s)" "samples/s"
+    "speedup" "estimate";
+  let mc_base = ref 0.0 in
+  let mc_results =
+    List.map
+      (fun jobs ->
+        let o, dt =
+          if jobs = 1 then run_mc None
+          else Rw_pool.Pool.run ~jobs (fun p -> run_mc (Some p))
+        in
+        if jobs = 1 then mc_base := dt;
+        let cell =
+          match o with
+          | Rw_mc.Estimator.Estimate { mean; ci; _ } ->
+            Fmt.str "%.4f ∈ %a" mean Rw_prelude.Interval.pp ci
+          | Rw_mc.Estimator.Starved _ -> "starved"
+        in
+        Fmt.pr "  %4d %9.2f %12.0f %7.1fx   %-24s@." jobs dt
+          (float_of_int cfg.Rw_mc.Estimator.max_samples /. dt)
+          (!mc_base /. dt) cell;
+        match o with
+        | Rw_mc.Estimator.Estimate { mean; ci; _ } -> Some (mean, ci)
+        | Rw_mc.Estimator.Starved _ -> None)
+      job_counts
+  in
+  (* Batch: distinct MC-routed queries (the binary predicate pushes
+     each one past the unary/enum engines) against one resident KB,
+     cache off so every item is a real dispatch. *)
+  let srcs =
+    List.init 16 (fun i -> Printf.sprintf "Hep(Eric) /\\ R%d(Eric, Eric)" i)
+  in
+  let run_batch jobs =
+    let svc =
+      Rw_service.Service.create
+        ~config:
+          {
+            Rw_service.Service.default_config with
+            Rw_service.Service.cache_capacity = 0;
+            engine_options =
+              {
+                Engine.default_options with
+                Engine.mc_samples = Some 10_000;
+              };
+          }
+        ()
+    in
+    Rw_service.Service.load_kb svc hep_kb;
+    let t0 = Unix.gettimeofday () in
+    let results = Rw_service.Service.batch_srcs ~jobs svc srcs in
+    let dt = Unix.gettimeofday () -. t0 in
+    let answers =
+      List.map
+        (fun (r, _ms) ->
+          match r with
+          | Ok ((a : Answer.t), _) -> Some a.Answer.result
+          | Error _ -> None)
+        results
+    in
+    (answers, dt)
+  in
+  Fmt.pr "@.  service batch, %d mc-routed queries, cache off:@."
+    (List.length srcs);
+  Fmt.pr "  %4s %9s %12s %8s@." "jobs" "time (s)" "queries/s" "speedup";
+  let batch_base = ref 0.0 in
+  let batch_results =
+    List.map
+      (fun jobs ->
+        let answers, dt = run_batch jobs in
+        if jobs = 1 then batch_base := dt;
+        Fmt.pr "  %4d %9.2f %12.1f %7.1fx@." jobs dt
+          (float_of_int (List.length srcs) /. dt)
+          (!batch_base /. dt);
+        answers)
+      job_counts
+  in
+  let all_equal = function
+    | [] -> true
+    | x :: rest -> List.for_all (fun y -> y = x) rest
+  in
+  Fmt.pr "-- determinism across jobs: mc estimates %s, batch answers %s@."
+    (if all_equal mc_results then "bit-identical" else "DIVERGED")
+    (if all_equal batch_results then "bit-identical" else "DIVERGED")
+
+(* ------------------------------------------------------------------ *)
 (* Performance benchmarks (Bechamel)                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -666,6 +783,7 @@ let () =
   table_learning ();
   table_mc ();
   table_service ();
+  table_parallel ();
   figure_scaling ();
   if not no_perf then run_perf ();
   Fmt.pr "@.done.@."

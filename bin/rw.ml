@@ -76,7 +76,7 @@ let engine_conv =
   in
   Arg.conv (parse, print)
 
-let run_query kb_path query_src engine seed samples ci_width verbose json =
+let run_query kb_path query_src engine seed samples ci_width jobs verbose json =
   match load_kb kb_path with
   | Error msg ->
     Fmt.epr "error loading %s:@.%s@." kb_path msg;
@@ -93,6 +93,7 @@ let run_query kb_path query_src engine seed samples ci_width verbose json =
           Engine.mc_seed = seed;
           mc_samples = samples;
           mc_ci_width = ci_width;
+          jobs;
         }
       in
       let answer =
@@ -168,6 +169,27 @@ let ci_width_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print engine diagnostics.")
 
+(* --jobs on `query` defaults to 1 (a single query usually is not worth
+   spinning a pool up for); on `batch` and `fuzz`, where the work list
+   is long, it defaults to the machine width. The answers themselves
+   never depend on the value — see TUTORIAL §10. *)
+let jobs_arg ~default ~doc =
+  Arg.(value & opt int default & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let query_jobs_arg =
+  jobs_arg ~default:1
+    ~doc:
+      "Worker domains for the Monte-Carlo engine. Answers are \
+       bit-identical for a fixed $(b,--seed) at any value."
+
+let pool_jobs_arg =
+  jobs_arg
+    ~default:(Rw_pool.Pool.default_jobs ())
+    ~doc:
+      "Worker domains (default: the machine's recommended domain \
+       count). Results are identical at any value; only throughput \
+       changes."
+
 let json_arg =
   Arg.(
     value & flag
@@ -182,7 +204,7 @@ let query_cmd =
     (Cmd.info "query" ~doc ~exits:common_exits)
     Term.(
       const run_query $ kb_arg $ query_arg $ engine_arg $ seed_arg
-      $ samples_arg $ ci_width_arg $ verbose_arg $ json_arg)
+      $ samples_arg $ ci_width_arg $ query_jobs_arg $ verbose_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* batch                                                              *)
@@ -199,7 +221,7 @@ let read_query_lines = function
   | "-" -> In_channel.input_lines stdin
   | path -> In_channel.with_open_text path In_channel.input_lines
 
-let run_batch kb_path queries_path cache_size budget json verbose =
+let run_batch kb_path queries_path cache_size budget jobs json verbose =
   let svc = Rw_service.Service.create ~config:(service_config cache_size budget) () in
   match Rw_service.Service.load_kb_file svc kb_path with
   | Error msg ->
@@ -218,10 +240,13 @@ let run_batch kb_path queries_path cache_size budget json verbose =
             l <> "" && l.[0] <> '#')
           (List.map String.trim lines)
       in
+      (* Evaluate the whole batch (possibly on a domain pool), then
+         print in input order — the output is identical at any --jobs. *)
+      let results = Rw_service.Service.batch_srcs ~jobs svc srcs in
       let failures = ref 0 in
-      List.iter
-        (fun src ->
-          match Rw_service.Service.query_src svc src with
+      List.iter2
+        (fun src (result, item_ms) ->
+          match result with
           | Ok (answer, origin) ->
             let cached = origin = Rw_service.Service.Cached in
             if json then
@@ -231,7 +256,8 @@ let run_batch kb_path queries_path cache_size budget json verbose =
                       [
                         ("query", Rw_service.Json.String src);
                         ( "answer",
-                          Rw_service.Protocol.json_of_answer ~cached answer );
+                          Rw_service.Protocol.json_of_answer ~cached
+                            ~elapsed_ms:item_ms answer );
                       ]))
             else
               Fmt.pr "Pr( %s | KB ) = %a%s@." src Answer.pp answer
@@ -244,7 +270,7 @@ let run_batch kb_path queries_path cache_size budget json verbose =
                    (Rw_service.Protocol.error_reply
                       ~id:(Rw_service.Json.String src) msg))
             else Fmt.epr "%s: %s@." src msg)
-        srcs;
+        srcs results;
       if verbose then begin
         let stats = Rw_service.Service.stats svc in
         Fmt.epr "-- %d queries, cache %d/%d hits, %d failures@."
@@ -294,7 +320,7 @@ let batch_cmd =
     (Cmd.info "batch" ~doc ~man ~exits:common_exits)
     Term.(
       const run_batch $ kb_arg $ queries_arg $ cache_arg $ budget_arg
-      $ json_arg $ verbose_arg)
+      $ pool_jobs_arg $ json_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                              *)
@@ -507,7 +533,7 @@ let parse_cmd =
 (* fuzz                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let run_fuzz seed cases max_size oracles corpus_dir verbose =
+let run_fuzz seed cases max_size oracles corpus_dir jobs verbose =
   (match oracles with
   | [] -> ()
   | l ->
@@ -529,7 +555,8 @@ let run_fuzz seed cases max_size oracles corpus_dir verbose =
     else None
   in
   let report =
-    Rw_fuzz.Driver.run ?oracles ?corpus_dir ?progress ~max_size ~seed ~cases ()
+    Rw_fuzz.Driver.run ?oracles ?corpus_dir ?progress ~max_size ~jobs ~seed
+      ~cases ()
   in
   Fmt.pr "%a@." Rw_fuzz.Driver.pp_report report;
   if report.Rw_fuzz.Driver.failures = [] then 0 else 1
@@ -590,7 +617,7 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc ~man ~exits:common_exits)
     Term.(
       const run_fuzz $ fuzz_seed_arg $ cases_arg $ max_size_arg $ oracle_arg
-      $ corpus_arg $ verbose_arg)
+      $ corpus_arg $ pool_jobs_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 

@@ -19,8 +19,23 @@ dune exec bin/rw.exe -- query \
 # oracle suite (engine agreement, duality, canonicalization, cache,
 # convergence, parser totality). Any violation fails the gate and the
 # report prints the shrunk counterexample. ~30s; the deeper 500-case
-# sweep is run manually (see EXPERIMENTS.md).
-dune exec bin/rw.exe -- fuzz --seed 42 --cases 20
+# sweep is run manually (see EXPERIMENTS.md). Runs through the domain
+# pool (--jobs 2) so the parallel driver is part of the gate.
+dune exec bin/rw.exe -- fuzz --seed 42 --cases 20 --jobs 2
+
+# Parallel batch smoke: the pool path end to end, answers printed in
+# input order.
+printf '%s\n' 'Hep(Eric)' '~Hep(Eric)' 'Jaun(Eric)' \
+  | dune exec bin/rw.exe -- batch --kb examples/kb/hepatitis.kb --jobs 2 \
+  > /dev/null
+
+# Determinism: a fixed-seed Monte-Carlo query is bit-identical at any
+# pool width when it terminates on its sample budget (TUTORIAL §10).
+q1=$(dune exec bin/rw.exe -- query --kb examples/kb/hepatitis.kb \
+  --query 'Hep(Eric)' --engine mc --seed 42 --samples 20000 --jobs 1)
+q2=$(dune exec bin/rw.exe -- query --kb examples/kb/hepatitis.kb \
+  --query 'Hep(Eric)' --engine mc --seed 42 --samples 20000 --jobs 2)
+[ "$q1" = "$q2" ] || { echo "ci: mc answer depends on --jobs" >&2; exit 1; }
 
 # Smoke: the NDJSON serve loop — three requests in, three well-formed
 # JSON replies out, clean shutdown exit.

@@ -32,47 +32,58 @@ let pp_report ppf r =
       r.failures
 
 let run ?(options = Oracle.fuzz_options) ?oracles ?corpus_dir ?progress
-    ?(max_size = 5) ~seed ~cases () =
+    ?(max_size = 5) ?(jobs = 1) ~seed ~cases () =
   let t0 = Unix.gettimeofday () in
-  let failures = ref [] in
-  for i = 0 to cases - 1 do
+  (* Progress and corpus writes may happen from several domains; the
+     case pipeline itself is embarrassingly parallel because a case is
+     a pure function of (seed, max_size, index). *)
+  let io_m = Mutex.create () in
+  let run_case i =
     let case = Gen.case ~seed ~max_size i in
     let violations = Oracle.check ?only:oracles ~options case in
-    if violations <> [] then begin
-      let failing =
-        List.sort_uniq String.compare
-          (List.map (fun v -> v.Oracle.oracle) violations)
-      in
-      let shrunk = Shrink.shrink ~options ~failing case in
-      let violations' = Oracle.check ~only:failing ~options shrunk in
-      (* Shrinking re-checks with the failing subset only; if the step
-         logic somehow lost the failure, report the original. *)
-      let case', vs =
-        if violations' <> [] then (shrunk, violations')
-        else (case, violations)
-      in
-      let corpus_path =
-        Option.map
-          (fun dir ->
-            let oracle =
-              match vs with v :: _ -> v.Oracle.oracle | [] -> "unknown"
-            in
-            Corpus.save ~dir
-              ~description:
-                (Printf.sprintf "found by rw fuzz --seed %d (case %d)" seed
-                   case.Gen.index)
-              ~oracle case')
-          corpus_dir
-      in
-      failures :=
-        { case = case'; original = case; violations = vs; corpus_path }
-        :: !failures
-    end;
-    Option.iter (fun f -> f i) progress
-  done;
+    let failure =
+      if violations = [] then None
+      else begin
+        let failing =
+          List.sort_uniq String.compare
+            (List.map (fun v -> v.Oracle.oracle) violations)
+        in
+        let shrunk = Shrink.shrink ~options ~failing case in
+        let violations' = Oracle.check ~only:failing ~options shrunk in
+        (* Shrinking re-checks with the failing subset only; if the step
+           logic somehow lost the failure, report the original. *)
+        let case', vs =
+          if violations' <> [] then (shrunk, violations')
+          else (case, violations)
+        in
+        let corpus_path =
+          Option.map
+            (fun dir ->
+              let oracle =
+                match vs with v :: _ -> v.Oracle.oracle | [] -> "unknown"
+              in
+              Mutex.protect io_m (fun () ->
+                  Corpus.save ~dir
+                    ~description:
+                      (Printf.sprintf "found by rw fuzz --seed %d (case %d)"
+                         seed case.Gen.index)
+                    ~oracle case'))
+            corpus_dir
+        in
+        Some { case = case'; original = case; violations = vs; corpus_path }
+      end
+    in
+    Option.iter (fun f -> Mutex.protect io_m (fun () -> f i)) progress;
+    failure
+  in
+  let indices = List.init cases Fun.id in
+  let results =
+    if jobs <= 1 then List.map run_case indices
+    else Rw_pool.Pool.run ~jobs (fun p -> Rw_pool.Pool.map p run_case indices)
+  in
   {
     seed;
     cases;
-    failures = List.rev !failures;
+    failures = List.filter_map Fun.id results;
     seconds = Unix.gettimeofday () -. t0;
   }

@@ -26,6 +26,7 @@ val run :
   ?corpus_dir:string ->
   ?progress:(int -> unit) ->
   ?max_size:int ->
+  ?jobs:int ->
   seed:int ->
   cases:int ->
   unit ->
@@ -35,4 +36,9 @@ val run :
     suite's smoke run passes an even lighter one); [?oracles]
     restricts the property set (default: all of {!Oracle.names});
     [?corpus_dir] saves each minimized failure as a [.case] file;
-    [?progress] is called after each case with its index. *)
+    [?progress] is called after each case with its index (serialised,
+    but from whichever domain ran the case); [?jobs] (default 1)
+    checks cases on a domain pool. Each case is a pure function of
+    [(seed, max_size, index)], so the failure set is identical at any
+    [jobs] — only the [seconds] field and the progress interleaving
+    change. *)

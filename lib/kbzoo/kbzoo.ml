@@ -619,26 +619,31 @@ let build () =
 
 (* Parsed at most once; re-forcing a failed lazy re-raises the same
    exception, so a malformed entry is reported identically on every
-   access. *)
+   access. Concurrent [Lazy.force] from several domains is undefined
+   behaviour ([CamlinternalLazy.Undefined]), and zoo KBs are read from
+   pool workers (parallel fuzzing, batched zoo queries), so every
+   force goes through one mutex. *)
+let zoo_m = Mutex.create ()
 let zoo = lazy (build ())
+let force_zoo () = Mutex.protect zoo_m (fun () -> Lazy.force zoo)
 
 let checked () =
-  match Lazy.force zoo with
+  match force_zoo () with
   | z -> Ok z.z_all
   | exception Parse_error (src, msg) ->
     Error (Printf.sprintf "zoo entry %S: %s" src msg)
 
-let all () = (Lazy.force zoo).z_all
+let all () = (force_zoo ()).z_all
 let unary () = List.filter (fun e -> e.unary) (all ())
 let find id = List.find_opt (fun e -> e.id = id) (all ())
 
-let hep_simple () = (Lazy.force zoo).z_hep_simple
-let hep_full () = (Lazy.force zoo).z_hep_full
-let kb_fly () = (Lazy.force zoo).z_kb_fly
-let kb_likes () = (Lazy.force zoo).z_kb_likes
-let kb_late () = (Lazy.force zoo).z_kb_late
-let kb_arm () = (Lazy.force zoo).z_kb_arm
-let kb_yale () = (Lazy.force zoo).z_kb_yale
+let hep_simple () = (force_zoo ()).z_hep_simple
+let hep_full () = (force_zoo ()).z_hep_full
+let kb_fly () = (force_zoo ()).z_kb_fly
+let kb_likes () = (force_zoo ()).z_kb_likes
+let kb_late () = (force_zoo ()).z_kb_late
+let kb_arm () = (force_zoo ()).z_kb_arm
+let kb_yale () = (force_zoo ()).z_kb_yale
 
 let pp_expectation ppf = function
   | Exactly v -> Fmt.pf ppf "= %a" Floats.pp_prob v

@@ -27,7 +27,7 @@ open Rw_prelude
 type config = {
   target_halfwidth : float;  (** stop when the CI half-width is below *)
   z : float;  (** normal quantile for the interval (1.96 ≈ 95%) *)
-  batch : int;  (** samples drawn between stopping checks *)
+  batch : int;  (** samples per chunk (the unit of parallel work) *)
   max_samples : int;  (** total sample budget *)
   max_seconds : float;  (** wall-time budget *)
   min_hits : int;  (** KB hits required before trusting the CI *)
@@ -171,38 +171,92 @@ let accum_interval ~z acc =
   let p_hat = if acc.w_kb > 0.0 then acc.w_both /. acc.w_kb else Float.nan in
   wilson ~z ~hits:(p_hat *. n_eff) ~total:n_eff
 
-(** [estimate ?config ~seed ~vocab ~n ~tol ~kb query] — the adaptive
-    Monte-Carlo estimate of [Pr_N^τ̄(query | kb)]. Deterministic in
-    [seed] (up to the wall-time budget). Raises [Invalid_argument]
-    when the vocabulary does not cover both sentences. *)
-let estimate ?(config = default_config) ~seed ~vocab ~n ~tol ~kb query =
+(* The unit of scheduling is a {e chunk} of [config.batch] samples; a
+   {e round} is up to [chunks_per_round] chunks drawn between stopping
+   / stratification checks. Rounds — not domains — are the grain of
+   determinism: every chunk owns a generator split off the master
+   stream in chunk order on the coordinator, a fresh accumulator, and
+   its own scratch world, so chunks can execute on any domain in any
+   order and merging their accumulators back in chunk order reproduces
+   the sequential result bit for bit. All adaptive decisions (stop,
+   stratify, give up) happen at round boundaries from merged totals,
+   which therefore do not depend on the job count either. *)
+let chunks_per_round = 16
+
+(** [estimate ?config ?pool ~seed ~vocab ~n ~tol ~kb query] — the
+    adaptive Monte-Carlo estimate of [Pr_N^τ̄(query | kb)].
+    Deterministic in [seed] at any pool width (up to the wall-time
+    budget). Raises [Invalid_argument] when the vocabulary does not
+    cover both sentences. *)
+let estimate ?(config = default_config) ?pool ~seed ~vocab ~n ~tol ~kb query =
   if not (Vocab.covers vocab kb && Vocab.covers vocab query) then
     invalid_arg "Estimator.estimate: vocabulary does not cover formulas";
-  let world = World.create vocab n in
-  let rng = Prng.create seed in
-  let t0 = Sys.time () in
+  let master = Prng.create seed in
+  let t0 = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. t0 in
   let total_samples = ref 0 and total_hits = ref 0 in
   let uniform_acc = fresh_accum () in
   (* [proposal = None] while sampling uniformly. *)
   let proposal = ref None and acc = ref uniform_acc in
-  let sample_one () =
-    let w =
-      match !proposal with
-      | None ->
-        Sampler.fill_uniform rng world;
-        1.0
-      | Some prop -> Float.exp (Sampler.fill_atomwise rng world prop)
+  (* One chunk, runnable on any domain: private generator, private
+     scratch world, private accumulator. [Budget.check] keeps service
+     deadlines enforceable on worker domains, where SIGALRM cannot
+     reach. *)
+  let run_chunk (size, rng, prop) =
+    let world = World.create vocab n in
+    let a = fresh_accum () in
+    for _ = 1 to size do
+      Rw_pool.Budget.check ();
+      let w =
+        match prop with
+        | None ->
+          Sampler.fill_uniform rng world;
+          1.0
+        | Some p -> Float.exp (Sampler.fill_atomwise rng world p)
+      in
+      a.phase_samples <- a.phase_samples + 1;
+      if Rw_model.Eval.sat world tol kb then begin
+        a.hits <- a.hits + 1;
+        a.w_kb <- a.w_kb +. w;
+        a.w2_kb <- a.w2_kb +. (w *. w);
+        if Rw_model.Eval.sat world tol query then a.w_both <- a.w_both +. w
+      end
+    done;
+    a
+  in
+  let merge_into dst src =
+    dst.phase_samples <- dst.phase_samples + src.phase_samples;
+    dst.hits <- dst.hits + src.hits;
+    dst.w_kb <- dst.w_kb +. src.w_kb;
+    dst.w2_kb <- dst.w2_kb +. src.w2_kb;
+    dst.w_both <- dst.w_both +. src.w_both
+  in
+  let draw_round () =
+    (* Chunk generators are split off the master stream per chunk —
+       never per domain — so the stream assignment is a pure function
+       of (seed, chunk index). *)
+    let prop = !proposal in
+    let rec specs remaining k =
+      if k = 0 || remaining <= 0 then []
+      else
+        let size = min config.batch remaining in
+        let rng = Prng.split master in
+        (size, rng, prop) :: specs (remaining - size) (k - 1)
     in
-    incr total_samples;
-    let a = !acc in
-    a.phase_samples <- a.phase_samples + 1;
-    if Rw_model.Eval.sat world tol kb then begin
-      incr total_hits;
-      a.hits <- a.hits + 1;
-      a.w_kb <- a.w_kb +. w;
-      a.w2_kb <- a.w2_kb +. (w *. w);
-      if Rw_model.Eval.sat world tol query then a.w_both <- a.w_both +. w
-    end
+    let specs = specs (config.max_samples - !total_samples) chunks_per_round in
+    let accs =
+      match pool with
+      | Some p when Rw_pool.Pool.jobs p > 1 -> Rw_pool.Pool.map p run_chunk specs
+      | _ -> List.map run_chunk specs
+    in
+    (* Merge in chunk order: float addition is not associative, so the
+       fixed order is part of the determinism contract. *)
+    List.iter
+      (fun a ->
+        total_samples := !total_samples + a.phase_samples;
+        total_hits := !total_hits + a.hits;
+        merge_into !acc a)
+      accs
   in
   let maybe_stratify () =
     if Option.is_none !proposal && !total_samples >= config.warmup then begin
@@ -229,7 +283,7 @@ let estimate ?(config = default_config) ~seed ~vocab ~n ~tol ~kb query =
          else float_of_int !total_hits /. float_of_int !total_samples);
       ess = ess !acc;
       stratified = Option.is_some !proposal;
-      seconds = Sys.time () -. t0;
+      seconds = elapsed ();
     }
   in
   let finish () =
@@ -251,18 +305,15 @@ let estimate ?(config = default_config) ~seed ~vocab ~n ~tol ~kb query =
   let rec loop () =
     if
       !total_samples >= config.max_samples
-      || Sys.time () -. t0 >= config.max_seconds
+      || elapsed () >= config.max_seconds
       (* The stratified switch (if available) happened back at warmup,
          so a still-empty run this deep is hopeless either way. *)
       || (!total_hits = 0
          && (!total_samples >= config.give_up_after
-            || Sys.time () -. t0 >= config.max_seconds /. 4.0))
+            || elapsed () >= config.max_seconds /. 4.0))
     then finish ()
     else begin
-      let budget = min config.batch (config.max_samples - !total_samples) in
-      for _ = 1 to budget do
-        sample_one ()
-      done;
+      draw_round ();
       maybe_stratify ();
       if !acc.hits >= config.min_hits then begin
         let _, ci = accum_interval ~z:config.z !acc in

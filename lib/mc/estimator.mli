@@ -15,7 +15,7 @@ open Rw_prelude
 type config = {
   target_halfwidth : float;  (** stop when the CI half-width is below *)
   z : float;  (** normal quantile for the interval (1.96 ≈ 95%) *)
-  batch : int;  (** samples drawn between stopping checks *)
+  batch : int;  (** samples per chunk (the unit of parallel work) *)
   max_samples : int;  (** total sample budget *)
   max_seconds : float;  (** wall-time budget *)
   min_hits : int;  (** KB hits required before trusting the CI *)
@@ -63,6 +63,7 @@ val wilson : z:float -> hits:float -> total:float -> float * Interval.t
 
 val estimate :
   ?config:config ->
+  ?pool:Rw_pool.Pool.t ->
   seed:int ->
   vocab:Vocab.t ->
   n:int ->
@@ -71,6 +72,15 @@ val estimate :
   Syntax.formula ->
   outcome
 (** The adaptive Monte-Carlo estimate of [Pr_N^τ̄(query | kb)].
-    Deterministic in [seed] (up to the wall-time budget). Raises
+
+    Sampling is sharded into fixed-size chunks ([config.batch]
+    samples), each with a generator split off the master stream {e per
+    chunk, not per domain}, a private scratch world, and a private
+    accumulator merged back in chunk order; adaptive decisions happen
+    only at fixed round boundaries. [?pool] therefore changes where
+    chunks execute but not the result: the outcome is bit-identical at
+    any pool width, and deterministic in [seed] (up to the wall-time
+    budget). The per-sample loop polls {!Rw_pool.Budget.check}, so
+    service deadlines unwind from worker domains too. Raises
     [Invalid_argument] when the vocabulary does not cover both
     sentences. *)

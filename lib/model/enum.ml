@@ -69,9 +69,14 @@ let iter_worlds ?(max_log10_worlds = 8.0) vocab n f =
             List.map (fun i -> `Func (table, i)) (Rw_prelude.Listx.range 0 (World.table_size n arity)))
           vocab.Vocab.funcs
     in
-    (* Odometer recursion over the cells. *)
+    (* Odometer recursion over the cells. The per-world budget poll
+       keeps service deadlines enforceable inside multi-million-world
+       enumerations, including on pool worker domains where the alarm
+       signal cannot reach. *)
     let rec go = function
-      | [] -> f w
+      | [] ->
+        Rw_pool.Budget.check ();
+        f w
       | `Pred (table, i) :: rest ->
         table.(i) <- false;
         go rest;

@@ -1,0 +1,47 @@
+(** Cooperative wall-clock budgets for worker domains.
+
+    The service's original budget mechanism is a [SIGALRM] timer whose
+    handler raises from the next allocation point. Signals are
+    delivered to the {e process} and handled by whichever domain the
+    runtime picks — they cannot preempt a specific worker domain, so
+    under a domain pool an alarm-based budget silently stops firing
+    where the work actually runs.
+
+    This module is the domain-safe replacement: an absolute deadline
+    stored in domain-local state, polled explicitly ({!check}) from
+    the engines' inner sampling/enumeration loops. Expiry raises
+    {!Expired}, which unwinds to whoever installed the deadline — the
+    same control flow as the alarm, minus the signal.
+
+    Deadlines nest by narrowing: an inner [with_deadline] can only
+    shorten the time left, never extend an enclosing budget.
+
+    {!Pool.map} propagates the submitting domain's deadline into every
+    task it runs, so a budget installed on the coordinating domain
+    bounds the whole fan-out. *)
+
+exception Expired
+(** Raised by {!check} once the current deadline has passed. *)
+
+val check : unit -> unit
+(** Poll the current domain's deadline; raises {!Expired} when it has
+    passed. Near-free when no deadline is installed (one domain-local
+    read); with one installed, the clock is consulted every 64th call
+    so the poll can sit in per-sample / per-world loops. *)
+
+val with_deadline : seconds:float -> (unit -> 'a) -> 'a
+(** [with_deadline ~seconds f] runs [f] with the current domain's
+    deadline set to [now + seconds] — narrowed against any enclosing
+    deadline — and restores the previous deadline on the way out,
+    whether [f] returns or raises. [f] only observes the deadline
+    through {!check}: cooperative, not preemptive. *)
+
+val current : unit -> float option
+(** The current domain's absolute deadline (epoch seconds), if any —
+    what {!Pool} captures at task submission to inherit budgets across
+    domains. *)
+
+val with_inherited : float option -> (unit -> 'a) -> 'a
+(** [with_inherited d f] installs absolute deadline [d] (narrowed
+    against any existing one) for the duration of [f]; [None] is a
+    no-op. The worker-side half of deadline propagation. *)

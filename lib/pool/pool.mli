@@ -1,0 +1,63 @@
+(** A fixed-size domain work pool.
+
+    One coordinating domain fans work out to [jobs - 1] spawned worker
+    domains (plus itself) over a [Mutex]/[Condition] task queue — the
+    parallelism substrate for the Monte-Carlo sampler, the service's
+    batch evaluator, and the fuzz driver. Nothing here knows about
+    those clients; the contract is just:
+
+    - {!map} preserves order: the result list lines up with the input
+      list however the tasks were scheduled;
+    - exceptions propagate: if a task raises, {!map} finishes the
+      remaining tasks (no half-abandoned work) and re-raises the
+      lowest-indexed task's exception, with its backtrace, on the
+      caller;
+    - budgets follow the work: a {!Budget} deadline installed on the
+      submitting domain is inherited by every task;
+    - nesting is refused, not deadlocked: {!map} or {!create} from
+      inside a task raises {!Nested}. Code that may run both ways
+      (the MC engine under a parallel batch) tests {!on_worker} and
+      falls back to its sequential path.
+
+    [jobs = 1] spawns no domains at all — {!map} degenerates to an
+    in-order sequential map — so callers need no separate code path
+    for the sequential case. *)
+
+type t
+
+exception Nested
+(** Raised by {!create} and {!map} when called from inside a pool
+    task: a task blocking on a second fan-out over the same worker set
+    is a deadlock, so it is refused eagerly instead. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the CLI default for
+    [--jobs]. *)
+
+val create : jobs:int -> t
+(** Spawn a pool of [jobs - 1] worker domains ([jobs >= 1]; raises
+    [Invalid_argument] otherwise, {!Nested} from inside a task). The
+    caller participates in every {!map}, so [jobs] is the true
+    parallel width. *)
+
+val shutdown : t -> unit
+(** Stop accepting work, wake every idle worker, and join them all.
+    Idempotent. *)
+
+val run : jobs:int -> (t -> 'a) -> 'a
+(** [run ~jobs f] is [create]/[f]/[shutdown] with the shutdown
+    guaranteed on exceptions — the only way pools are used in this
+    tree. *)
+
+val jobs : t -> int
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map. The calling domain executes tasks
+    too (it never just blocks while work is queued), then waits for
+    stragglers. See the module docstring for the exception and budget
+    contract. *)
+
+val on_worker : unit -> bool
+(** Is the current code running inside a pool task (on any domain —
+    the coordinator executes tasks as well)? The guard nested
+    parallelism keys off. *)

@@ -77,14 +77,19 @@ let pow (a : t) k : t =
   else a *. float_of_int k
 
 (* Memoised table of log-factorials: ubiquitous in the unary counting
-   engine, so computed once and grown on demand. *)
-let log_fact_table = ref [| 0.0 |]
+   engine, so computed once and grown on demand. The slot is an
+   [Atomic] because domains race on the grow step: each racer builds
+   its own (identical, deterministic) replacement array from a fully
+   initialised snapshot and publishes it with release semantics, so
+   readers never observe a half-filled table; the losing racer's array
+   is garbage, not corruption. *)
+let log_fact_table = Atomic.make [| 0.0 |]
 
 (** [log_factorial n] is [log n!], memoised. *)
 let log_factorial n =
   if n < 0 then invalid_arg "Logspace.log_factorial: negative"
   else begin
-    let tbl = !log_fact_table in
+    let tbl = Atomic.get log_fact_table in
     if n < Array.length tbl then tbl.(n)
     else begin
       let old_len = Array.length tbl in
@@ -94,7 +99,10 @@ let log_factorial n =
       for i = old_len to len - 1 do
         fresh.(i) <- fresh.(i - 1) +. Float.log (float_of_int i)
       done;
-      log_fact_table := fresh;
+      (* A concurrent grower may have published a longer table already;
+         only install ours if it extends the one we read. *)
+      if not (Atomic.compare_and_set log_fact_table tbl fresh) then
+        ignore (Atomic.get log_fact_table);
       fresh.(n)
     end
   end

@@ -29,6 +29,10 @@ type options = {
   mc_sizes : int list option;  (** domain sizes for the Monte-Carlo engine *)
   mc_cross_check : bool;
       (** statistically cross-check exact enum points by sampling *)
+  jobs : int;
+      (** domain-pool width for the Monte-Carlo sampler; answers are
+          jobs-invariant by construction, so this knob is excluded
+          from the service's options fingerprint *)
 }
 
 let default_options =
@@ -42,6 +46,7 @@ let default_options =
     mc_ci_width = None;
     mc_sizes = None;
     mc_cross_check = true;
+    jobs = 1;
   }
 
 (* Symbols of a formula, for the independence split: predicates and
@@ -189,7 +194,7 @@ and fallback ~options ~kb query =
 and monte_carlo ~options ~vocab ~kb query blown =
   let a =
     Mc_engine.estimate ~seed:options.mc_seed ?samples:options.mc_samples
-      ?ns:options.mc_sizes
+      ~jobs:options.jobs ?ns:options.mc_sizes
       ?ci_width:options.mc_ci_width ?tols:options.tols ~vocab ~kb query
   in
   match blown with
@@ -334,7 +339,7 @@ let run ?(options = default_options) eid ~kb query =
     let vocab = Vocab.of_formulas [ kb; query ] in
     try
       Mc_engine.estimate ~seed:options.mc_seed ?samples:options.mc_samples
-        ?ns:options.mc_sizes ?ci_width:options.mc_ci_width ?tols:options.tols
-        ~vocab ~kb query
+        ~jobs:options.jobs ?ns:options.mc_sizes ?ci_width:options.mc_ci_width
+        ?tols:options.tols ~vocab ~kb query
     with Invalid_argument why ->
       Answer.make ~engine:"mc" (Answer.Not_applicable why))

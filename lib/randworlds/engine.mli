@@ -27,6 +27,11 @@ type options = {
   mc_sizes : int list option;  (** domain sizes for the Monte-Carlo engine *)
   mc_cross_check : bool;
       (** statistically cross-check exact enum points by sampling *)
+  jobs : int;
+      (** domain-pool width for the Monte-Carlo sampler (default 1).
+          Answers are jobs-invariant by construction — per-chunk
+          stream splitting, see {!Mc_engine.estimate} — so this knob
+          never enters the service's cache fingerprint. *)
 }
 
 val default_options : options

@@ -5,8 +5,11 @@
     The query service's [stats] reply reports which engines actually
     answered traffic and how much wall-clock each consumed; the
     counters here are the source of truth. Counters are process-global
-    (the library is single-threaded) and cheap enough to leave on
-    unconditionally. *)
+    in effect but sharded per domain underneath: {!record} writes only
+    the calling domain's shard, {!snapshot} and {!reset} merge/clear
+    every shard under its lock, so the API is domain-safe and snapshot
+    sums are exact even while pool workers are recording. Cheap enough
+    to leave on unconditionally. *)
 
 type entry = {
   engine : string;  (** the engine named in the winning {!Answer.t} *)

@@ -13,10 +13,11 @@ open Rw_prelude
 
 let default_seed = 1
 
-(** [pr_n ?config ?seed ~vocab ~n ~tol ~kb query] — one Monte-Carlo
-    estimate at a single [(N, τ̄)], exposed for benches and tests. *)
-let pr_n ?config ?(seed = default_seed) ~vocab ~n ~tol ~kb query =
-  Rw_mc.Estimator.estimate ?config ~seed ~vocab ~n ~tol ~kb query
+(** [pr_n ?config ?pool ?seed ~vocab ~n ~tol ~kb query] — one
+    Monte-Carlo estimate at a single [(N, τ̄)], exposed for benches and
+    tests. *)
+let pr_n ?config ?pool ?(seed = default_seed) ~vocab ~n ~tol ~kb query =
+  Rw_mc.Estimator.estimate ?config ?pool ~seed ~vocab ~n ~tol ~kb query
 
 let config ~samples ~ci_width =
   {
@@ -43,8 +44,8 @@ let note_of ~tol ~outcome =
     rescue). The answer is the confidence interval at the smallest
     tolerance that produced an estimate; the evidence for every grid
     point attempted, including starved ones, is in the notes. *)
-let estimate ?(seed = default_seed) ?samples ?ci_width ?(ns = [ 8; 16; 32 ])
-    ?tols ~vocab ~kb query =
+let estimate ?(seed = default_seed) ?samples ?ci_width ?(jobs = 1)
+    ?(ns = [ 8; 16; 32 ]) ?tols ~vocab ~kb query =
   let tols =
     match tols with
     | Some ts -> ts
@@ -55,14 +56,14 @@ let estimate ?(seed = default_seed) ?samples ?ci_width ?(ns = [ 8; 16; 32 ])
   (* Split one master generator per grid point so points are
      independent but jointly reproducible from the one seed. *)
   let master = Rw_mc.Prng.create seed in
-  let outcomes =
+  let grid pool =
     List.map
       (fun tol ->
         let rec descend = function
           | [] -> []
           | n :: rest ->
             let seed = Int64.to_int (Rw_mc.Prng.bits64 master) land 0x3FFFFFFF in
-            let o = pr_n ~config:cfg ~seed ~vocab ~n ~tol ~kb query in
+            let o = pr_n ~config:cfg ?pool ~seed ~vocab ~n ~tol ~kb query in
             let attempt = (tol, o) in
             (match o with
             | Rw_mc.Estimator.Estimate _ -> [ attempt ]
@@ -70,6 +71,15 @@ let estimate ?(seed = default_seed) ?samples ?ci_width ?(ns = [ 8; 16; 32 ])
         in
         descend ns_desc)
       tols
+  in
+  let outcomes =
+    (* Chunk seeding makes the answer jobs-invariant, so the pool is
+       pure mechanism. Under a parallel batch this engine is already
+       inside a pool task; nested fan-out is refused, so run the grid
+       sequentially there. *)
+    if jobs > 1 && not (Rw_pool.Pool.on_worker ()) then
+      Rw_pool.Pool.run ~jobs (fun p -> grid (Some p))
+    else grid None
   in
   let outcomes = List.concat outcomes in
   let notes = List.map (fun (tol, o) -> note_of ~tol ~outcome:o) outcomes in

@@ -14,6 +14,7 @@ val default_seed : int
 
 val pr_n :
   ?config:Rw_mc.Estimator.config ->
+  ?pool:Rw_pool.Pool.t ->
   ?seed:int ->
   vocab:Vocab.t ->
   n:int ->
@@ -22,12 +23,14 @@ val pr_n :
   Syntax.formula ->
   Rw_mc.Estimator.outcome
 (** One Monte-Carlo estimate at a single [(N, τ̄)] — for benches and
-    tests. *)
+    tests. [?pool] parallelises the sampling without changing the
+    result (see {!Rw_mc.Estimator.estimate}). *)
 
 val estimate :
   ?seed:int ->
   ?samples:int ->
   ?ci_width:float ->
+  ?jobs:int ->
   ?ns:int list ->
   ?tols:Tolerance.t list ->
   vocab:Vocab.t ->
@@ -39,4 +42,8 @@ val estimate :
     result is the confidence interval at the smallest tolerance that
     produced an estimate ([Within]); when every tolerance starves, a
     widened [[0,1]] interval with an explanatory note. Deterministic
-    in [seed]. *)
+    in [seed] at any [?jobs] (default 1): the per-chunk stream
+    splitting makes the job count pure mechanism, so [--seed 42] gives
+    bit-identical answers at any [--jobs]. Called from inside a pool
+    task (a parallel batch), it ignores [?jobs] and samples
+    sequentially rather than nesting fan-outs. *)

@@ -108,3 +108,19 @@ let reset_stats (t : _ t) =
   t.hits <- 0;
   t.misses <- 0;
   t.evictions <- 0
+
+(* The mutex-guarded wrapper: every operation — including [find], which
+   rewires the recency list and bumps counters — runs under one lock.
+   Coarse by design: operations are O(1) hash/list work, so the lock is
+   held for nanoseconds and a sharded scheme would buy nothing. *)
+module Sync = struct
+  type nonrec 'v t = { m : Mutex.t; c : 'v t }
+
+  let create ~capacity = { m = Mutex.create (); c = create ~capacity }
+  let find t key = Mutex.protect t.m (fun () -> find t.c key)
+  let add t key value = Mutex.protect t.m (fun () -> add t.c key value)
+  let mem t key = Mutex.protect t.m (fun () -> mem t.c key)
+  let stats t = Mutex.protect t.m (fun () -> stats t.c)
+  let clear t = Mutex.protect t.m (fun () -> clear t.c)
+  let reset_stats t = Mutex.protect t.m (fun () -> reset_stats t.c)
+end

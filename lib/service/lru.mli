@@ -6,7 +6,11 @@
     doubly-linked recency list; the least-recently-used entry is
     evicted when insertion exceeds capacity.
 
-    Not thread-safe — the service is a single-threaded request loop. *)
+    The base structure is not thread-safe — even {!find} mutates the
+    recency list and counters, so concurrent readers corrupt the
+    doubly-linked list. Domain-shared users (the service's answer
+    cache under a parallel batch) go through {!Sync}, the mutex-guarded
+    wrapper. *)
 
 type 'v t
 
@@ -44,3 +48,20 @@ val clear : 'v t -> unit
 
 val reset_stats : 'v t -> unit
 (** Zero the hit/miss/eviction counters, keeping entries. *)
+
+(** The domain-safe cache: the same structure and counters behind one
+    mutex. Each operation is individually atomic; sequences are not
+    (two domains may both miss one key and both compute — benign for a
+    memo cache of a pure function, the second [add] just overwrites
+    with an equal answer). *)
+module Sync : sig
+  type nonrec 'v t
+
+  val create : capacity:int -> 'v t
+  val find : 'v t -> string -> 'v option
+  val add : 'v t -> string -> 'v -> unit
+  val mem : 'v t -> string -> bool
+  val stats : 'v t -> stats
+  val clear : 'v t -> unit
+  val reset_stats : 'v t -> unit
+end

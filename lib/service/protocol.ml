@@ -4,7 +4,12 @@ open Randworlds
 
 type request =
   | Query of { id : Json.t option; src : string; budget : float option }
-  | Batch of { id : Json.t option; srcs : string list; budget : float option }
+  | Batch of {
+      id : Json.t option;
+      srcs : string list;
+      budget : float option;
+      jobs : int option;
+    }
   | Load_kb of { id : Json.t option; path : string option; text : string option }
   | Stats of { id : Json.t option }
   | Shutdown of { id : Json.t option }
@@ -27,8 +32,9 @@ let request_of_json json =
     match Option.bind (Json.member "queries" json) Json.to_list with
     | Some items -> (
       let srcs = List.filter_map Json.to_str items in
+      let jobs = Option.bind (Json.member "jobs" json) Json.to_int in
       if List.length srcs = List.length items then
-        Ok (Batch { id; srcs; budget })
+        Ok (Batch { id; srcs; budget; jobs })
       else Error "\"queries\" must be a list of strings")
     | None -> Error "\"batch\" op needs a \"queries\" list")
   | Some "load_kb" -> (

@@ -9,7 +9,8 @@
   {"op":"load_kb","path":"examples/kb/hepatitis.kb"}   load from disk
   {"op":"load_kb","kb":"Jaun(Eric) /\\ ..."}           inline KB text
   {"op":"query","query":"Hep(Eric)","budget":0.5}      one query
-  {"op":"batch","queries":["Hep(Eric)","~Hep(Eric)"]}  many queries
+  {"op":"batch","queries":["Hep(Eric)","~Hep(Eric)"],
+   "jobs":4}                              many queries, domain pool
   {"op":"stats"}                                       counters
   {"op":"shutdown"}                                    clean exit
     v}
@@ -23,7 +24,12 @@ open Randworlds
 
 type request =
   | Query of { id : Json.t option; src : string; budget : float option }
-  | Batch of { id : Json.t option; srcs : string list; budget : float option }
+  | Batch of {
+      id : Json.t option;
+      srcs : string list;
+      budget : float option;
+      jobs : int option;  (** domain-pool width for this batch *)
+    }
   | Load_kb of { id : Json.t option; path : string option; text : string option }
   | Stats of { id : Json.t option }
   | Shutdown of { id : Json.t option }

@@ -32,20 +32,20 @@ let handle_request service req =
       Log.warn (fun m -> m "query error: %s" msg);
       `Reply (Protocol.error_reply ?id msg)
   end
-  | Protocol.Batch { srcs; budget; _ } ->
+  | Protocol.Batch { srcs; budget; jobs; _ } ->
     let results, ms =
-      timed (fun () -> List.map (Service.query_src ?budget service) srcs)
+      timed (fun () -> Service.batch_srcs ?budget ?jobs service srcs)
     in
     let items =
       List.map2
-        (fun qsrc result ->
+        (fun qsrc (result, item_ms) ->
           match result with
           | Ok ((_, origin) as hit) ->
             Json.Obj
               [
                 ("query", Json.String qsrc);
                 ("ok", Json.Bool true);
-                ("answer", answer_payload hit 0.0);
+                ("answer", answer_payload hit item_ms);
                 ("cached", Json.Bool (origin = Service.Cached));
               ]
           | Error msg ->
@@ -58,7 +58,8 @@ let handle_request service req =
         srcs results
     in
     let failed =
-      List.length (List.filter (function Error _ -> true | _ -> false) results)
+      List.length
+        (List.filter (function Error _, _ -> true | _ -> false) results)
     in
     Log.info (fun m ->
         m "batch of %d (%d failed) %.2fms" (List.length srcs) failed ms);

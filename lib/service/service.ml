@@ -21,8 +21,11 @@ type origin = Computed | Cached | Degraded
 (* Latency accounting: running aggregates plus a bounded ring of the
    most recent samples for the percentile estimates — a service that
    has answered millions of requests must not retain millions of
-   floats. *)
+   floats. The mutex orders recorders (batch items complete on several
+   domains at once) against each other and against [stats]; the fields
+   move together, so per-field atomics would still tear. *)
 type latency = {
+  m : Mutex.t;
   mutable count : int;
   mutable total_ms : float;
   mutable max_ms : float;
@@ -35,6 +38,7 @@ let ring_size = 512
 
 let latency_create () =
   {
+    m = Mutex.create ();
     count = 0;
     total_ms = 0.0;
     max_ms = 0.0;
@@ -44,12 +48,13 @@ let latency_create () =
   }
 
 let latency_record l ms =
-  l.count <- l.count + 1;
-  l.total_ms <- l.total_ms +. ms;
-  if ms > l.max_ms then l.max_ms <- ms;
-  l.ring.(l.ring_pos) <- ms;
-  l.ring_pos <- (l.ring_pos + 1) mod ring_size;
-  if l.ring_len < ring_size then l.ring_len <- l.ring_len + 1
+  Mutex.protect l.m (fun () ->
+      l.count <- l.count + 1;
+      l.total_ms <- l.total_ms +. ms;
+      if ms > l.max_ms then l.max_ms <- ms;
+      l.ring.(l.ring_pos) <- ms;
+      l.ring_pos <- (l.ring_pos + 1) mod ring_size;
+      if l.ring_len < ring_size then l.ring_len <- l.ring_len + 1)
 
 type latency_summary = {
   requests : int;
@@ -60,36 +65,43 @@ type latency_summary = {
 }
 
 let latency_summary l =
-  if l.count = 0 then
-    { requests = 0; mean_ms = 0.0; p50_ms = 0.0; p95_ms = 0.0; max_ms = 0.0 }
-  else begin
-    let sample = Array.sub l.ring 0 l.ring_len in
-    Array.sort Stdlib.compare sample;
-    let pct p =
-      let idx =
-        int_of_float (Float.of_int (l.ring_len - 1) *. p /. 100.0 +. 0.5)
-      in
-      sample.(max 0 (min (l.ring_len - 1) idx))
-    in
-    {
-      requests = l.count;
-      mean_ms = l.total_ms /. float_of_int l.count;
-      p50_ms = pct 50.0;
-      p95_ms = pct 95.0;
-      max_ms = l.max_ms;
-    }
-  end
+  Mutex.protect l.m (fun () ->
+      if l.count = 0 then
+        { requests = 0; mean_ms = 0.0; p50_ms = 0.0; p95_ms = 0.0; max_ms = 0.0 }
+      else begin
+        let sample = Array.sub l.ring 0 l.ring_len in
+        Array.sort Stdlib.compare sample;
+        let pct p =
+          let idx =
+            int_of_float (Float.of_int (l.ring_len - 1) *. p /. 100.0 +. 0.5)
+          in
+          sample.(max 0 (min (l.ring_len - 1) idx))
+        in
+        {
+          requests = l.count;
+          mean_ms = l.total_ms /. float_of_int l.count;
+          p50_ms = pct 50.0;
+          p95_ms = pct 95.0;
+          max_ms = l.max_ms;
+        }
+      end)
 
+(* The service is shared across domains during a parallel batch, so
+   every piece of state a query touches is synchronised: the cache is
+   the mutex-guarded LRU, the plain counters are atomics, latency has
+   its own lock. The KB fields stay plain mutable — loading a KB while
+   queries are in flight is not supported (the serve loop handles
+   requests one at a time; the batch evaluator never loads). *)
 type t = {
   config : config;
-  cache : Answer.t Lru.t;
+  cache : Answer.t Lru.Sync.t;
   opts_digest : string;
   mutable kb : Syntax.formula option;
   mutable kb_digest : string;
   latency : latency;
-  mutable queries : int;
-  mutable timeouts : int;
-  mutable kb_loads : int;
+  queries : int Atomic.t;
+  timeouts : int Atomic.t;
+  kb_loads : int Atomic.t;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -111,6 +123,9 @@ let tolerance_fingerprint (tol : Tolerance.t) =
     (pairs tol.Tolerance.weights)
     (pairs tol.Tolerance.powers)
 
+(* [o.jobs] is deliberately absent: the Monte-Carlo chunk seeding makes
+   answers jobs-invariant, so services differing only in pool width
+   answer from interchangeable cache entries. *)
 let options_fingerprint (o : Engine.options) =
   let ints = function
     | None -> "-"
@@ -132,14 +147,14 @@ let options_fingerprint (o : Engine.options) =
 let create ?(config = default_config) () =
   {
     config;
-    cache = Lru.create ~capacity:config.cache_capacity;
+    cache = Lru.Sync.create ~capacity:config.cache_capacity;
     opts_digest = options_fingerprint config.engine_options;
     kb = None;
     kb_digest = "";
     latency = latency_create ();
-    queries = 0;
-    timeouts = 0;
-    kb_loads = 0;
+    queries = Atomic.make 0;
+    timeouts = Atomic.make 0;
+    kb_loads = Atomic.make 0;
   }
 
 let config t = t.config
@@ -151,7 +166,7 @@ let config t = t.config
 let load_kb t kb =
   t.kb <- Some kb;
   t.kb_digest <- Canonical.digest kb;
-  t.kb_loads <- t.kb_loads + 1
+  Atomic.incr t.kb_loads
 
 let load_kb_string t src =
   match Kb_file.of_string src with
@@ -237,6 +252,22 @@ let with_budget budget ~fallback f =
          [restore]'s first catch — treat it as an expiry. *)
       (fallback (), true))
 
+(* The deadline-polled twin of [with_budget], for code paths where the
+   alarm cannot work: on a pool worker SIGALRM is never delivered to
+   the right domain, and on a coordinator about to fan out (jobs > 1)
+   an asynchronous raise could fire inside the pool's own
+   mutex/condition machinery and corrupt it. Engines poll
+   [Rw_pool.Budget.check] in their inner loops; [Pool.map] propagates
+   the deadline to every task and re-raises a worker's [Expired] here. *)
+let with_budget_polled budget ~fallback f =
+  match budget with
+  | None -> (f (), false)
+  | Some s when s <= 0.0 -> (fallback (), true)
+  | Some s -> (
+    match Rw_pool.Budget.with_deadline ~seconds:s f with
+    | v -> (v, false)
+    | exception Rw_pool.Budget.Expired -> (fallback (), true))
+
 (* ------------------------------------------------------------------ *)
 (* Queries                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -260,14 +291,19 @@ let query ?budget t q =
       match budget with Some _ as b -> b | None -> t.config.budget
     in
     let t0 = Instr.now () in
-    t.queries <- t.queries + 1;
+    Atomic.incr t.queries;
     let key = cache_key t q in
     let answer, origin =
-      match Lru.find t.cache key with
+      match Lru.Sync.find t.cache key with
       | Some a -> (a, Cached)
       | None ->
+        let run_budget =
+          if Rw_pool.Pool.on_worker () || t.config.engine_options.Engine.jobs > 1
+          then with_budget_polled
+          else with_budget
+        in
         let a, timed_out =
-          with_budget budget
+          run_budget budget
             ~fallback:(fun () ->
               degraded_answer ~kb ~budget:(Option.value budget ~default:0.0) q)
             (fun () ->
@@ -275,11 +311,11 @@ let query ?budget t q =
         in
         if timed_out then begin
           (* Wall-clock-dependent: never cached. *)
-          t.timeouts <- t.timeouts + 1;
+          Atomic.incr t.timeouts;
           (a, Degraded)
         end
         else begin
-          Lru.add t.cache key a;
+          Lru.Sync.add t.cache key a;
           (a, Computed)
         end
     in
@@ -291,7 +327,19 @@ let query_src ?budget t src =
   | Error msg -> Error (Printf.sprintf "query parse error: %s" msg)
   | Ok q -> query ?budget t q
 
-let batch ?budget t qs = List.map (fun q -> query ?budget t q) qs
+let batch ?budget ?(jobs = 1) t qs =
+  let one q = query ?budget t q in
+  if jobs <= 1 then List.map one qs
+  else Rw_pool.Pool.run ~jobs (fun p -> Rw_pool.Pool.map p one qs)
+
+let batch_srcs ?budget ?(jobs = 1) t srcs =
+  let one src =
+    let t0 = Instr.now () in
+    let r = query_src ?budget t src in
+    (r, (Instr.now () -. t0) *. 1000.0)
+  in
+  if jobs <= 1 then List.map one srcs
+  else Rw_pool.Pool.run ~jobs (fun p -> Rw_pool.Pool.map p one srcs)
 
 (* ------------------------------------------------------------------ *)
 (* Observability                                                      *)
@@ -308,10 +356,10 @@ type stats = {
 
 let stats (t : t) =
   {
-    cache = Lru.stats t.cache;
+    cache = Lru.Sync.stats t.cache;
     engines = Instr.snapshot ();
-    queries = t.queries;
-    timeouts = t.timeouts;
-    kb_loads = t.kb_loads;
+    queries = Atomic.get t.queries;
+    timeouts = Atomic.get t.timeouts;
+    kb_loads = Atomic.get t.kb_loads;
     latency = latency_summary t.latency;
   }

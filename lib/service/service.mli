@@ -19,7 +19,18 @@
     expires mid-dispatch the request is answered by the rules engine's
     provably-sound interval instead (never cached, counted in
     [timeouts]). A non-positive budget degrades immediately — the
-    "shed load but stay sound" mode.
+    "shed load but stay sound" mode. Two enforcement mechanisms share
+    that contract: the strictly-sequential path uses a [SIGALRM] timer
+    ({!with_budget}); on a pool worker domain, or when the engine
+    options ask for a Monte-Carlo fan-out ([jobs > 1]), the signal
+    either cannot reach the working domain or could corrupt the pool,
+    so the budget becomes a {!Rw_pool.Budget} deadline polled from the
+    engines' inner loops instead.
+
+    A {!t} is domain-safe: the answer cache, latency ring and counters
+    are synchronised, so {!batch} can fan queries out across a domain
+    pool. The one exception is the KB slot — loading a KB concurrently
+    with in-flight queries is not supported.
 
     Answers served from the cache are the very same {!Answer.t} values
     the engine produced — byte-identical verdicts, by construction. *)
@@ -78,12 +89,27 @@ val query_src :
 
 val batch :
   ?budget:float ->
+  ?jobs:int ->
   t ->
   Syntax.formula list ->
   (Answer.t * origin, string) result list
 (** The batch evaluator: every query runs against the same resident
     KB, sharing its digest, validation, and the cache — the KB is
-    loaded and keyed once for the whole batch. *)
+    loaded and keyed once for the whole batch. [?jobs] (default 1)
+    evaluates items on a domain pool of that width; results stay in
+    input order, and each item's budget is enforced by deadline
+    polling on whichever domain runs it. *)
+
+val batch_srcs :
+  ?budget:float ->
+  ?jobs:int ->
+  t ->
+  string list ->
+  ((Answer.t * origin, string) result * float) list
+(** As {!batch}, from unparsed query strings (parse failures land in
+    the item's [Error]), also reporting each item's wall-clock
+    milliseconds — what the serve protocol's batch reply surfaces per
+    item. *)
 
 (** {2 Observability} *)
 
@@ -98,8 +124,8 @@ type latency_summary = {
 type stats = {
   cache : Lru.stats;
   engines : Instr.entry list;
-      (** per-engine dispatch counts and wall-clock
-          (process-global, see {!Instr}) *)
+      (** per-engine dispatch counts and wall-clock (process-global,
+          merged across domains — see {!Instr}) *)
   queries : int;  (** query requests handled, batch items included *)
   timeouts : int;  (** requests degraded on budget expiry *)
   kb_loads : int;
@@ -119,4 +145,6 @@ val with_budget :
     pending alarm delivered in the cancellation race window is drained
     (so a stale alarm can never kill a later request), and an
     enclosing budget's timer is re-armed with its remaining time —
-    nesting narrows budgets rather than destroying them. *)
+    nesting narrows budgets rather than destroying them. Used on the
+    strictly-sequential request path only; parallel paths poll
+    {!Rw_pool.Budget} deadlines instead (see the module docstring). *)

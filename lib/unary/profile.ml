@@ -172,6 +172,9 @@ let pr_n ?(log_prior = fun _ -> 0.0) (parts : Analysis.parts) ~query ~n ~tol =
     let stat_mentions_consts = Syntax.constants stat <> [] in
     let log_kb = ref Logspace.zero and log_kb_q = ref Logspace.zero in
     Listx.iter_compositions n na (fun counts ->
+        (* Budget poll per profile: compositions number in the millions
+           for wide universes, and worker domains see no SIGALRM. *)
+        Rw_pool.Budget.check ();
         let prof = { universe = u; n; counts; const_atoms = [] } in
         let stat_ok = if stat_mentions_consts then true else sat prof tol stat in
         if stat_ok then begin

@@ -54,8 +54,11 @@ let smoke_options =
   }
 
 let test_smoke_200_cases () =
+  (* Through the domain pool: the parallel driver must find exactly
+     what the sequential one does (each case is a pure function of its
+     index), and this keeps the pool itself under tier-1. *)
   let report =
-    Driver.run ~options:smoke_options ~seed:20260807 ~cases:200 ()
+    Driver.run ~options:smoke_options ~jobs:2 ~seed:20260807 ~cases:200 ()
   in
   if report.Driver.failures <> [] then
     Alcotest.failf "seeded smoke run found violations:@.%a" Driver.pp_report

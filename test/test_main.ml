@@ -18,4 +18,5 @@ let () =
       ("kb_corpus", Test_kb_corpus.suite);
       ("service", Test_service.suite);
       ("fuzz", Test_fuzz.suite);
+      ("pool", Test_pool.suite);
     ]
