@@ -677,6 +677,59 @@ let table_parallel () =
     (if all_equal batch_results then "bit-identical" else "DIVERGED")
 
 (* ------------------------------------------------------------------ *)
+(* Table 12: explanation traces — dispatch cost, explain off vs on    *)
+(* ------------------------------------------------------------------ *)
+
+(* The trace sink is a [Trace.t option] threaded as an optional
+   argument: with --explain off the dispatcher carries [None] and each
+   emission site is one match on it, so the off path must price at
+   measurement noise. A live trace costs in proportion to the number
+   of decision points (a few dozen facts per query), never the
+   engine's own work. Both claims measured over the full KB zoo,
+   best-of-R sweep totals, with the off/off spread as the noise
+   floor. *)
+let table_explain () =
+  section "Table 12 — explanation traces: dispatch cost, explain off vs on";
+  let entries = Rw_kbzoo.Kbzoo.all () in
+  let sweep ~traced () =
+    List.fold_left
+      (fun events (e : Rw_kbzoo.Kbzoo.entry) ->
+        let trace = if traced then Some (Rw_trace.Trace.create ()) else None in
+        ignore (Engine.degree_of_belief ?trace ~kb:e.kb e.query);
+        match trace with
+        | Some tr -> events + List.length (Rw_trace.Trace.events tr)
+        | None -> events)
+      0 entries
+  in
+  let rounds = 5 in
+  let best label f =
+    let best_t = ref infinity and last = ref 0 in
+    for _ = 1 to rounds do
+      let t0 = Unix.gettimeofday () in
+      last := f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best_t then best_t := dt
+    done;
+    Fmt.pr "  %-30s %10.1f ms  (best of %d)@." label (!best_t *. 1000.0)
+      rounds;
+    (!best_t, !last)
+  in
+  ignore (sweep ~traced:false ());
+  (* warm-up sweep *)
+  let off1, _ = best "explain off (trace = None)" (sweep ~traced:false) in
+  let off2, _ = best "explain off, repeated" (sweep ~traced:false) in
+  let on, events = best "explain on (fresh trace)" (sweep ~traced:true) in
+  let off = Float.min off1 off2 in
+  let pct a b = 100.0 *. (a -. b) /. b in
+  Fmt.pr
+    "-- %d zoo queries, %d trace events when on (%.1f/query)@.\
+     -- off/off spread %+.2f%% (noise floor), explain-on overhead %+.2f%%@."
+    (List.length entries) events
+    (float_of_int events /. float_of_int (List.length entries))
+    (pct (Float.max off1 off2) off)
+    (pct on off)
+
+(* ------------------------------------------------------------------ *)
 (* Performance benchmarks (Bechamel)                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -772,6 +825,11 @@ let run_perf () =
 
 let () =
   let no_perf = Array.exists (fun a -> a = "--no-perf") Sys.argv in
+  (* Iterating on one table? --only-explain runs just Table 12. *)
+  if Array.exists (fun a -> a = "--only-explain") Sys.argv then (
+    table_explain ();
+    Fmt.pr "@.done.@.";
+    exit 0);
   table_zoo ();
   table_dempster ();
   figure_convergence ();
@@ -784,6 +842,7 @@ let () =
   table_mc ();
   table_service ();
   table_parallel ();
+  table_explain ();
   figure_scaling ();
   if not no_perf then run_perf ();
   Fmt.pr "@.done.@."

@@ -76,7 +76,8 @@ let engine_conv =
   in
   Arg.conv (parse, print)
 
-let run_query kb_path query_src engine seed samples ci_width jobs verbose json =
+let run_query kb_path query_src engine seed samples ci_width jobs verbose json
+    explain explain_json =
   match load_kb kb_path with
   | Error msg ->
     Fmt.epr "error loading %s:@.%s@." kb_path msg;
@@ -96,30 +97,42 @@ let run_query kb_path query_src engine seed samples ci_width jobs verbose json =
           jobs;
         }
       in
+      let trace =
+        if explain || explain_json then Some (Rw_trace.Trace.create ())
+        else None
+      in
       let answer =
         match engine with
-        | Auto -> Engine.degree_of_belief ~options ~kb query
+        | Auto -> Engine.degree_of_belief ~options ?trace ~kb query
         (* Engine.run is total: out-of-fragment engines decline with
            Not_applicable (exit 2) instead of raising. *)
-        | Rules -> Engine.run ~options Engine.Rules ~kb query
-        | Maxent -> Engine.run ~options Engine.Maxent ~kb query
-        | Unary -> Engine.run ~options Engine.Unary ~kb query
-        | Enum -> Engine.run ~options Engine.Enum ~kb query
-        | Mc -> Engine.run ~options Engine.Mc ~kb query
+        | Rules -> Engine.run ~options ?trace Engine.Rules ~kb query
+        | Maxent -> Engine.run ~options ?trace Engine.Maxent ~kb query
+        | Unary -> Engine.run ~options ?trace Engine.Unary ~kb query
+        | Enum -> Engine.run ~options ?trace Engine.Enum ~kb query
+        | Mc -> Engine.run ~options ?trace Engine.Mc ~kb query
       in
-      if json then
+      let events =
+        match trace with Some tr -> Rw_trace.Trace.events tr | None -> []
+      in
+      if json || explain_json then
         (* The same encoder the serve protocol uses, so scripted
            callers see one answer shape everywhere. *)
         print_endline
           (Rw_service.Json.to_string
              (Rw_service.Protocol.ok_reply
-                [
-                  ("query", Rw_service.Json.String query_src);
-                  ("answer", Rw_service.Protocol.json_of_answer answer);
-                ]))
+                ([
+                   ("query", Rw_service.Json.String query_src);
+                   ("answer", Rw_service.Protocol.json_of_answer answer);
+                 ]
+                @
+                if explain_json then
+                  [ ("trace", Rw_service.Protocol.json_of_trace events) ]
+                else [])))
       else begin
         Fmt.pr "Pr( %a | KB ) = %a@." Pretty.pp_formula query Answer.pp answer;
-        if verbose then List.iter (Fmt.pr "  %s@.") answer.Answer.notes
+        if verbose then List.iter (Fmt.pr "  %s@.") answer.Answer.notes;
+        if explain then Fmt.pr "%a" (Rw_trace.Trace.pp ?mask_timings:None) events
       end;
       (match answer.Answer.result with Answer.Not_applicable _ -> 2 | _ -> 0))
 
@@ -198,13 +211,34 @@ let json_arg =
           "Emit the answer as a single JSON line (the serve-protocol \
            encoding) instead of the pretty-printer.")
 
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Print the derivation trace after the answer: the engines \
+           consulted and why the winner was selected, the theorems fired \
+           with their instantiated preconditions, reference classes and \
+           the specificity winner, the maxent profile, sampling evidence, \
+           and per-phase timings.")
+
+let explain_json_arg =
+  Arg.(
+    value & flag
+    & info [ "explain-json" ]
+        ~doc:
+          "Emit the answer plus the derivation trace as a single JSON \
+           line (the serve-protocol encoding with a \"trace\" event \
+           list). Implies $(b,--json).")
+
 let query_cmd =
   let doc = "compute a degree of belief Pr(query | KB)" in
   Cmd.v
     (Cmd.info "query" ~doc ~exits:common_exits)
     Term.(
       const run_query $ kb_arg $ query_arg $ engine_arg $ seed_arg
-      $ samples_arg $ ci_width_arg $ query_jobs_arg $ verbose_arg $ json_arg)
+      $ samples_arg $ ci_width_arg $ query_jobs_arg $ verbose_arg $ json_arg
+      $ explain_arg $ explain_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* batch                                                              *)
@@ -604,7 +638,8 @@ let fuzz_cmd =
       & info [ "oracle" ] ~docv:"NAME"
           ~doc:
             "Restrict to one oracle (repeatable): agreement, duality, \
-             canonical, cache, convergence, or parser. Default: all.")
+             canonical, cache, convergence, parser, or explain. Default: \
+             all.")
   in
   let corpus_arg =
     Arg.(

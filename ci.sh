@@ -52,4 +52,37 @@ printf '%s\n' "$serve_out" | while IFS= read -r line; do
   esac
 done
 
+# Smoke: --explain prints the derivation and --explain-json carries a
+# machine-readable trace that names the winning reference class and
+# the paper theorem (the Tweety acceptance criterion).
+dune exec bin/rw.exe -- query --kb examples/kb/tweety.kb \
+  --query 'Fly(Tweety)' --explain | grep -q 'id=5.16'
+dune exec bin/rw.exe -- query --kb examples/kb/tweety.kb \
+  --query 'Fly(Tweety)' --explain-json | grep -q '"engine-selected"'
+
+# Docs: the TUTORIAL §11 trace snippet is regenerated from the binary
+# and diffed against the committed copy, so the walkthrough can never
+# drift from what `rw query --explain` actually prints. Timings are
+# masked — the one non-deterministic part of a trace.
+fresh=$(dune exec bin/rw.exe -- query --kb examples/kb/tweety.kb \
+  --query 'Fly(Tweety)' --explain | sed 's/[0-9][0-9.]* ms/_ ms/g')
+committed=$(sed -n '/trace-snippet:begin/,/trace-snippet:end/p' doc/TUTORIAL.md \
+  | sed -e '/trace-snippet/d' -e '/^```/d')
+if [ "$fresh" != "$committed" ]; then
+  echo "ci: doc/TUTORIAL.md §11 trace snippet is stale" >&2
+  echo "--- committed ---" >&2
+  printf '%s\n' "$committed" >&2
+  echo "--- regenerated ---" >&2
+  printf '%s\n' "$fresh" >&2
+  exit 1
+fi
+
+# Docs: the odoc API reference must build where odoc is available;
+# the gate skips gracefully on toolchains without it.
+if command -v odoc > /dev/null 2>&1; then
+  dune build @doc
+else
+  echo "ci: odoc not installed; skipping dune build @doc"
+fi
+
 echo "ci: all green"

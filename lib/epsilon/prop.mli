@@ -14,11 +14,19 @@ type t =
   | PIff of t * t
 
 type vocabulary
+(** The sorted variable universe a set of formulas ranges over; fixes
+    the bitmask encoding of worlds. *)
 
 val variables : t -> string list
+(** The variables occurring in a formula, sorted and deduplicated. *)
+
 val vocabulary_of : t list -> vocabulary
+(** The joint vocabulary of a formula set. *)
+
 val num_vars : vocabulary -> int
+
 val num_worlds : vocabulary -> int
+(** [2 ^ num_vars] — the size of the assignment space. *)
 
 val var_index : vocabulary -> string -> int
 (** Raises [Invalid_argument] on unknown variables. *)
@@ -27,7 +35,15 @@ val eval : vocabulary -> int -> t -> bool
 (** Truth in the assignment encoded by the bitmask. *)
 
 val models : vocabulary -> t -> int list
+(** Every satisfying assignment, as bitmasks in increasing order —
+    exhaustive over [num_worlds], so only for small vocabularies. *)
+
 val satisfiable : vocabulary -> t -> bool
+
 val valid : vocabulary -> t -> bool
+(** True in every assignment of the vocabulary. *)
+
 val conj : t list -> t
+(** Right-nested conjunction; [PTrue] for the empty list. *)
+
 val pp : Format.formatter -> t -> unit

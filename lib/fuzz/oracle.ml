@@ -7,7 +7,10 @@ type violation = { oracle : string; detail : string }
 let pp_violation ppf v = Fmt.pf ppf "[%s] %s" v.oracle v.detail
 
 let names =
-  [ "agreement"; "duality"; "canonical"; "cache"; "convergence"; "parser" ]
+  [
+    "agreement"; "duality"; "canonical"; "cache"; "convergence"; "parser";
+    "explain";
+  ]
 
 (* Throughput-tuned engine options: hundreds of cases per run means
    each engine call gets a small, fixed budget. Cross-checking between
@@ -491,6 +494,68 @@ let parser (c : Gen.case) =
     sentences
 
 (* ------------------------------------------------------------------ *)
+(* explain                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The trace must be a faithful, serialisable account of the dispatch:
+   tracing must not change the verdict, the trace's engine-selected
+   fact must name the engine that signed the answer, and the JSON
+   encoding (--explain-json / the serve protocol's "trace") must
+   survive a round trip with that consistency intact. *)
+let explain ~options (c : Gen.case) =
+  let kb = Gen.kb_formula c and query = c.Gen.query in
+  match
+    let tr = Rw_trace.Trace.create () in
+    let a = Engine.infer ~options ~trace:tr ~kb query in
+    (a, Rw_trace.Trace.events tr)
+  with
+  | exception e ->
+    [ violationf "explain" "traced dispatch raised %s" (Printexc.to_string e) ]
+  | a, events ->
+    let vs = ref [] in
+    let add v = vs := v :: !vs in
+    (match Engine.infer ~options ~kb query with
+    | plain ->
+      if not (results_equal ~eps:0.0 plain.Answer.result a.Answer.result) then
+        add
+          (violationf "explain" "tracing changed the verdict: %a vs %a"
+             pp_result a.Answer.result pp_result plain.Answer.result)
+    | exception e ->
+      add
+        (violationf "explain" "untraced dispatch raised %s"
+           (Printexc.to_string e)));
+    (match Rw_trace.Trace.selected_engine events with
+    | None ->
+      add
+        (violationf "explain" "no engine-selected fact (answer engine %s)"
+           a.Answer.engine)
+    | Some e when e <> a.Answer.engine ->
+      add
+        (violationf "explain" "trace selects %s but the answer is from %s" e
+           a.Answer.engine)
+    | Some _ -> ());
+    let line =
+      Rw_service.Json.to_string (Rw_service.Protocol.json_of_trace events)
+    in
+    (match Rw_service.Json.of_string line with
+    | Error msg ->
+      add (violationf "explain" "trace JSON does not reparse: %s" msg)
+    | Ok json -> (
+      match Rw_service.Protocol.trace_of_json json with
+      | Error msg ->
+        add (violationf "explain" "trace JSON does not decode: %s" msg)
+      | Ok events' -> (
+        match Rw_trace.Trace.selected_engine events' with
+        | Some e when e = a.Answer.engine -> ()
+        | Some e ->
+          add
+            (violationf "explain"
+               "decoded trace selects %s, answer engine %s" e a.Answer.engine)
+        | None ->
+          add (violationf "explain" "decoding lost the engine-selected fact"))));
+    List.rev !vs
+
+(* ------------------------------------------------------------------ *)
 (* Driver-facing entry point                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -505,3 +570,4 @@ let check ?only ~options (c : Gen.case) =
   @ run "cache" (fun () -> cache ~options c)
   @ run "convergence" (fun () -> convergence ~options c)
   @ run "parser" (fun () -> parser c)
+  @ run "explain" (fun () -> explain ~options c)

@@ -22,7 +22,11 @@
       last step is no larger than its middle one;
     - {b parser}: pretty-printed output reparses to an equivalent
       formula, and mutated output is rejected with [Error], never an
-      exception. *)
+      exception;
+    - {b explain}: tracing the dispatch does not change the verdict,
+      the trace's last engine-selected fact names the engine that
+      signed the answer, and the [--explain-json] encoding survives a
+      JSON round trip with that consistency intact. *)
 
 open Randworlds
 

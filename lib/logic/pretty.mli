@@ -15,11 +15,30 @@
     v} *)
 
 val pp_term : Format.formatter -> Syntax.term -> unit
+(** A term: a variable ([x]) or a constant ([Eric]). *)
+
 val pp_subscript : Format.formatter -> string list -> unit
+(** A proportion subscript: [_x] for one variable, [_{x,y}] for
+    several. *)
+
 val pp_comparison : Format.formatter -> Syntax.comparison -> unit
+(** An approximate comparison operator with its tolerance index
+    ([~=_1], [<=_2], [>=_3]). *)
+
 val pp_formula : Format.formatter -> Syntax.formula -> unit
+(** A formula, parenthesised by precedence (tightest first: [~],
+    [/\ ], [\/], [=>]/[<=>]) so the output re-parses unambiguously. *)
+
 val pp_proportion : Format.formatter -> Syntax.proportion -> unit
+(** A proportion expression [||f||_x] or [||f | g||_{x,y}], including
+    the arithmetic forms. *)
 
 val term_to_string : Syntax.term -> string
+(** {!pp_term} to a fresh string. *)
+
 val to_string : Syntax.formula -> string
+(** {!pp_formula} to a fresh string — the form accepted back by
+    {!Parser.formula}. *)
+
 val proportion_to_string : Syntax.proportion -> string
+(** {!pp_proportion} to a fresh string. *)

@@ -17,6 +17,7 @@
 
 open Rw_logic
 open Syntax
+module Trace = Rw_trace.Trace
 
 type options = {
   tols : Tolerance.t list option;  (** tolerance schedule override *)
@@ -116,60 +117,106 @@ let independence_split ~kb query =
     end
   end
 
-let rec infer ?(options = default_options) ~kb query =
-  let rules_answer = Rules_engine.infer ~kb query in
+(* Trace emission helpers shared by the dispatch functions: [emit] is a
+   no-op when tracing is off; [selected] stamps the "engine-selected"
+   fact the trace consumers ({!Rw_trace.Trace.selected_engine}, the
+   --explain renderer) treat as the dispatch verdict. Nested dispatches
+   (the independence split) each stamp their own; chronological order
+   makes the outermost stamp last, which is the one [selected_engine]
+   reports. *)
+let emit trace tag fields =
+  match trace with None -> () | Some tr -> Trace.fact tr tag fields
+
+let selected trace reason (answer : Answer.t) =
+  emit trace "engine-selected"
+    [ ("engine", Trace.S answer.Answer.engine); ("reason", Trace.S reason) ];
+  answer
+
+let rec infer ?(options = default_options) ?trace ~kb query =
+  Trace.span trace "dispatch" @@ fun () ->
+  let rules_answer = Rules_engine.infer ?trace ~kb query in
   match rules_answer.Answer.result with
-  | Answer.Point _ | Answer.No_limit _ | Answer.Inconsistent -> rules_answer
+  | Answer.Point _ | Answer.No_limit _ | Answer.Inconsistent ->
+    selected trace "syntactic theorem application was definitive" rules_answer
   | Answer.Within interval -> begin
     (* Try to refine the interval to a point with the maxent engine. *)
-    match refine ~options ~kb query with
+    match refine ~options ~trace ~kb query with
     | Some a -> begin
       match Answer.point_value a with
       | Some v when Rw_prelude.Interval.mem ~eps:1e-6 v interval ->
-        { a with Answer.notes = a.Answer.notes @ rules_answer.Answer.notes }
-      | _ -> rules_answer
+        emit trace "refinement"
+          [ ("outcome", Trace.S "sharpened");
+            ("point", Trace.F v);
+            ("interval", Trace.S (Fmt.str "%a" Rw_prelude.Interval.pp interval))
+          ];
+        selected trace
+          "maxent point agrees with (and sharpens) the sound rules interval"
+          { a with Answer.notes = a.Answer.notes @ rules_answer.Answer.notes }
+      | _ ->
+        emit trace "refinement"
+          [ ("outcome", Trace.S "kept-interval");
+            ("reason", Trace.S "maxent point outside the sound interval")
+          ];
+        selected trace "rules interval kept: refinement disagreed" rules_answer
     end
-    | None -> rules_answer
+    | None ->
+      selected trace "rules interval kept: maxent was not definitive"
+        rules_answer
   end
   | Answer.Not_applicable _ -> begin
     match independence_split ~kb query with
     | Some groups when List.length groups > 1 -> begin
+      emit trace "theorem"
+        [ ("id", Trace.S "5.27");
+          ("name", Trace.S "independent sub-vocabularies");
+          ("parts", Trace.I (List.length groups))
+        ];
       let sub_answers =
-        List.map (fun (q, k) -> infer ~options ~kb:k q) groups
+        List.map (fun (q, k) -> infer ~options ?trace ~kb:k q) groups
       in
       let values = List.map Answer.point_value sub_answers in
       if List.for_all Option.is_some values then begin
         let v =
           List.fold_left (fun acc o -> acc *. Option.get o) 1.0 values
         in
-        Answer.make
-          ~notes:
-            ("Theorem 5.27 (independent sub-vocabularies): product of parts"
-            :: List.concat_map (fun a -> a.Answer.notes) sub_answers)
-          ~engine:"independence" (Answer.Point v)
+        selected trace "Theorem 5.27: product over independent parts"
+          (Answer.make
+             ~notes:
+               ("Theorem 5.27 (independent sub-vocabularies): product of parts"
+               :: List.concat_map (fun a -> a.Answer.notes) sub_answers)
+             ~engine:"independence" (Answer.Point v))
       end
-      else fallback ~options ~kb query
+      else begin
+        emit trace "note"
+          [ ("text",
+             Trace.S "independence split abandoned: a part had no point value")
+          ];
+        fallback ~options ~trace ~kb query
+      end
     end
-    | _ -> fallback ~options ~kb query
+    | _ -> fallback ~options ~trace ~kb query
   end
 
-and refine ~options ~kb query =
-  let a = Maxent_engine.estimate ?tols:options.tols ~kb query in
+and refine ~options ~trace ~kb query =
+  let a = Maxent_engine.estimate ?tols:options.tols ?trace ~kb query in
   if Answer.definitive a then Some a else None
 
-and fallback ~options ~kb query =
-  let a = Maxent_engine.estimate ?tols:options.tols ~kb query in
-  if Answer.definitive a then a
+and fallback ~options ~trace ~kb query =
+  let a = Maxent_engine.estimate ?tols:options.tols ?trace ~kb query in
+  if Answer.definitive a then
+    selected trace "maxent concentration was definitive" a
   else begin
     let a =
-      try Unary_engine.estimate ?ns:options.unary_sizes ~kb query
+      try Unary_engine.estimate ?ns:options.unary_sizes ?trace ~kb query
       with _ ->
         Answer.make ~engine:"unary" (Answer.Not_applicable "engine error")
     in
-    if Answer.definitive a then a
+    if Answer.definitive a then
+      selected trace "exact unary counting was definitive" a
     else if not options.use_enum then
-      Answer.make ~engine:"dispatch"
-        (Answer.Not_applicable "no engine applicable (enum disabled)")
+      selected trace "every engine declined"
+        (Answer.make ~engine:"dispatch"
+           (Answer.Not_applicable "no engine applicable (enum disabled)"))
     else begin
       let vocab = Vocab.of_formulas [ kb; query ] in
       (* A tighter guard than the raw engine's: the dispatcher is a
@@ -179,35 +226,64 @@ and fallback ~options ~kb query =
          takes over — same ratio over W_N(Φ), estimated instead of
          enumerated. *)
       match
-        Enum_engine.estimate ~max_log10_worlds:6.5 ?ns:options.enum_sizes ~vocab
-          ~kb query
+        Enum_engine.estimate ~max_log10_worlds:6.5 ?ns:options.enum_sizes
+          ?trace ~vocab ~kb query
       with
       | a when Answer.definitive a ->
-        if options.mc_cross_check then cross_check ~options ~vocab ~kb query a
-        else a
-      | _ -> monte_carlo ~options ~vocab ~kb query None
+        let a =
+          if options.mc_cross_check then
+            cross_check ~options ~trace ~vocab ~kb query a
+          else a
+        in
+        selected trace "exhaustive enumeration over the (N, tau) grid" a
+      | _ -> monte_carlo ~options ~trace ~vocab ~kb query None
       | exception Rw_model.Enum.Too_many_worlds m ->
-        monte_carlo ~options ~vocab ~kb query (Some m)
+        monte_carlo ~options ~trace ~vocab ~kb query (Some m)
     end
   end
 
-and monte_carlo ~options ~vocab ~kb query blown =
+and monte_carlo ~options ~trace ~vocab ~kb query blown =
+  (match blown with
+  | Some m ->
+    emit trace "engine"
+      [ ("engine", Trace.S "enum");
+        ("outcome",
+         Trace.S (Printf.sprintf "infeasible (10^%.0f worlds)" m))
+      ]
+  | None ->
+    emit trace "engine"
+      [ ("engine", Trace.S "enum"); ("outcome", Trace.S "not definitive") ]);
   let a =
     Mc_engine.estimate ~seed:options.mc_seed ?samples:options.mc_samples
       ~jobs:options.jobs ?ns:options.mc_sizes
-      ?ci_width:options.mc_ci_width ?tols:options.tols ~vocab ~kb query
+      ?ci_width:options.mc_ci_width ?tols:options.tols ?trace ~vocab ~kb query
   in
-  match blown with
-  | Some m ->
-    Answer.add_notes a
-      [ Printf.sprintf "mc engaged: enumeration infeasible (10^%.0f worlds)" m ]
-  | None -> a
+  let a =
+    match blown with
+    | Some m ->
+      Answer.add_notes a
+        [ Printf.sprintf "mc engaged: enumeration infeasible (10^%.0f worlds)" m ]
+    | None -> a
+  in
+  selected trace "Monte-Carlo world sampling: the last-resort estimator" a
 
 (* An exact enum point still gets an independent statistical check: a
    cheap sampling run at an overlapping (N, τ̄) whose 95% interval must
    contain the exact value. Disagreement is surfaced, not silently
    resolved — the exact count stays the verdict. *)
-and cross_check ~options ~vocab ~kb query answer =
+and cross_check ~options ~trace ~vocab ~kb query answer =
+  let checked outcome ~exact ci =
+    emit trace "cross-check"
+      (( "outcome", Trace.S outcome )
+      :: ( "exact", Trace.F exact )
+      ::
+      (match ci with
+      | None -> []
+      | Some ci ->
+        [ ("ci_lo", Trace.F (Rw_prelude.Interval.lo ci));
+          ("ci_hi", Trace.F (Rw_prelude.Interval.hi ci))
+        ]))
+  in
   match Answer.point_value answer with
   | None -> answer
   | Some _ ->
@@ -230,6 +306,7 @@ and cross_check ~options ~vocab ~kb query answer =
          with
         | Rw_mc.Estimator.Estimate { ci; stats; _ }
           when Rw_prelude.Interval.mem ~eps:1e-9 exact ci ->
+          checked "agrees" ~exact (Some ci);
           Answer.add_notes answer
             [
               Fmt.str
@@ -237,6 +314,7 @@ and cross_check ~options ~vocab ~kb query answer =
                 exact Rw_prelude.Interval.pp ci Rw_mc.Estimator.pp_stats stats;
             ]
         | Rw_mc.Estimator.Estimate { ci; stats; _ } ->
+          checked "disagrees" ~exact (Some ci);
           Answer.add_notes answer
             [
               Fmt.str
@@ -245,6 +323,7 @@ and cross_check ~options ~vocab ~kb query answer =
                 n exact Rw_prelude.Interval.pp ci Rw_mc.Estimator.pp_stats stats;
             ]
         | Rw_mc.Estimator.Starved stats ->
+          checked "starved" ~exact None;
           Answer.add_notes answer
             [
               Fmt.str "mc cross-check starved at N=%d (%a)" n
@@ -256,9 +335,9 @@ and cross_check ~options ~vocab ~kb query answer =
     [Pr_∞(query | kb)] computed by the best applicable engine. Every
     call is credited to the winning engine in {!Instr}, which is what
     the query service's [stats] reply reports. *)
-let degree_of_belief ?options ~kb query =
+let degree_of_belief ?options ?trace ~kb query =
   let t0 = Instr.now () in
-  let answer = infer ?options ~kb query in
+  let answer = infer ?options ?trace ~kb query in
   Instr.record ~engine:answer.Answer.engine ~seconds:(Instr.now () -. t0);
   answer
 
@@ -310,36 +389,41 @@ let applicable ?(options = default_options) eid ~kb query =
 (* [run eid ~kb query] — one engine's raw answer, bypassing dispatch.
    Total: engines that raise on out-of-fragment input are caught and
    mapped to [Not_applicable], preserving the Answer contract. *)
-let run ?(options = default_options) eid ~kb query =
-  match eid with
-  | Rules -> Rules_engine.infer ~kb query
-  | Maxent -> Maxent_engine.estimate ?tols:options.tols ~kb query
-  | Unary -> (
-    (* Only the fragment refusal is caught: [applicable] plus
-       [Unsupported] cover every legitimate way the engine declines,
-       so anything else (e.g. an interval-clamp [Invalid_argument])
-       is an invariant break that must surface — the fuzzer's
-       agreement oracle reports escaped exceptions as violations. *)
-    try Unary_engine.estimate ?ns:options.unary_sizes ?tols:options.tols ~kb query
-    with Rw_unary.Profile.Unsupported why ->
-      Answer.make ~engine:"unary" (Answer.Not_applicable why))
-  | Enum -> (
-    let vocab = Vocab.of_formulas [ kb; query ] in
-    try
-      Enum_engine.estimate ~max_log10_worlds:6.5 ?ns:options.enum_sizes
-        ?tols:options.tols ~vocab ~kb query
-    with
-    | Rw_model.Enum.Too_many_worlds m ->
-      Answer.make ~engine:"enum"
-        (Answer.Not_applicable
-           (Printf.sprintf "enumeration infeasible (10^%.0f worlds)" m))
-    | Invalid_argument why ->
-      Answer.make ~engine:"enum" (Answer.Not_applicable why))
-  | Mc -> (
-    let vocab = Vocab.of_formulas [ kb; query ] in
-    try
-      Mc_engine.estimate ~seed:options.mc_seed ?samples:options.mc_samples
-        ~jobs:options.jobs ?ns:options.mc_sizes ?ci_width:options.mc_ci_width
-        ?tols:options.tols ~vocab ~kb query
-    with Invalid_argument why ->
-      Answer.make ~engine:"mc" (Answer.Not_applicable why))
+let run ?(options = default_options) ?trace eid ~kb query =
+  let answer =
+    match eid with
+    | Rules -> Rules_engine.infer ?trace ~kb query
+    | Maxent -> Maxent_engine.estimate ?tols:options.tols ?trace ~kb query
+    | Unary -> (
+      (* Only the fragment refusal is caught: [applicable] plus
+         [Unsupported] cover every legitimate way the engine declines,
+         so anything else (e.g. an interval-clamp [Invalid_argument])
+         is an invariant break that must surface — the fuzzer's
+         agreement oracle reports escaped exceptions as violations. *)
+      try
+        Unary_engine.estimate ?ns:options.unary_sizes ?tols:options.tols ?trace
+          ~kb query
+      with Rw_unary.Profile.Unsupported why ->
+        Answer.make ~engine:"unary" (Answer.Not_applicable why))
+    | Enum -> (
+      let vocab = Vocab.of_formulas [ kb; query ] in
+      try
+        Enum_engine.estimate ~max_log10_worlds:6.5 ?ns:options.enum_sizes
+          ?tols:options.tols ?trace ~vocab ~kb query
+      with
+      | Rw_model.Enum.Too_many_worlds m ->
+        Answer.make ~engine:"enum"
+          (Answer.Not_applicable
+             (Printf.sprintf "enumeration infeasible (10^%.0f worlds)" m))
+      | Invalid_argument why ->
+        Answer.make ~engine:"enum" (Answer.Not_applicable why))
+    | Mc -> (
+      let vocab = Vocab.of_formulas [ kb; query ] in
+      try
+        Mc_engine.estimate ~seed:options.mc_seed ?samples:options.mc_samples
+          ~jobs:options.jobs ?ns:options.mc_sizes ?ci_width:options.mc_ci_width
+          ?tols:options.tols ?trace ~vocab ~kb query
+      with Invalid_argument why ->
+        Answer.make ~engine:"mc" (Answer.Not_applicable why))
+  in
+  selected trace (Printf.sprintf "forced --engine %s" (id_name eid)) answer

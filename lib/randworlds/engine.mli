@@ -45,12 +45,27 @@ val independence_split :
     Returns [(query_part, kb_part)] pairs, or [None] when no split
     exists. Exposed for tests. *)
 
-val infer : ?options:options -> kb:Syntax.formula -> Syntax.formula -> Answer.t
+val infer :
+  ?options:options ->
+  ?trace:Rw_trace.Trace.t ->
+  kb:Syntax.formula ->
+  Syntax.formula ->
+  Answer.t
+(** Full dispatch. [?trace] records a "dispatch" span containing every
+    engine consulted, the refinement and independence-split decisions,
+    and a final "engine-selected" fact naming the engine whose answer
+    is returned ({!Rw_trace.Trace.selected_engine} reads it back). *)
 
 val degree_of_belief :
-  ?options:options -> kb:Syntax.formula -> Syntax.formula -> Answer.t
+  ?options:options ->
+  ?trace:Rw_trace.Trace.t ->
+  kb:Syntax.formula ->
+  Syntax.formula ->
+  Answer.t
 (** The headline API: [Pr_∞(query | kb)] by the best applicable
-    engine. *)
+    engine, credited to that engine in {!Instr}. [?trace] as in
+    {!infer}; passing [None] (the default) costs nothing on the hot
+    path. *)
 
 (** {2 Per-engine access}
 
@@ -74,8 +89,14 @@ val applicable :
     this predicate. *)
 
 val run :
-  ?options:options -> id -> kb:Syntax.formula -> Syntax.formula -> Answer.t
+  ?options:options ->
+  ?trace:Rw_trace.Trace.t ->
+  id ->
+  kb:Syntax.formula ->
+  Syntax.formula ->
+  Answer.t
 (** One engine's raw answer, bypassing dispatch. Total: out-of-fragment
     exceptions ([Rw_unary.Profile.Unsupported],
     [Rw_model.Enum.Too_many_worlds], [Invalid_argument]) are mapped to
-    [Answer.Not_applicable]. *)
+    [Answer.Not_applicable]. [?trace] records the engine's own facts
+    plus an "engine-selected" fact marking the forced choice. *)

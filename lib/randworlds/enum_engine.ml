@@ -35,29 +35,52 @@ let series ?max_log10_worlds ~vocab ~ns ~tol ~kb query =
     schedule take the largest-[N] value, then look for convergence
     across tolerances. Enumeration reaches only small [N], so this is
     an *estimate* — the answer reports its evidence in [notes]. *)
-let estimate ?max_log10_worlds ?(ns = [ 3; 4; 5; 6 ]) ?tols ~vocab ~kb query =
+let estimate ?max_log10_worlds ?(ns = [ 3; 4; 5; 6 ]) ?tols ?trace ~vocab ~kb
+    query =
+  Rw_trace.Trace.span trace "enum" @@ fun () ->
+  let emit tag fields =
+    match trace with
+    | None -> ()
+    | Some tr -> Rw_trace.Trace.fact tr tag fields
+  in
   let tols =
     match tols with
     | Some ts -> ts
     | None -> Tolerance.schedule ~steps:3 (Tolerance.uniform 0.2)
   in
+  let cap = Option.value max_log10_worlds ~default:8.0 in
   let ns =
     (* Keep only sizes under the guard, so one oversized grid point
        does not abort the whole estimate. *)
-    let cap = Option.value max_log10_worlds ~default:8.0 in
     List.filter (fun n -> Rw_model.Enum.log10_world_count vocab n <= cap) ns
   in
+  emit "grid"
+    [ ("sizes", Rw_trace.Trace.S (String.concat "," (List.map string_of_int ns)));
+      ("max_log10_worlds", Rw_trace.Trace.F cap);
+      ("tolerance_steps", Rw_trace.Trace.I (List.length tols))
+    ];
   let per_tol =
     List.filter_map
       (fun tol ->
         match List.rev (series ?max_log10_worlds ~vocab ~ns ~tol ~kb query) with
-        | (n, v) :: _ -> Some (tol, n, v)
+        | (n, v) :: _ ->
+          emit "tolerance"
+            [ ("tol", Rw_trace.Trace.S (Fmt.str "%a" Tolerance.pp tol));
+              ("n", Rw_trace.Trace.I n);
+              ("value", Rw_trace.Trace.F v)
+            ];
+          Some (tol, n, v)
         | [] -> None)
       tols
   in
-  if ns = [] then
+  if ns = [] then begin
+    emit "note"
+      [ ("declined",
+         Rw_trace.Trace.S "every domain size exceeds the enumeration guard")
+      ];
     Answer.make ~engine:"enum"
       (Answer.Not_applicable "every domain size exceeds the enumeration guard")
+  end
   else
   match per_tol with
   | [] -> Answer.make ~engine:"enum" Answer.Inconsistent
@@ -69,13 +92,25 @@ let estimate ?max_log10_worlds ?(ns = [ 3; 4; 5; 6 ]) ?tols ~vocab ~kb query =
         per_tol
     in
     (match Limits.detect ~atol:0.02 values with
-    | Limits.Converged v -> Answer.make ~notes ~engine:"enum" (Answer.Point v)
+    | Limits.Converged v ->
+      emit "limit"
+        [ ("verdict", Rw_trace.Trace.S "converged"); ("value", Rw_trace.Trace.F v) ];
+      Answer.make ~notes ~engine:"enum" (Answer.Point v)
     | Limits.Oscillating (a, b) ->
+      emit "limit"
+        [ ("verdict", Rw_trace.Trace.S "oscillating");
+          ("lo", Rw_trace.Trace.F a);
+          ("hi", Rw_trace.Trace.F b)
+        ];
       Answer.make ~notes ~engine:"enum"
         (Answer.No_limit (Fmt.str "oscillates between %.4f and %.4f" a b))
     | Limits.Insufficient ->
       (* Report the trend without committing. *)
       let last = List.nth values (List.length values - 1) in
+      emit "limit"
+        [ ("verdict", Rw_trace.Trace.S "insufficient");
+          ("last", Rw_trace.Trace.F last)
+        ];
       Answer.make ~notes ~engine:"enum"
         (Answer.Within
            (Rw_prelude.Interval.clamp01

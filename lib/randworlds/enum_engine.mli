@@ -34,10 +34,13 @@ val estimate :
   ?max_log10_worlds:float ->
   ?ns:int list ->
   ?tols:Tolerance.t list ->
+  ?trace:Rw_trace.Trace.t ->
   vocab:Vocab.t ->
   kb:Syntax.formula ->
   Syntax.formula ->
   Answer.t
 (** Estimate the double limit from an (N, τ̄) grid. Enumeration reaches
     only small [N], so the answer reports its evidence in its notes and
-    widens to an interval when the trend is unclear. *)
+    widens to an interval when the trend is unclear. [?trace] records
+    the kept size grid, the largest-[N] value at each tolerance, and
+    the limit verdict. *)

@@ -18,6 +18,7 @@
 open Rw_logic
 open Rw_unary
 open Syntax
+module Trace = Rw_trace.Trace
 
 let default_tols =
   Tolerance.schedule ~factor:0.5 ~steps:6 (Tolerance.uniform 0.02)
@@ -280,20 +281,50 @@ and belief_at_conjunctive ~kb ~query tol =
     | _ -> None
   end
 
-(** [estimate ?tols ~kb query] — the [τ̄ → 0] limit over a shrinking
-    schedule with Aitken extrapolation. *)
-let rec estimate ?(tols = default_tols) ~kb query =
-  try estimate_exn ~tols ~kb query with
-  | Outside_fragment why -> Answer.make ~engine:"maxent" (Answer.Not_applicable why)
-  | Constraints.Unsupported (why, _) ->
-    Answer.make ~engine:"maxent" (Answer.Not_applicable why)
-  | Atoms.Not_boolean _ ->
-    Answer.make ~engine:"maxent" (Answer.Not_applicable "non-boolean subformula")
-  | Profile.Unsupported why ->
-    Answer.make ~engine:"maxent" (Answer.Not_applicable why)
-  | Invalid_argument why -> Answer.make ~engine:"maxent" (Answer.Not_applicable why)
+(* The entropy-maximum profile, for the trace only: entropy, constraint
+   count, and per-atom mass at the first tolerance that solved. Runs
+   exclusively when tracing is on; any failure is silently dropped —
+   emission must never change the engine's verdict. *)
+let emit_profile tr ~kb ~query tol =
+  match
+    let parts =
+      Analysis.analyze ~extra_preds:(Unary_engine.unary_preds_of query) kb
+    in
+    let sol = Solver.solve parts tol in
+    let u = parts.Analysis.universe in
+    let n_constraints = List.length (Constraints.of_parts parts tol) in
+    let atom_fields =
+      List.init (Atoms.num_atoms u) (fun i ->
+          ( Fmt.str "%a" (Atoms.pp_atom u) i,
+            Trace.F (Solver.mass sol (Atoms.Set.of_list (Atoms.num_atoms u) [ i ]))
+          ))
+    in
+    ("entropy", Trace.F sol.Solver.entropy)
+    :: ("tol", Trace.S (Fmt.str "%a" Tolerance.pp tol))
+    :: ("constraints", Trace.I n_constraints)
+    :: atom_fields
+  with
+  | fields -> Trace.fact tr "maxent-profile" fields
+  | exception _ -> ()
 
-and estimate_exn ~tols ~kb query =
+(** [estimate ?tols ?trace ~kb query] — the [τ̄ → 0] limit over a
+    shrinking schedule with Aitken extrapolation. *)
+let rec estimate ?(tols = default_tols) ?trace ~kb query =
+  Trace.span trace "maxent" @@ fun () ->
+  let declined why =
+    (match trace with
+    | None -> ()
+    | Some tr -> Trace.fact tr "note" [ ("declined", Trace.S why) ]);
+    Answer.make ~engine:"maxent" (Answer.Not_applicable why)
+  in
+  try estimate_exn ~tols ~trace ~kb query with
+  | Outside_fragment why -> declined why
+  | Constraints.Unsupported (why, _) -> declined why
+  | Atoms.Not_boolean _ -> declined "non-boolean subformula"
+  | Profile.Unsupported why -> declined why
+  | Invalid_argument why -> declined why
+
+and estimate_exn ~tols ~trace ~kb query =
   let values =
     List.filter_map
       (fun tol ->
@@ -303,6 +334,15 @@ and estimate_exn ~tols ~kb query =
         | exception Solver.Infeasible _ -> None)
       tols
   in
+  (match (trace, values) with
+  | Some tr, (tol0, _) :: _ ->
+    emit_profile tr ~kb ~query tol0;
+    List.iter
+      (fun (tol, v) ->
+        Trace.fact tr "tolerance"
+          [ ("tol", Trace.S (Fmt.str "%a" Tolerance.pp tol)); ("value", Trace.F v) ])
+      values
+  | _ -> ());
   match values with
   | [] -> (
     (* Distinguish "inconsistent" from "outside fragment". *)
@@ -329,7 +369,18 @@ and estimate_exn ~tols ~kb query =
     let snap v =
       if v < 5e-3 then 0.0 else if v > 1.0 -. 5e-3 then 1.0 else v
     in
-    if resid <= 2e-3 +. (0.05 *. Float.abs slope *. max_scale) then
+    let accepted = resid <= 2e-3 +. (0.05 *. Float.abs slope *. max_scale) in
+    (match trace with
+    | None -> ()
+    | Some tr ->
+      Trace.fact tr "extrapolation"
+        [ ("method", Trace.S "least-squares tau->0 intercept");
+          ("intercept", Trace.F intercept);
+          ("slope", Trace.F slope);
+          ("residual", Trace.F resid);
+          ("accepted", Trace.B accepted)
+        ]);
+    if accepted then
       Answer.make ~notes ~engine:"maxent" (Answer.Point (snap extrapolated))
     else begin
       match Limits.detect ~atol:5e-3 vs with

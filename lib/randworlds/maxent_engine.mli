@@ -31,10 +31,16 @@ val belief_at :
     this tolerance. *)
 
 val estimate :
-  ?tols:Tolerance.t list -> kb:Syntax.formula -> Syntax.formula -> Answer.t
+  ?tols:Tolerance.t list ->
+  ?trace:Rw_trace.Trace.t ->
+  kb:Syntax.formula ->
+  Syntax.formula ->
+  Answer.t
 (** The [τ̄ → 0] limit over the schedule. Never raises: fragment
     violations yield [Not_applicable]; infeasibility along the whole
     schedule yields [Inconsistent]; non-convergence yields [No_limit]
     or a widened interval. Pass structured tolerance vectors (with
     per-index powers) to probe default priorities — Section 5.3's
-    non-robustness ablation. *)
+    non-robustness ablation. [?trace] records the entropy-maximum
+    profile (entropy, binding-constraint count, per-atom masses), the
+    per-tolerance beliefs, and the extrapolation verdict. *)

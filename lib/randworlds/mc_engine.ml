@@ -45,7 +45,8 @@ let note_of ~tol ~outcome =
     tolerance that produced an estimate; the evidence for every grid
     point attempted, including starved ones, is in the notes. *)
 let estimate ?(seed = default_seed) ?samples ?ci_width ?(jobs = 1)
-    ?(ns = [ 8; 16; 32 ]) ?tols ~vocab ~kb query =
+    ?(ns = [ 8; 16; 32 ]) ?tols ?trace ~vocab ~kb query =
+  Rw_trace.Trace.span trace "mc" @@ fun () ->
   let tols =
     match tols with
     | Some ts -> ts
@@ -82,6 +83,35 @@ let estimate ?(seed = default_seed) ?samples ?ci_width ?(jobs = 1)
     else grid None
   in
   let outcomes = List.concat outcomes in
+  (* Trace facts are emitted here, after the (deterministic, chunk-order)
+     merge, so the trace is jobs-invariant. Wall-clock seconds are
+     deliberately excluded from the facts for the same reason. *)
+  (match trace with
+  | None -> ()
+  | Some tr ->
+    List.iter
+      (fun (tol, o) ->
+        let stats_fields (s : Rw_mc.Estimator.stats) =
+          [ ("tol", Rw_trace.Trace.S (Fmt.str "%a" Tolerance.pp tol));
+            ("n", Rw_trace.Trace.I s.Rw_mc.Estimator.n);
+            ("seed", Rw_trace.Trace.I s.Rw_mc.Estimator.seed);
+            ("samples", Rw_trace.Trace.I s.Rw_mc.Estimator.samples);
+            ("kb_hits", Rw_trace.Trace.I s.Rw_mc.Estimator.kb_hits);
+            ("stratified", Rw_trace.Trace.B s.Rw_mc.Estimator.stratified)
+          ]
+        in
+        match o with
+        | Rw_mc.Estimator.Estimate { mean; ci; stats } ->
+          Rw_trace.Trace.fact tr "mc-point"
+            (stats_fields stats
+            @ [ ("mean", Rw_trace.Trace.F mean);
+                ("ci_lo", Rw_trace.Trace.F (Interval.lo ci));
+                ("ci_hi", Rw_trace.Trace.F (Interval.hi ci))
+              ])
+        | Rw_mc.Estimator.Starved stats ->
+          Rw_trace.Trace.fact tr "mc-point"
+            (stats_fields stats @ [ ("starved", Rw_trace.Trace.B true) ]))
+      outcomes);
   let notes = List.map (fun (tol, o) -> note_of ~tol ~outcome:o) outcomes in
   let estimates =
     List.filter_map
@@ -91,11 +121,23 @@ let estimate ?(seed = default_seed) ?samples ?ci_width ?(jobs = 1)
         | Rw_mc.Estimator.Starved _ -> None)
       outcomes
   in
+  let emit tag fields =
+    match trace with
+    | None -> ()
+    | Some tr -> Rw_trace.Trace.fact tr tag fields
+  in
   match List.rev estimates with
-  | ci :: _ -> Answer.make ~notes ~engine:"mc" (Answer.Within ci)
+  | ci :: _ ->
+    emit "limit"
+      [ ("verdict", Rw_trace.Trace.S "ci-at-smallest-tolerance");
+        ("ci_lo", Rw_trace.Trace.F (Interval.lo ci));
+        ("ci_hi", Rw_trace.Trace.F (Interval.hi ci))
+      ];
+    Answer.make ~notes ~engine:"mc" (Answer.Within ci)
   | [] ->
     (* Rejection starved on every tolerance: report honestly with a
        widened (vacuous) interval rather than guessing or hanging. *)
+    emit "limit" [ ("verdict", Rw_trace.Trace.S "starved-vacuous") ];
     Answer.make
       ~notes:(notes @ [ "mc: no KB hits within budget; interval widened to [0,1]" ])
       ~engine:"mc" (Answer.Within Interval.vacuous)

@@ -33,6 +33,7 @@ val estimate :
   ?jobs:int ->
   ?ns:int list ->
   ?tols:Tolerance.t list ->
+  ?trace:Rw_trace.Trace.t ->
   vocab:Vocab.t ->
   kb:Syntax.formula ->
   Syntax.formula ->
@@ -46,4 +47,7 @@ val estimate :
     splitting makes the job count pure mechanism, so [--seed 42] gives
     bit-identical answers at any [--jobs]. Called from inside a pool
     task (a parallel batch), it ignores [?jobs] and samples
-    sequentially rather than nesting fan-outs. *)
+    sequentially rather than nesting fan-outs. [?trace] records one
+    "mc-point" fact per grid attempt (sample counts, KB hits, per-point
+    seed, CI — but no wall-clock, so traces too are jobs-invariant and
+    seed-deterministic) and the final interval verdict. *)

@@ -22,6 +22,7 @@
 open Rw_prelude
 open Rw_logic
 open Syntax
+module Trace = Rw_trace.Trace
 
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                            *)
@@ -205,7 +206,7 @@ let rec subsets = function
     let tails = subsets rest in
     List.map (fun tl -> x :: tl) tails @ tails
 
-let rule_a ~kb_conjuncts ~query =
+let rule_a ~trace ~kb_conjuncts ~query =
   let query_consts = Syntax.constants query in
   if query_consts = [] then None
   else begin
@@ -240,8 +241,24 @@ let rule_a ~kb_conjuncts ~query =
               stats
           in
           match merge_stats matching with
-          | [ s ] -> Some s.bounds
-          | s :: _ -> Some s.bounds
+          | s :: _ ->
+            (match trace with
+            | None -> ()
+            | Some tr ->
+              Trace.fact tr "theorem"
+                [
+                  ("id", Trace.S "5.6");
+                  ("name", Trace.S "exact reference class");
+                  ("statistic", Trace.S (Pretty.proportion_to_string pattern));
+                  ( "abstracted-constants",
+                    Trace.S (String.concat "," cs) );
+                  ( "precondition",
+                    Trace.S
+                      "the query constants occur nowhere in the rest of the KB"
+                  );
+                  ("bounds", Trace.S (Fmt.str "%a" Interval.pp s.bounds));
+                ]);
+            Some s.bounds
           | [] -> None
         end
       end
@@ -402,7 +419,7 @@ let unary_context ~kb_conjuncts ~query =
 (* Rule B: Theorem 5.16 (minimal class, irrelevance)                  *)
 (* ------------------------------------------------------------------ *)
 
-let rule_b ctx =
+let rule_b ~trace ctx =
   let { universe = u; theory; known; stats; query_var = x } = ctx in
   (* ψ0 must be entailed by the known facts and minimal among all
      reference classes. *)
@@ -415,15 +432,49 @@ let rule_b ctx =
            || Atoms.disjoint ~theory u x s0.ref_class s.ref_class)
          stats
   in
+  (match trace with
+  | None -> ()
+  | Some tr ->
+    List.iter
+      (fun s ->
+        Trace.fact tr "ref-class"
+          [
+            ("class", Trace.S (Pretty.to_string s.ref_class));
+            ("bounds", Trace.S (Fmt.str "%a" Interval.pp s.bounds));
+            ("role", Trace.S "candidate");
+          ])
+      stats);
   match List.find_opt is_minimal stats with
-  | Some s0 -> Some s0.bounds
+  | Some s0 ->
+    (match trace with
+    | None -> ()
+    | Some tr ->
+      Trace.fact tr "ref-class"
+        [
+          ("class", Trace.S (Pretty.to_string s0.ref_class));
+          ("role", Trace.S "winner");
+          ( "reason",
+            Trace.S
+              "most specific: entailed by everything known about the \
+               individual, and every competing class is a superset or \
+               disjoint" );
+        ];
+      Trace.fact tr "theorem"
+        [
+          ("id", Trace.S "5.16");
+          ("name", Trace.S "minimal reference class");
+          ("known", Trace.S (Pretty.to_string known));
+          ("class", Trace.S (Pretty.to_string s0.ref_class));
+          ("bounds", Trace.S (Fmt.str "%a" Interval.pp s0.bounds));
+        ]);
+    Some s0.bounds
   | None -> None
 
 (* ------------------------------------------------------------------ *)
 (* Rule C: Theorem 5.23 (strength rule on a chain)                    *)
 (* ------------------------------------------------------------------ *)
 
-let rule_c ctx =
+let rule_c ~trace ctx =
   let { universe = u; theory; known; stats; query_var = x } = ctx in
   (* Sort classes by extension inclusion; they must form a chain with
      the known facts inside the smallest. *)
@@ -459,7 +510,31 @@ let rule_c ctx =
           chain
       in
       match List.find_opt tightest chain with
-      | Some (_, s0) -> Some s0.bounds
+      | Some (_, s0) ->
+        (match trace with
+        | None -> ()
+        | Some tr ->
+          List.iter
+            (fun (_, s) ->
+              Trace.fact tr "ref-class"
+                [
+                  ("class", Trace.S (Pretty.to_string s.ref_class));
+                  ("bounds", Trace.S (Fmt.str "%a" Interval.pp s.bounds));
+                  ("role", Trace.S "link");
+                ])
+            chain;
+          Trace.fact tr "theorem"
+            [
+              ("id", Trace.S "5.23");
+              ("name", Trace.S "strength rule");
+              ( "precondition",
+                Trace.S
+                  "the reference classes form a nested chain containing \
+                   everything known about the individual" );
+              ("class", Trace.S (Pretty.to_string s0.ref_class));
+              ("bounds", Trace.S (Fmt.str "%a" Interval.pp s0.bounds));
+            ]);
+        Some s0.bounds
       | None -> None
     end
   | _ -> None
@@ -484,7 +559,7 @@ let overlap_negligible ~kb_conjuncts x psi_i psi_j =
       | _ -> false)
     kb_conjuncts
 
-let rule_d ~kb_conjuncts ctx =
+let rule_d ~trace ~kb_conjuncts ctx =
   let { universe = u; theory; known; stats; query_var = x } = ctx in
   if List.length stats < 2 then None
   else begin
@@ -503,6 +578,26 @@ let rule_d ~kb_conjuncts ctx =
     in
     if List.for_all ok_class stats && pairwise stats then begin
       let alphas = List.map (fun s -> Interval.lo s.bounds) stats in
+      (match trace with
+      | None -> ()
+      | Some tr ->
+        Trace.fact tr "theorem"
+          [
+            ("id", Trace.S "5.26");
+            ("name", Trace.S "Dempster combination");
+            ( "classes",
+              Trace.S
+                (String.concat " ; "
+                   (List.map (fun s -> Pretty.to_string s.ref_class) stats)) );
+            ( "precondition",
+              Trace.S
+                "each class covers the individual with a point statistic, \
+                 and every pair is essentially disjoint" );
+            ( "strengths",
+              Trace.S
+                (String.concat ","
+                   (List.map (fun a -> Printf.sprintf "%g" a) alphas)) );
+          ]);
       match Dempster.combine alphas with
       | v -> Some (`Point v)
       | exception Dempster.Conflicting_certainties ->
@@ -521,25 +616,43 @@ let rule_d ~kb_conjuncts ctx =
 (* Entry point                                                        *)
 (* ------------------------------------------------------------------ *)
 
-(** [infer ~kb query] applies every rule whose hypotheses hold and
-    intersects the sound conclusions. *)
-let infer ~kb query =
+(** [infer ?trace ~kb query] applies every rule whose hypotheses hold
+    and intersects the sound conclusions. *)
+let infer ?trace ~kb query =
+  Trace.span trace "rules" @@ fun () ->
   let kb_conjuncts = Rw_unary.Analysis.split_conjuncts kb in
-  if ground_contradiction kb_conjuncts then
+  if ground_contradiction kb_conjuncts then begin
+    (match trace with
+    | None -> ()
+    | Some tr ->
+      Trace.fact tr "inconsistency"
+        [ ("reason", Trace.S "complementary pair of ground literals") ]);
     Answer.make
       ~notes:[ "ground facts contain a complementary literal pair" ]
       ~engine:"rules" Answer.Inconsistent
-  else if degenerate_self_conditional kb_conjuncts then
+  end
+  else if degenerate_self_conditional kb_conjuncts then begin
+    (match trace with
+    | None -> ()
+    | Some tr ->
+      Trace.fact tr "inconsistency"
+        [
+          ( "reason",
+            Trace.S
+              "self-conditional statistic forces its class empty, but a \
+               ground fact populates it" );
+        ]);
     Answer.make
       ~notes:
         [ "self-conditional statistic forces its class empty, but a \
            ground fact populates it" ]
       ~engine:"rules" Answer.Inconsistent
+  end
   else begin
   let answers = ref [] in
   let note = ref [] in
   try
-  (match rule_a ~kb_conjuncts ~query with
+  (match rule_a ~trace ~kb_conjuncts ~query with
   | Some bounds ->
     answers := bounds :: !answers;
     note := "Theorem 5.6 (exact reference class)" :: !note
@@ -547,17 +660,17 @@ let infer ~kb query =
   (match unary_context ~kb_conjuncts ~query with
   | None -> ()
   | Some ctx ->
-    (match rule_b ctx with
+    (match rule_b ~trace ctx with
     | Some bounds ->
       answers := bounds :: !answers;
       note := "Theorem 5.16 (minimal class)" :: !note
     | None -> ());
-    (match rule_c ctx with
+    (match rule_c ~trace ctx with
     | Some bounds ->
       answers := bounds :: !answers;
       note := "Theorem 5.23 (strength rule)" :: !note
     | None -> ());
-    (match rule_d ~kb_conjuncts ctx with
+    (match rule_d ~trace ~kb_conjuncts ctx with
     | Some (`Point v) ->
       answers := Interval.point v :: !answers;
       note := "Theorem 5.26 (Dempster combination)" :: !note

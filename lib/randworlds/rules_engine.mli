@@ -21,6 +21,9 @@
 
 open Rw_logic
 
-val infer : kb:Syntax.formula -> Syntax.formula -> Answer.t
+val infer :
+  ?trace:Rw_trace.Trace.t -> kb:Syntax.formula -> Syntax.formula -> Answer.t
 (** Apply every rule whose hypotheses hold; [Not_applicable] when none
-    match. *)
+    match. [?trace] records which theorems fired with their
+    instantiated preconditions, the reference classes considered, and
+    the specificity winner (see {!Rw_trace.Trace}). *)

@@ -9,6 +9,7 @@
 
 open Rw_logic
 open Rw_unary
+module Trace = Rw_trace.Trace
 
 let default_sizes = [ 20; 40; 60 ]
 
@@ -55,11 +56,18 @@ let series ~kb ~query ~ns ~tol =
     Aitken extrapolation of the inner [N→∞] limit at each tolerance.
 
     @raise Profile.Unsupported outside the unary fragment. *)
-let estimate ?(ns = default_sizes) ?tols ~kb query =
+let estimate ?(ns = default_sizes) ?tols ?trace ~kb query =
+  Trace.span trace "unary" @@ fun () ->
+  let emit tag fields =
+    match trace with None -> () | Some tr -> Trace.fact tr tag fields
+  in
+  let declined why =
+    emit "note" [ ("declined", Trace.S why) ];
+    Answer.make ~engine:"unary" (Answer.Not_applicable why)
+  in
   let parts = Analysis.analyze ~extra_preds:(unary_preds_of query) kb in
   if not (Analysis.fully_supported parts) then
-    Answer.make ~engine:"unary"
-      (Answer.Not_applicable "KB outside the unary fragment")
+    declined "KB outside the unary fragment"
   else begin
     let tols =
       match tols with
@@ -71,9 +79,7 @@ let estimate ?(ns = default_sizes) ?tols ~kb query =
     let ns =
       List.filter (fun n -> Profile.cost_estimate parts ~n < 5e6) ns
     in
-    if ns = [] then
-      Answer.make ~engine:"unary"
-        (Answer.Not_applicable "atom space too large for exact counting")
+    if ns = [] then declined "atom space too large for exact counting"
     else begin
       (* A tolerance finer than the size grid resolves is meaningless:
          once the width-2τ window drops below the 1/N spacing of
@@ -94,12 +100,24 @@ let estimate ?(ns = default_sizes) ?tols ~kb query =
           (fun i -> Tolerance.get tol i >= tau_floor)
           (Syntax.tolerance_indices kb)
       in
+      List.iter
+        (fun tol ->
+          if not (resolvable tol) then
+            emit "tolerance-dropped"
+              [ ("tol", Trace.S (Fmt.str "%a" Tolerance.pp tol));
+                ("reason", Trace.S "below the 1/N resolution of the size grid")
+              ])
+        tols;
       let tols = List.filter resolvable tols in
+      emit "grid"
+        [ ("sizes", Trace.S (String.concat "," (List.map string_of_int ns)));
+          ("tau_floor", Trace.F tau_floor);
+          ("tolerance_steps", Trace.I (List.length tols))
+        ];
       if tols = [] then
-        Answer.make ~engine:"unary"
-          (Answer.Not_applicable
-             "every tolerance step is below the resolution of the feasible \
-              domain sizes")
+        declined
+          "every tolerance step is below the resolution of the feasible \
+           domain sizes"
       else begin
       (* Aitken extrapolation is only trustworthy when the series
          actually contracts geometrically: with step ratio r = d2/d1,
@@ -134,15 +152,16 @@ let estimate ?(ns = default_sizes) ?tols ~kb query =
              O(1/N): all we can honestly claim is a ±1/n bracket. *)
           let pad = 1.0 /. float_of_int n in
           Some
-            ( Rw_prelude.Floats.clamp01 (v -. pad),
-              Rw_prelude.Floats.clamp01 (v +. pad) )
+            ( "single-size",
+              ( Rw_prelude.Floats.clamp01 (v -. pad),
+                Rw_prelude.Floats.clamp01 (v +. pad) ) )
         | vals ->
           let vs = List.map snd vals in
           let k = List.length vs in
           let x2 = List.nth vs (k - 1) and x1 = List.nth vs (k - 2) in
           let d2 = x2 -. x1 in
-          if Float.abs d2 <= flat then Some (x2, x2)
-          else if k = 2 then Some (bracket x2 d2)
+          if Float.abs d2 <= flat then Some ("flat", (x2, x2))
+          else if k = 2 then Some ("bracket", bracket x2 d2)
           else begin
             let x0 = List.nth vs (k - 3) in
             let d1 = x1 -. x0 in
@@ -156,8 +175,9 @@ let estimate ?(ns = default_sizes) ?tols ~kb query =
             let noise () =
               let pad = Float.abs d2 +. (1.0 /. float_of_int max_n) in
               Some
-                ( Rw_prelude.Floats.clamp01 (Float.min x1 x2 -. pad),
-                  Rw_prelude.Floats.clamp01 (Float.max x1 x2 +. pad) )
+                ( "noise-hull",
+                  ( Rw_prelude.Floats.clamp01 (Float.min x1 x2 -. pad),
+                    Rw_prelude.Floats.clamp01 (Float.max x1 x2 +. pad) ) )
             in
             if Float.abs d1 <= flat then noise ()
             else begin
@@ -166,11 +186,11 @@ let estimate ?(ns = default_sizes) ?tols ~kb query =
                 (* Certified contraction; the limit of probabilities is
                    still a probability, so keep the value in [0,1]. *)
                 let v = Rw_prelude.Floats.clamp01 (Limits.richardson vs) in
-                Some (v, v)
+                Some ("richardson", (v, v))
               end
               else if r > 0.0 && r < 1.0 then
                 (* Genuinely slow monotone decay. *)
-                Some (bracket x2 d2)
+                Some ("bracket", bracket x2 d2)
               else noise ()
             end
           end
@@ -178,7 +198,16 @@ let estimate ?(ns = default_sizes) ?tols ~kb query =
       let per_tol =
         List.filter_map
           (fun tol ->
-            match inner_limit tol with Some iv -> Some (tol, iv) | None -> None)
+            match inner_limit tol with
+            | Some (meth, (lo, hi)) ->
+              emit "tolerance"
+                [ ("tol", Trace.S (Fmt.str "%a" Tolerance.pp tol));
+                  ("method", Trace.S meth);
+                  ("lo", Trace.F lo);
+                  ("hi", Trace.F hi)
+                ];
+              Some (tol, (lo, hi))
+            | None -> None)
           tols
       in
       match per_tol with
@@ -196,13 +225,22 @@ let estimate ?(ns = default_sizes) ?tols ~kb query =
           let values = List.map (fun (_, (lo, _)) -> lo) per_tol in
           match Limits.detect ~atol:0.02 values with
           | Limits.Converged v ->
+            emit "limit"
+              [ ("verdict", Trace.S "converged"); ("value", Trace.F v) ];
             Answer.make ~notes ~engine:"unary"
               (Answer.Point (Rw_prelude.Floats.clamp01 v))
           | Limits.Oscillating (a, b) ->
+            emit "limit"
+              [ ("verdict", Trace.S "oscillating");
+                ("lo", Trace.F a);
+                ("hi", Trace.F b)
+              ];
             Answer.make ~notes ~engine:"unary"
               (Answer.No_limit (Fmt.str "oscillates between %.4f and %.4f" a b))
           | Limits.Insufficient ->
             let last = List.nth values (List.length values - 1) in
+            emit "limit"
+              [ ("verdict", Trace.S "insufficient"); ("last", Trace.F last) ];
             Answer.make ~notes ~engine:"unary"
               (Answer.Within
                  (Rw_prelude.Interval.clamp01
@@ -226,6 +264,11 @@ let estimate ?(ns = default_sizes) ?tols ~kb query =
             and hi =
               List.fold_left (fun acc (_, (_, h)) -> Float.max acc h) 0.0 per_tol
             in
+            emit "limit"
+              [ ("verdict", Trace.S "hull");
+                ("lo", Trace.F lo);
+                ("hi", Trace.F hi)
+              ];
             Answer.make ~notes ~engine:"unary"
               (Answer.Within
                  (Rw_prelude.Interval.clamp01 (Rw_prelude.Interval.make lo hi)))
@@ -242,9 +285,14 @@ let estimate ?(ns = default_sizes) ?tols ~kb query =
                    (fun (_, (lo, hi)) -> lo -. 0.02 <= v && v <= hi +. 0.02)
                    per_tol
             in
-            if agree then
+            if agree then begin
+              emit "limit"
+                [ ("verdict", Trace.S "certified-points-agree");
+                  ("value", Trace.F v)
+                ];
               Answer.make ~notes ~engine:"unary"
                 (Answer.Point (Rw_prelude.Floats.clamp01 v))
+            end
             else hull ()
         end
       end

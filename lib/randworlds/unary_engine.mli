@@ -31,10 +31,14 @@ val series :
 val estimate :
   ?ns:int list ->
   ?tols:Tolerance.t list ->
+  ?trace:Rw_trace.Trace.t ->
   kb:Syntax.formula ->
   Syntax.formula ->
   Answer.t
 (** The double limit over a grid, with Aitken extrapolation of the
     inner [N → ∞] limit at each tolerance. Declines (rather than
     raising) outside the fragment or when the atom space is too large
-    for exact counting. *)
+    for exact counting. [?trace] records the kept size grid and
+    tolerance floor, dropped tolerance steps, the per-tolerance inner
+    limit with the method that produced it (richardson / bracket /
+    noise-hull / …), and the final limit verdict. *)

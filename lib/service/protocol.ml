@@ -3,7 +3,12 @@
 open Randworlds
 
 type request =
-  | Query of { id : Json.t option; src : string; budget : float option }
+  | Query of {
+      id : Json.t option;
+      src : string;
+      budget : float option;
+      explain : bool;
+    }
   | Batch of {
       id : Json.t option;
       srcs : string list;
@@ -26,7 +31,13 @@ let request_of_json json =
   | None -> Error "missing \"op\" field"
   | Some "query" -> (
     match Option.bind (Json.member "query" json) Json.to_str with
-    | Some src -> Ok (Query { id; src; budget })
+    | Some src ->
+      let explain =
+        match Option.bind (Json.member "explain" json) Json.to_bool with
+        | Some b -> b
+        | None -> false
+      in
+      Ok (Query { id; src; budget; explain })
     | None -> Error "\"query\" op needs a string \"query\" field")
   | Some "batch" -> (
     match Option.bind (Json.member "queries" json) Json.to_list with
@@ -85,6 +96,82 @@ let json_of_answer ?cached ?elapsed_ms (a : Answer.t) =
     | None -> base
   in
   Json.Obj base
+
+(* The stable --explain-json schema: a flat event list, one object per
+   event, discriminated by "ev". Fact fields are flattened into the
+   event object (their keys never collide with "ev"/"tag" — the tag
+   vocabulary in {!Rw_trace.Trace} owns them). *)
+let json_of_trace_value = function
+  | Rw_trace.Trace.S s -> Json.String s
+  | Rw_trace.Trace.F f -> Json.Float f
+  | Rw_trace.Trace.I i -> Json.Int i
+  | Rw_trace.Trace.B b -> Json.Bool b
+
+let json_of_trace events =
+  Json.List
+    (List.map
+       (fun ev ->
+         match ev with
+         | Rw_trace.Trace.Enter phase ->
+           Json.Obj [ ("ev", Json.String "enter"); ("phase", Json.String phase) ]
+         | Rw_trace.Trace.Leave { phase; ms } ->
+           Json.Obj
+             [
+               ("ev", Json.String "leave");
+               ("phase", Json.String phase);
+               ("ms", Json.Float ms);
+             ]
+         | Rw_trace.Trace.Fact { tag; fields } ->
+           Json.Obj
+             (("ev", Json.String "fact")
+             :: ("tag", Json.String tag)
+             :: List.map (fun (k, v) -> (k, json_of_trace_value v)) fields))
+       events)
+
+let trace_of_json json =
+  let fail = Error "malformed trace JSON" in
+  match Json.to_list json with
+  | None -> fail
+  | Some items ->
+    let event item =
+      match Option.bind (Json.member "ev" item) Json.to_str with
+      | Some "enter" -> (
+        match Option.bind (Json.member "phase" item) Json.to_str with
+        | Some phase -> Some (Rw_trace.Trace.Enter phase)
+        | None -> None)
+      | Some "leave" -> (
+        match
+          ( Option.bind (Json.member "phase" item) Json.to_str,
+            Option.bind (Json.member "ms" item) Json.to_float )
+        with
+        | Some phase, Some ms -> Some (Rw_trace.Trace.Leave { phase; ms })
+        | _ -> None)
+      | Some "fact" -> (
+        match
+          (Option.bind (Json.member "tag" item) Json.to_str, item)
+        with
+        | Some tag, Json.Obj members ->
+          let fields =
+            List.filter_map
+              (fun (k, v) ->
+                if k = "ev" || k = "tag" then None
+                else
+                  match v with
+                  | Json.String s -> Some (k, Rw_trace.Trace.S s)
+                  | Json.Float f -> Some (k, Rw_trace.Trace.F f)
+                  | Json.Int i -> Some (k, Rw_trace.Trace.I i)
+                  | Json.Bool b -> Some (k, Rw_trace.Trace.B b)
+                  | _ -> None)
+              members
+          in
+          Some (Rw_trace.Trace.Fact { tag; fields })
+        | _ -> None)
+      | _ -> None
+    in
+    let evs = List.map event items in
+    if List.for_all Option.is_some evs then
+      Ok (List.map Option.get evs)
+    else fail
 
 let json_of_stats (s : Service.stats) =
   Json.Obj

@@ -23,7 +23,12 @@
 open Randworlds
 
 type request =
-  | Query of { id : Json.t option; src : string; budget : float option }
+  | Query of {
+      id : Json.t option;
+      src : string;
+      budget : float option;
+      explain : bool;  (** attach the derivation trace to the reply *)
+    }
   | Batch of {
       id : Json.t option;
       srcs : string list;
@@ -49,6 +54,20 @@ val json_of_answer :
     ["why"]. *)
 
 val json_of_stats : Service.stats -> Json.t
+
+val json_of_trace : Rw_trace.Trace.event list -> Json.t
+(** The stable [--explain-json] schema: a flat list, one object per
+    event, discriminated by ["ev"] —
+    [{"ev":"enter","phase":…}], [{"ev":"leave","phase":…,"ms":…}], and
+    [{"ev":"fact","tag":…, …flattened fields}] (string / float / int /
+    bool values as emitted). NDJSON-friendly: the list is a single
+    line inside the reply object. *)
+
+val trace_of_json : Json.t -> (Rw_trace.Trace.event list, string) result
+(** Decode {!json_of_trace} output. Whole-valued floats may come back
+    as ints (the wire format does not distinguish them); tags, phases
+    and string fields round-trip exactly — enough for the fuzz
+    oracle's [selected_engine] consistency check. *)
 
 (** {2 Replies} *)
 

@@ -22,12 +22,30 @@ let handle_request service req =
     (r, (Instr.now () -. t0) *. 1000.0)
   in
   match req with
-  | Protocol.Query { src = qsrc; budget; _ } -> begin
+  | Protocol.Query { src = qsrc; budget; explain = false; _ } -> begin
     let result, ms = timed (fun () -> Service.query_src ?budget service qsrc) in
     match result with
     | Ok ((_, origin) as hit) ->
       Log.info (fun m -> m "query %s %.2fms %s" (origin_tag origin) ms qsrc);
       `Reply (Protocol.ok_reply ?id [ ("answer", answer_payload hit ms) ])
+    | Error msg ->
+      Log.warn (fun m -> m "query error: %s" msg);
+      `Reply (Protocol.error_reply ?id msg)
+  end
+  | Protocol.Query { src = qsrc; budget; explain = true; _ } -> begin
+    let result, ms =
+      timed (fun () -> Service.query_src_explained ?budget service qsrc)
+    in
+    match result with
+    | Ok { Service.answer; origin; trace } ->
+      Log.info (fun m ->
+          m "query+explain %s %.2fms %s" (origin_tag origin) ms qsrc);
+      `Reply
+        (Protocol.ok_reply ?id
+           [
+             ("answer", answer_payload (answer, origin) ms);
+             ("trace", Protocol.json_of_trace trace);
+           ])
     | Error msg ->
       Log.warn (fun m -> m "query error: %s" msg);
       `Reply (Protocol.error_reply ?id msg)

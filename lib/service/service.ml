@@ -2,6 +2,7 @@
 
 open Rw_logic
 open Randworlds
+module Trace = Rw_trace.Trace
 
 type config = {
   cache_capacity : int;
@@ -92,9 +93,16 @@ let latency_summary l =
    its own lock. The KB fields stay plain mutable — loading a KB while
    queries are in flight is not supported (the serve loop handles
    requests one at a time; the batch evaluator never loads). *)
+(* Cache entries carry the trace of the computation that produced them
+   (when one was recorded), so a cached answer can explain itself
+   without re-deriving anything. Entries computed with tracing off
+   store [None]; an explained hit on such an entry re-derives once and
+   upgrades it. *)
+type entry = { answer : Answer.t; trace : Trace.event list option }
+
 type t = {
   config : config;
-  cache : Answer.t Lru.Sync.t;
+  cache : entry Lru.Sync.t;
   opts_digest : string;
   mutable kb : Syntax.formula option;
   mutable kb_digest : string;
@@ -283,6 +291,20 @@ let degraded_answer ~kb ~budget q =
         budget;
     ]
 
+(* One budgeted engine run, choosing the alarm or the polled deadline
+   as [query] always has (see the two [with_budget] variants above). *)
+let run_engine ?trace ?budget t ~kb q =
+  let run_budget =
+    if Rw_pool.Pool.on_worker () || t.config.engine_options.Engine.jobs > 1
+    then with_budget_polled
+    else with_budget
+  in
+  run_budget budget
+    ~fallback:(fun () ->
+      degraded_answer ~kb ~budget:(Option.value budget ~default:0.0) q)
+    (fun () ->
+      Engine.degree_of_belief ~options:t.config.engine_options ?trace ~kb q)
+
 let query ?budget t q =
   match t.kb with
   | None -> Error "no knowledge base loaded"
@@ -295,27 +317,16 @@ let query ?budget t q =
     let key = cache_key t q in
     let answer, origin =
       match Lru.Sync.find t.cache key with
-      | Some a -> (a, Cached)
+      | Some e -> (e.answer, Cached)
       | None ->
-        let run_budget =
-          if Rw_pool.Pool.on_worker () || t.config.engine_options.Engine.jobs > 1
-          then with_budget_polled
-          else with_budget
-        in
-        let a, timed_out =
-          run_budget budget
-            ~fallback:(fun () ->
-              degraded_answer ~kb ~budget:(Option.value budget ~default:0.0) q)
-            (fun () ->
-              Engine.degree_of_belief ~options:t.config.engine_options ~kb q)
-        in
+        let a, timed_out = run_engine ?budget t ~kb q in
         if timed_out then begin
           (* Wall-clock-dependent: never cached. *)
           Atomic.incr t.timeouts;
           (a, Degraded)
         end
         else begin
-          Lru.Sync.add t.cache key a;
+          Lru.Sync.add t.cache key { answer = a; trace = None };
           (a, Computed)
         end
     in
@@ -326,6 +337,78 @@ let query_src ?budget t src =
   match Parser.formula src with
   | Error msg -> Error (Printf.sprintf "query parse error: %s" msg)
   | Ok q -> query ?budget t q
+
+(* ------------------------------------------------------------------ *)
+(* Explained queries                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type explained = {
+  answer : Answer.t;
+  origin : origin;
+  trace : Trace.event list;
+}
+
+let cache_fact outcome key =
+  Trace.Fact
+    { tag = "cache"; fields = [ ("outcome", Trace.S outcome); ("key", Trace.S key) ] }
+
+let query_explained ?budget t q =
+  match t.kb with
+  | None -> Error "no knowledge base loaded"
+  | Some kb ->
+    let budget =
+      match budget with Some _ as b -> b | None -> t.config.budget
+    in
+    let t0 = Instr.now () in
+    Atomic.incr t.queries;
+    let key = cache_key t q in
+    let result =
+      match Lru.Sync.find t.cache key with
+      | Some { answer; trace = Some evs } ->
+        (* The stored trace explains the cached answer; the prepended
+           cache fact says how this particular reply was served. *)
+        { answer; origin = Cached; trace = cache_fact "hit" key :: evs }
+      | Some { answer = stored; trace = None } ->
+        (* The entry predates tracing (computed by a plain [query]):
+           re-derive once with a trace and upgrade the entry. The
+           answer served stays the cached one — determinism makes the
+           re-derivation agree, and a timeout mid-retrace must not
+           degrade an answer we already have. *)
+        let tr = Trace.create () in
+        Trace.add tr (cache_fact "hit-retraced" key);
+        let a, timed_out = run_engine ~trace:tr ?budget t ~kb q in
+        if timed_out then begin
+          Trace.note tr "retrace ran out of budget; cached answer returned";
+          { answer = stored; origin = Cached; trace = Trace.events tr }
+        end
+        else begin
+          let evs = Trace.events tr in
+          Lru.Sync.add t.cache key { answer = a; trace = Some evs };
+          { answer = a; origin = Cached; trace = evs }
+        end
+      | None ->
+        let tr = Trace.create () in
+        Trace.add tr (cache_fact "miss" key);
+        let a, timed_out = run_engine ~trace:tr ?budget t ~kb q in
+        if timed_out then begin
+          Atomic.incr t.timeouts;
+          Trace.note tr
+            "budget exhausted: degraded to the rules-engine sound answer";
+          { answer = a; origin = Degraded; trace = Trace.events tr }
+        end
+        else begin
+          let evs = Trace.events tr in
+          Lru.Sync.add t.cache key { answer = a; trace = Some evs };
+          { answer = a; origin = Computed; trace = evs }
+        end
+    in
+    latency_record t.latency ((Instr.now () -. t0) *. 1000.0);
+    Ok result
+
+let query_src_explained ?budget t src =
+  match Parser.formula src with
+  | Error msg -> Error (Printf.sprintf "query parse error: %s" msg)
+  | Ok q -> query_explained ?budget t q
 
 let batch ?budget ?(jobs = 1) t qs =
   let one q = query ?budget t q in

@@ -87,6 +87,32 @@ val query_src :
   ?budget:float -> t -> string -> (Answer.t * origin, string) result
 (** Parse, then {!query} — parse failures land in [Error]. *)
 
+(** {2 Explained queries}
+
+    The trace-carrying variants behind [rw query --explain] and the
+    serve protocol's ["explain": true]. Cache entries store the trace
+    of the computation that produced them, so a cached answer explains
+    itself — the reply's trace leads with a ["cache"] fact saying how
+    it was served ([hit], [miss], or [hit-retraced] when a pre-trace
+    entry had to be re-derived once to obtain its trace). *)
+
+type explained = {
+  answer : Answer.t;
+  origin : origin;
+  trace : Rw_trace.Trace.event list;
+}
+
+val query_explained :
+  ?budget:float -> t -> Syntax.formula -> (explained, string) result
+(** As {!query}, threading a {!Rw_trace.Trace.t} through the dispatch
+    and returning its events. Identical caching behaviour: a miss
+    computes once (now storing the trace), a hit re-serves the stored
+    answer, and a budget expiry degrades without caching. *)
+
+val query_src_explained :
+  ?budget:float -> t -> string -> (explained, string) result
+(** Parse, then {!query_explained}. *)
+
 val batch :
   ?budget:float ->
   ?jobs:int ->

@@ -19,4 +19,5 @@ let () =
       ("service", Test_service.suite);
       ("fuzz", Test_fuzz.suite);
       ("pool", Test_pool.suite);
+      ("trace", Test_trace.suite);
     ]
