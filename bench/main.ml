@@ -560,6 +560,157 @@ let table_service () =
     !mismatches
 
 (* ------------------------------------------------------------------ *)
+(* Table 13: the durable answer store                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* What persistence buys and what it costs: a cold session (every
+   query a full engine dispatch plus a write-through) against a
+   warm-restarted one (fresh process: recovery scan, cold LRU, every
+   query a store hit), at pool widths 1 and 4; then the per-hit
+   latency of each cache tier on one resident KB. *)
+let table_store () =
+  section
+    "Table 13 — durable answer store: cold vs warm restart, hit latency by \
+     tier";
+  Fmt.pr
+    "  workload: every zoo query asked 3 ways (verbatim, ~~q, commuted), \
+     batch per entry@.";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let with_store path f =
+    match Rw_store.Store.open_ path with
+    | Error msg -> failwith msg
+    | Ok (st, report) ->
+      Fun.protect
+        ~finally:(fun () -> Rw_store.Store.close st)
+        (fun () -> f st report)
+  in
+  let service ?store () =
+    Rw_service.Service.create
+      ~config:
+        {
+          Rw_service.Service.default_config with
+          Rw_service.Service.cache_capacity = 256;
+        }
+      ?store ()
+  in
+  let run_workload ~jobs svc =
+    List.iter
+      (fun (e : Rw_kbzoo.Kbzoo.entry) ->
+        Rw_service.Service.load_kb svc e.kb;
+        List.iter
+          (function Ok _ -> () | Error msg -> failwith msg)
+          (Rw_service.Service.batch ~jobs svc
+             [
+               e.query;
+               Syntax.Not (Syntax.Not e.query);
+               variant_commuted e.query;
+             ]))
+      (Rw_kbzoo.Kbzoo.all ())
+  in
+  Fmt.pr "  %-28s %12s %12s %9s %10s@." "workload" "cold (ms)" "warm (ms)"
+    "speedup" "recovered";
+  (* Zoo sweep, sequential: cold = engine dispatch + write-through per
+     distinct digest; warm restart = recovery scan + cold LRU, every
+     answer a store hit. *)
+  let path = Filename.temp_file "rw_bench_store" ".rws" in
+  let (), cold_t =
+    time (fun () ->
+        with_store path (fun st _ -> run_workload ~jobs:1 (service ~store:st ())))
+  in
+  let recovered = ref 0 in
+  let (), warm_t =
+    time (fun () ->
+        with_store path (fun st report ->
+            recovered := report.Rw_store.Store.recovered;
+            run_workload ~jobs:1 (service ~store:st ())))
+  in
+  Fmt.pr "  %-28s %12.1f %12.1f %8.1fx %10d@." "zoo x3 variants, jobs 1"
+    (cold_t *. 1000.0) (warm_t *. 1000.0)
+    (cold_t /. Float.max 1e-9 warm_t)
+    !recovered;
+  Sys.remove path;
+  (* One batch of distinct queries through the domain pool: the
+     parallel write-through (cold) and the parallel store-hit path
+     (warm restart) at widths 1 and 4. Distinct digests, so domains
+     never dogpile on one cache entry. *)
+  let batch_n = 64 in
+  let batch_kb = parse "Jaun(Eric) /\\ ||Hep(x) | Jaun(x)||_x ~=_1 0.8" in
+  let batch_qs =
+    List.init batch_n (fun i -> parse (Printf.sprintf "Hep(C%d)" i))
+  in
+  let run_batch ~jobs svc =
+    Rw_service.Service.load_kb svc batch_kb;
+    List.iter
+      (function Ok _ -> () | Error msg -> failwith msg)
+      (Rw_service.Service.batch ~jobs svc batch_qs)
+  in
+  List.iter
+    (fun jobs ->
+      let path = Filename.temp_file "rw_bench_store" ".rws" in
+      let (), cold_t =
+        time (fun () ->
+            with_store path (fun st _ -> run_batch ~jobs (service ~store:st ())))
+      in
+      let recovered = ref 0 in
+      let (), warm_t =
+        time (fun () ->
+            with_store path (fun st report ->
+                recovered := report.Rw_store.Store.recovered;
+                run_batch ~jobs (service ~store:st ())))
+      in
+      Fmt.pr "  %-28s %12.1f %12.1f %8.1fx %10d@."
+        (Printf.sprintf "%d-query batch, jobs %d" batch_n jobs)
+        (cold_t *. 1000.0) (warm_t *. 1000.0)
+        (cold_t /. Float.max 1e-9 warm_t)
+        !recovered;
+      Sys.remove path)
+    [ 1; 4 ];
+  (* Per-hit latency by tier: N distinct queries against one resident
+     KB, asked once per tier state. LRU-only vs store-backed separates
+     the hashtable probe from the positional read + payload decode. *)
+  let n = batch_n in
+  let hep_kb = batch_kb in
+  let qs = batch_qs in
+  let ask svc q =
+    match Rw_service.Service.query svc q with
+    | Ok _ -> ()
+    | Error msg -> failwith msg
+  in
+  let path = Filename.temp_file "rw_bench_store" ".rws" in
+  let lru_t =
+    with_store path (fun st _ ->
+        let svc = service ~store:st () in
+        Rw_service.Service.load_kb svc hep_kb;
+        List.iter (ask svc) qs;
+        (* populate both tiers *)
+        snd (time (fun () -> List.iter (ask svc) qs)))
+  in
+  let store_t =
+    with_store path (fun st _ ->
+        let svc = service ~store:st () in
+        Rw_service.Service.load_kb svc hep_kb;
+        (* cold LRU over a full store: every ask probes the log *)
+        snd (time (fun () -> List.iter (ask svc) qs)))
+  in
+  let engine_t =
+    let svc = service () in
+    Rw_service.Service.load_kb svc hep_kb;
+    snd (time (fun () -> List.iter (ask svc) qs))
+  in
+  Sys.remove path;
+  Fmt.pr
+    "-- hit latency (n=%d): lru %.1f µs/q, store %.1f µs/q, engine dispatch \
+     %.1f µs/q@."
+    n
+    (lru_t *. 1e6 /. float_of_int n)
+    (store_t *. 1e6 /. float_of_int n)
+    (engine_t *. 1e6 /. float_of_int n)
+
+(* ------------------------------------------------------------------ *)
 (* Table 11: domain-pool scaling                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -830,6 +981,10 @@ let () =
     table_explain ();
     Fmt.pr "@.done.@.";
     exit 0);
+  if Array.exists (fun a -> a = "--only-store") Sys.argv then (
+    table_store ();
+    Fmt.pr "@.done.@.";
+    exit 0);
   table_zoo ();
   table_dempster ();
   figure_convergence ();
@@ -843,6 +998,7 @@ let () =
   table_service ();
   table_parallel ();
   table_explain ();
+  table_store ();
   figure_scaling ();
   if not no_perf then run_perf ();
   Fmt.pr "@.done.@."

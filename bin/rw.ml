@@ -3,7 +3,8 @@
    Subcommands:
      rw query --kb FILE --query FORMULA [--engine ENGINE] [--json]
      rw batch --kb FILE [--queries FILE] [--json]
-     rw serve [--kb FILE] [--cache N] [--budget S]
+     rw serve [--kb FILE] [--cache N] [--budget S] [--store PATH] [--jobs N]
+     rw store (stats|verify|compact) PATH
      rw consistent --kb FILE
      rw zoo [--id ID]
      rw parse FORMULA
@@ -360,20 +361,60 @@ let batch_cmd =
 (* serve                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run_serve kb_path cache_size budget verbose =
+let run_serve kb_path cache_size budget store_path no_store jobs verbose =
   (* Replies own stdout; logging goes to stderr unconditionally. *)
   Logs.set_reporter (Logs_fmt.reporter ~app:Fmt.stderr ~dst:Fmt.stderr ());
   Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning));
-  let svc = Rw_service.Service.create ~config:(service_config cache_size budget) () in
-  let serve () = Rw_service.Server.run svc in
-  match kb_path with
-  | None -> serve ()
-  | Some path -> (
-    match Rw_service.Service.load_kb_file svc path with
-    | Error msg ->
-      Fmt.epr "error loading %s:@.%s@." path msg;
-      exit_kb_error
-    | Ok () -> serve ())
+  (* --no-store beats --store beats $RW_STORE. *)
+  let store_path =
+    if no_store then None
+    else
+      match store_path with
+      | Some _ as p -> p
+      | None -> Sys.getenv_opt "RW_STORE"
+  in
+  let store =
+    match store_path with
+    | None -> Ok None
+    | Some path -> (
+      match Rw_store.Store.open_ path with
+      | Error msg -> Error (path, msg)
+      | Ok (store, report) ->
+        (* The warm start: the recovery scan just rebuilt the digest
+           index, so every persisted answer is already servable. *)
+        Logs.info (fun m ->
+            m "store %s: warm start, %d records recovered (%d live)" path
+              report.Rw_store.Store.recovered report.Rw_store.Store.live);
+        if report.Rw_store.Store.truncated_bytes > 0 then
+          Logs.warn (fun m ->
+              m "store %s: dropped %d torn tail bytes (crashed append)" path
+                report.Rw_store.Store.truncated_bytes);
+        Ok (Some store))
+  in
+  match store with
+  | Error (path, msg) ->
+    Fmt.epr "error opening store %s: %s@." path msg;
+    exit_kb_error
+  | Ok store -> (
+    let svc =
+      Rw_service.Service.create
+        ~config:(service_config cache_size budget)
+        ?store ()
+    in
+    let serve () =
+      let code = Rw_service.Server.run ~jobs svc in
+      Option.iter Rw_store.Store.close store;
+      code
+    in
+    match kb_path with
+    | None -> serve ()
+    | Some path -> (
+      match Rw_service.Service.load_kb_file svc path with
+      | Error msg ->
+        Fmt.epr "error loading %s:@.%s@." path msg;
+        Option.iter Rw_store.Store.close store;
+        exit_kb_error
+      | Ok () -> serve ()))
 
 let serve_kb_arg =
   Arg.(
@@ -384,6 +425,26 @@ let serve_kb_arg =
           "Knowledge base to preload; clients can also send load_kb \
            requests.")
 
+let store_path_opt_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"PATH"
+        ~doc:
+          "Durable answer store: an append-only, checksummed, \
+           crash-recovering log under the LRU cache. Opened (created if \
+           absent) and recovered at boot, so answers persisted by earlier \
+           sessions are served without recomputation. Defaults to \
+           $(b,\\$RW_STORE) when set.")
+
+let no_store_arg =
+  Arg.(
+    value & flag
+    & info [ "no-store" ]
+        ~doc:
+          "Run without a durable store even when $(b,\\$RW_STORE) is set; \
+           wins over $(b,--store).")
+
 let serve_cmd =
   let doc = "answer degree-of-belief queries over NDJSON on stdin/stdout" in
   let man =
@@ -392,19 +453,175 @@ let serve_cmd =
       `P
         "Speaks newline-delimited JSON: one request object per line on \
          stdin, one reply per line on stdout. Ops: query, batch, load_kb, \
-         stats, shutdown. Answers are cached across requests keyed on \
-         canonical (KB, query, options) digests; per-request budgets \
-         degrade to the rules engine's sound interval on expiry. Request \
-         logs go to stderr.";
+         stats, persist, shutdown. Answers are cached across requests keyed \
+         on canonical (KB, query, options) digests; with $(b,--store) they \
+         also persist across sessions and kill -9 (see $(b,rw store)). \
+         Batch requests without their own \"jobs\" field fan out across \
+         $(b,--jobs) worker domains. Per-request budgets degrade to the \
+         rules engine's sound interval on expiry. Request logs go to \
+         stderr.";
       `P
         "Example session: echo \
          '{\"op\":\"query\",\"query\":\"Hep(Eric)\"}' | rw serve --kb \
-         examples/kb/hepatitis.kb";
+         examples/kb/hepatitis.kb --store answers.rws";
     ]
   in
   Cmd.v
     (Cmd.info "serve" ~doc ~man ~exits:common_exits)
-    Term.(const run_serve $ serve_kb_arg $ cache_arg $ budget_arg $ verbose_arg)
+    Term.(
+      const run_serve $ serve_kb_arg $ cache_arg $ budget_arg
+      $ store_path_opt_arg $ no_store_arg $ pool_jobs_arg $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
+(* store                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let store_path_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"PATH" ~doc:"The answer-store file.")
+
+let store_json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit the report as a single JSON line.")
+
+(* Offline scans share the verify back end — read-only, every CRC
+   checked — so `stats` never mutates the file it reports on (opening
+   the store proper would truncate a torn tail as a side effect). *)
+let run_store_stats path json =
+  match Rw_store.Store.verify path with
+  | Error msg ->
+    Fmt.epr "%s@." msg;
+    exit_kb_error
+  | Ok r ->
+    let file = path in
+    let open Rw_store.Store in
+    let live_ratio =
+      if r.total_records = 0 then 1.0
+      else float_of_int r.live_records /. float_of_int r.total_records
+    in
+    if json then
+      print_endline
+        (Rw_service.Json.to_string
+           (Rw_service.Json.Obj
+              [
+                ("path", Rw_service.Json.String file);
+                ("records", Rw_service.Json.Int r.total_records);
+                ("live", Rw_service.Json.Int r.live_records);
+                ("dead", Rw_service.Json.Int r.dead_records);
+                ("live_ratio", Rw_service.Json.Float live_ratio);
+                ("file_bytes", Rw_service.Json.Int r.file_bytes);
+                ("checksum_failures", Rw_service.Json.Int r.checksum_failures);
+                ("torn_tail_bytes", Rw_service.Json.Int r.torn_tail_bytes);
+              ]))
+    else begin
+      Fmt.pr "path              %s@." file;
+      Fmt.pr "records           %d (%d live, %d dead)@." r.total_records
+        r.live_records r.dead_records;
+      Fmt.pr "live ratio        %.1f%%@." (100.0 *. live_ratio);
+      Fmt.pr "file bytes        %d@." r.file_bytes;
+      Fmt.pr "checksum failures %d@." r.checksum_failures;
+      Fmt.pr "torn tail bytes   %d@." r.torn_tail_bytes
+    end;
+    0
+
+let run_store_verify path json =
+  match Rw_store.Store.verify path with
+  | Error msg ->
+    Fmt.epr "%s@." msg;
+    exit_kb_error
+  | Ok r ->
+    let file = path in
+    let open Rw_store.Store in
+    let clean = r.checksum_failures = 0 && r.torn_tail_bytes = 0 in
+    if json then
+      print_endline
+        (Rw_service.Json.to_string
+           (Rw_service.Json.Obj
+              [
+                ("path", Rw_service.Json.String file);
+                ("clean", Rw_service.Json.Bool clean);
+                ("records", Rw_service.Json.Int r.total_records);
+                ("live", Rw_service.Json.Int r.live_records);
+                ("dead", Rw_service.Json.Int r.dead_records);
+                ("file_bytes", Rw_service.Json.Int r.file_bytes);
+                ("valid_prefix_bytes", Rw_service.Json.Int r.valid_prefix_bytes);
+                ("checksum_failures", Rw_service.Json.Int r.checksum_failures);
+                ("torn_tail_bytes", Rw_service.Json.Int r.torn_tail_bytes);
+              ]))
+    else if clean then
+      Fmt.pr "%s: clean — %d records (%d live), %d bytes, every checksum \
+              valid@."
+        file r.total_records r.live_records r.file_bytes
+    else
+      Fmt.pr
+        "%s: CORRUPT — valid prefix %d/%d bytes (%d whole records), %d \
+         checksum failures, %d torn tail bytes@."
+        file r.valid_prefix_bytes r.file_bytes r.total_records
+        r.checksum_failures r.torn_tail_bytes;
+    (* 1 = negative verdict, same contract as `rw consistent`. *)
+    if clean then 0 else 1
+
+let run_store_compact path =
+  match Rw_store.Store.open_ path with
+  | Error msg ->
+    Fmt.epr "%s@." msg;
+    exit_kb_error
+  | Ok (store, report) ->
+    let before = (Rw_store.Store.stats store).Rw_store.Store.file_bytes in
+    Rw_store.Store.compact store;
+    let after = (Rw_store.Store.stats store).Rw_store.Store.file_bytes in
+    Fmt.pr "%s: %d live records kept, %d -> %d bytes%s@." path
+      (Rw_store.Store.length store)
+      before after
+      (if report.Rw_store.Store.truncated_bytes > 0 then
+         Printf.sprintf " (and %d torn tail bytes dropped on open)"
+           report.Rw_store.Store.truncated_bytes
+       else "");
+    Rw_store.Store.close store;
+    0
+
+let store_cmd =
+  let doc = "inspect and maintain a durable answer store" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Operator tooling for the append-only answer log behind $(b,rw \
+         serve --store). $(b,stats) and $(b,verify) are strictly \
+         read-only full scans (every record's CRC-32 is checked); \
+         $(b,compact) rewrites the live records into a fresh generation \
+         file and atomically renames it over the log, reclaiming \
+         shadowed records.";
+    ]
+  in
+  let stats_cmd =
+    Cmd.v
+      (Cmd.info "stats" ~doc:"record counts, live/dead ratio, file size"
+         ~exits:common_exits)
+      Term.(const run_store_stats $ store_path_arg $ store_json_arg)
+  in
+  let verify_cmd =
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "check every record's framing and checksum; exits 1 on any \
+            corruption"
+         ~exits:common_exits)
+      Term.(const run_store_verify $ store_path_arg $ store_json_arg)
+  in
+  let compact_cmd =
+    Cmd.v
+      (Cmd.info "compact"
+         ~doc:"rewrite live records into a fresh generation, drop the dead"
+         ~exits:common_exits)
+      Term.(const run_store_compact $ store_path_arg)
+  in
+  Cmd.group
+    (Cmd.info "store" ~doc ~man ~exits:common_exits)
+    [ stats_cmd; verify_cmd; compact_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* consistent                                                         *)
@@ -668,8 +885,8 @@ let () =
       Cmd.eval'
         (Cmd.group info
            [
-             query_cmd; batch_cmd; serve_cmd; consistent_cmd; series_cmd;
-             zoo_cmd; parse_cmd; fuzz_cmd;
+             query_cmd; batch_cmd; serve_cmd; store_cmd; consistent_cmd;
+             series_cmd; zoo_cmd; parse_cmd; fuzz_cmd;
            ])
     with
     | Rw_kbzoo.Kbzoo.Parse_error (src, msg) ->

@@ -52,6 +52,58 @@ printf '%s\n' "$serve_out" | while IFS= read -r line; do
   esac
 done
 
+# Durable store: kill -9 loses nothing already answered. Session 1
+# answers an explained query over a store and is SIGKILLed with no
+# orderly shutdown; session 2 over the same store must serve that
+# query from the durable tier with a byte-identical answer and trace
+# (only the per-reply fields — elapsed_ms, cached, tier, and the
+# cache-provenance facts — may differ). The server runs as the bare
+# binary, not under `dune exec`, so the signal hits the real process.
+store_dir=$(mktemp -d)
+store="$store_dir/answers.rws"
+fifo="$store_dir/requests.fifo"
+out1="$store_dir/session1.out"
+mkfifo "$fifo"
+_build/default/bin/rw.exe serve --kb examples/kb/hepatitis.kb \
+  --store "$store" < "$fifo" > "$out1" 2> /dev/null &
+serve_pid=$!
+exec 9> "$fifo"
+printf '%s\n' '{"id":1,"op":"query","query":"Hep(Eric)","explain":true}' >&9
+i=0
+while [ ! -s "$out1" ] && [ "$i" -lt 100 ]; do
+  sleep 0.1; i=$((i + 1))
+done
+[ -s "$out1" ] || { echo "ci: store session 1 never answered" >&2; exit 1; }
+kill -9 "$serve_pid"
+exec 9>&-
+wait "$serve_pid" 2> /dev/null || true
+# The log must scan clean after the kill — the completed append is all
+# there is, no torn tail (the reply cannot precede its write-through).
+_build/default/bin/rw.exe store verify "$store" > /dev/null \
+  || { echo "ci: store corrupt after kill -9" >&2; exit 1; }
+out2=$(printf '%s\n' '{"id":1,"op":"query","query":"Hep(Eric)","explain":true}' \
+  | _build/default/bin/rw.exe serve --kb examples/kb/hepatitis.kb \
+      --store "$store" 2> /dev/null)
+case $out2 in
+  *'"tier":"store"'*) ;;
+  *) echo "ci: restart did not serve from the store: $out2" >&2; exit 1 ;;
+esac
+strip_reply() {
+  sed -e 's/"elapsed_ms":[0-9.e+-]*,\{0,1\}//g' \
+      -e 's/"cached":[a-z]*,\{0,1\}//g' \
+      -e 's/"tier":"[a-z-]*",\{0,1\}//g' \
+      -e 's/{"ev":"fact","tag":"cache"[^}]*},\{0,1\}//g'
+}
+norm1=$(strip_reply < "$out1")
+norm2=$(printf '%s\n' "$out2" | strip_reply)
+if [ "$norm1" != "$norm2" ]; then
+  echo "ci: store replay is not byte-identical" >&2
+  echo "--- session 1 (killed) ---" >&2; printf '%s\n' "$norm1" >&2
+  echo "--- session 2 (restart) ---" >&2; printf '%s\n' "$norm2" >&2
+  exit 1
+fi
+rm -rf "$store_dir"
+
 # Smoke: --explain prints the derivation and --explain-json carries a
 # machine-readable trace that names the winning reference class and
 # the paper theorem (the Tweety acceptance criterion).

@@ -1,0 +1,193 @@
+(** Answer/trace JSON codecs — see the interface. *)
+
+open Randworlds
+
+(* ------------------------------------------------------------------ *)
+(* Answers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_result = function
+  | Answer.Point v -> Json.Obj [ ("kind", Json.String "point"); ("value", Json.Float v) ]
+  | Answer.Within i ->
+    Json.Obj
+      [
+        ("kind", Json.String "within");
+        ("lo", Json.Float (Rw_prelude.Interval.lo i));
+        ("hi", Json.Float (Rw_prelude.Interval.hi i));
+      ]
+  | Answer.No_limit why ->
+    Json.Obj [ ("kind", Json.String "no_limit"); ("why", Json.String why) ]
+  | Answer.Inconsistent -> Json.Obj [ ("kind", Json.String "inconsistent") ]
+  | Answer.Not_applicable why ->
+    Json.Obj [ ("kind", Json.String "not_applicable"); ("why", Json.String why) ]
+
+let json_of_answer ?cached ?elapsed_ms (a : Answer.t) =
+  let base =
+    [
+      ("result", json_of_result a.Answer.result);
+      ("engine", Json.String a.Answer.engine);
+      ("notes", Json.List (List.map (fun n -> Json.String n) a.Answer.notes));
+    ]
+  in
+  let base =
+    match cached with
+    | Some c -> base @ [ ("cached", Json.Bool c) ]
+    | None -> base
+  in
+  let base =
+    match elapsed_ms with
+    | Some ms -> base @ [ ("elapsed_ms", Json.Float ms) ]
+    | None -> base
+  in
+  Json.Obj base
+
+let result_of_json j =
+  let str k = Option.bind (Json.member k j) Json.to_str in
+  let num k = Option.bind (Json.member k j) Json.to_float in
+  match str "kind" with
+  | Some "point" -> (
+    match num "value" with
+    | Some v -> Ok (Answer.Point v)
+    | None -> Error "point result without a \"value\"")
+  | Some "within" -> (
+    match (num "lo", num "hi") with
+    | Some lo, Some hi when lo <= hi ->
+      Ok (Answer.Within (Rw_prelude.Interval.make lo hi))
+    | _ -> Error "within result without valid \"lo\"/\"hi\"")
+  | Some "no_limit" -> (
+    match str "why" with
+    | Some why -> Ok (Answer.No_limit why)
+    | None -> Error "no_limit result without a \"why\"")
+  | Some "inconsistent" -> Ok Answer.Inconsistent
+  | Some "not_applicable" -> (
+    match str "why" with
+    | Some why -> Ok (Answer.Not_applicable why)
+    | None -> Error "not_applicable result without a \"why\"")
+  | Some k -> Error (Printf.sprintf "unknown result kind %S" k)
+  | None -> Error "result without a \"kind\""
+
+let answer_of_json j =
+  match
+    ( Option.bind (Json.member "result" j) Option.some,
+      Option.bind (Json.member "engine" j) Json.to_str,
+      Option.bind (Json.member "notes" j) Json.to_list )
+  with
+  | Some result_j, Some engine, Some notes_j -> (
+    match result_of_json result_j with
+    | Error _ as e -> e
+    | Ok result ->
+      let notes = List.filter_map Json.to_str notes_j in
+      if List.length notes <> List.length notes_j then
+        Error "non-string note in answer"
+      else Ok (Answer.make ~notes ~engine result))
+  | _ -> Error "malformed answer JSON"
+
+(* ------------------------------------------------------------------ *)
+(* Traces                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The stable --explain-json schema: a flat event list, one object per
+   event, discriminated by "ev". Fact fields are flattened into the
+   event object (their keys never collide with "ev"/"tag" — the tag
+   vocabulary in {!Rw_trace.Trace} owns them). *)
+let json_of_trace_value = function
+  | Rw_trace.Trace.S s -> Json.String s
+  | Rw_trace.Trace.F f -> Json.Float f
+  | Rw_trace.Trace.I i -> Json.Int i
+  | Rw_trace.Trace.B b -> Json.Bool b
+
+let json_of_trace events =
+  Json.List
+    (List.map
+       (fun ev ->
+         match ev with
+         | Rw_trace.Trace.Enter phase ->
+           Json.Obj [ ("ev", Json.String "enter"); ("phase", Json.String phase) ]
+         | Rw_trace.Trace.Leave { phase; ms } ->
+           Json.Obj
+             [
+               ("ev", Json.String "leave");
+               ("phase", Json.String phase);
+               ("ms", Json.Float ms);
+             ]
+         | Rw_trace.Trace.Fact { tag; fields } ->
+           Json.Obj
+             (("ev", Json.String "fact")
+             :: ("tag", Json.String tag)
+             :: List.map (fun (k, v) -> (k, json_of_trace_value v)) fields))
+       events)
+
+let trace_of_json json =
+  let fail = Error "malformed trace JSON" in
+  match Json.to_list json with
+  | None -> fail
+  | Some items ->
+    let event item =
+      match Option.bind (Json.member "ev" item) Json.to_str with
+      | Some "enter" -> (
+        match Option.bind (Json.member "phase" item) Json.to_str with
+        | Some phase -> Some (Rw_trace.Trace.Enter phase)
+        | None -> None)
+      | Some "leave" -> (
+        match
+          ( Option.bind (Json.member "phase" item) Json.to_str,
+            Option.bind (Json.member "ms" item) Json.to_float )
+        with
+        | Some phase, Some ms -> Some (Rw_trace.Trace.Leave { phase; ms })
+        | _ -> None)
+      | Some "fact" -> (
+        match
+          (Option.bind (Json.member "tag" item) Json.to_str, item)
+        with
+        | Some tag, Json.Obj members ->
+          let fields =
+            List.filter_map
+              (fun (k, v) ->
+                if k = "ev" || k = "tag" then None
+                else
+                  match v with
+                  | Json.String s -> Some (k, Rw_trace.Trace.S s)
+                  | Json.Float f -> Some (k, Rw_trace.Trace.F f)
+                  | Json.Int i -> Some (k, Rw_trace.Trace.I i)
+                  | Json.Bool b -> Some (k, Rw_trace.Trace.B b)
+                  | _ -> None)
+              members
+          in
+          Some (Rw_trace.Trace.Fact { tag; fields })
+        | _ -> None)
+      | _ -> None
+    in
+    let evs = List.map event items in
+    if List.for_all Option.is_some evs then
+      Ok (List.map Option.get evs)
+    else fail
+
+(* ------------------------------------------------------------------ *)
+(* Store payloads                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let encode_payload ~answer ~trace =
+  Json.to_string
+    (Json.Obj
+       (("answer", json_of_answer answer)
+       ::
+       (match trace with
+       | None -> []
+       | Some evs -> [ ("trace", json_of_trace evs) ])))
+
+let decode_payload s =
+  match Json.of_string s with
+  | Error msg -> Error (Printf.sprintf "store payload: %s" msg)
+  | Ok j -> (
+    match Json.member "answer" j with
+    | None -> Error "store payload without an \"answer\""
+    | Some answer_j -> (
+      match answer_of_json answer_j with
+      | Error msg -> Error (Printf.sprintf "store payload answer: %s" msg)
+      | Ok answer -> (
+        match Json.member "trace" j with
+        | None -> Ok (answer, None)
+        | Some trace_j -> (
+          match trace_of_json trace_j with
+          | Error msg -> Error (Printf.sprintf "store payload trace: %s" msg)
+          | Ok evs -> Ok (answer, Some evs)))))

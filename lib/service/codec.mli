@@ -1,0 +1,50 @@
+(** Answer and trace codecs: the JSON shapes shared by the serve
+    protocol, [--json]/[--explain-json], and the durable answer store.
+
+    {!Protocol} re-exports the encoders for the wire; this module owns
+    them (plus the decoders) so that {!Service} can persist and replay
+    answers without depending on the protocol layer above it.
+
+    Round-trip guarantees: floats encode in shortest round-trip form
+    ({!Json.to_string}), so [decode_payload (encode_payload a t)]
+    reproduces the answer and trace {e exactly} — verdict, engine,
+    notes, and every trace field — which is what lets a store hit be
+    byte-identical to the answer originally computed. (Non-finite
+    floats are the one exception; they never appear in well-formed
+    answers.) *)
+
+open Randworlds
+
+(** {2 Answers} *)
+
+val json_of_answer : ?cached:bool -> ?elapsed_ms:float -> Answer.t -> Json.t
+(** [{"result":{"kind":…},"engine":…,"notes":[…]}] plus
+    ["cached"]/["elapsed_ms"] when given. *)
+
+val answer_of_json : Json.t -> (Answer.t, string) result
+(** Decode {!json_of_answer} output (decoration fields like ["cached"]
+    are ignored). *)
+
+(** {2 Traces} *)
+
+val json_of_trace : Rw_trace.Trace.event list -> Json.t
+(** The stable [--explain-json] schema — see {!Protocol.json_of_trace}
+    for the field-level documentation. *)
+
+val trace_of_json : Json.t -> (Rw_trace.Trace.event list, string) result
+
+(** {2 Store payloads}
+
+    What the service writes through to {!Rw_store.Store}: one JSON
+    object per record, ["answer"] always present, ["trace"] only when
+    the entry was computed with tracing on. The format is versioned by
+    the store file's magic; these functions are the payload contract
+    of generation ["RWSTORE1"]. *)
+
+val encode_payload :
+  answer:Answer.t -> trace:Rw_trace.Trace.event list option -> string
+
+val decode_payload :
+  string -> (Answer.t * Rw_trace.Trace.event list option, string) result
+(** [Error] on malformed JSON or a shape mismatch — the service treats
+    either as a store miss rather than serving a damaged answer. *)

@@ -23,11 +23,13 @@ let escape_into buf s =
       | '\n' -> Buffer.add_string buf "\\n"
       | '\r' -> Buffer.add_string buf "\\r"
       | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 || Char.code c >= 0x7f ->
-        (* Control bytes and non-ASCII: escape byte-wise. Multi-byte
-           UTF-8 sequences come out as one \u00XX per byte, which is
-           wrong as Unicode but unambiguous and round-trips through
-           our own parser; the protocol's own strings are ASCII. *)
+      | c when Char.code c < 0x20 || Char.code c = 0x7f ->
+        (* Control bytes only. Non-ASCII passes through raw: our
+           strings are UTF-8 (engine notes use τ), raw UTF-8 is valid
+           JSON, and a byte-wise \u00XX escape would NOT round-trip —
+           the decoder reads \uXXXX as a codepoint and re-encodes it
+           as multi-byte UTF-8. The durable store replays answers
+           byte-identically only because encode∘decode = id here. *)
         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char buf c)
     s;

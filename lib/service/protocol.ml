@@ -17,11 +17,12 @@ type request =
     }
   | Load_kb of { id : Json.t option; path : string option; text : string option }
   | Stats of { id : Json.t option }
+  | Persist of { id : Json.t option; compact : bool }
   | Shutdown of { id : Json.t option }
 
 let request_id = function
   | Query { id; _ } | Batch { id; _ } | Load_kb { id; _ } | Stats { id }
-  | Shutdown { id } ->
+  | Persist { id; _ } | Shutdown { id } ->
     id
 
 let request_of_json json =
@@ -55,6 +56,12 @@ let request_of_json json =
     | None, None -> Error "\"load_kb\" op needs a \"path\" or inline \"kb\""
     | _ -> Ok (Load_kb { id; path; text }))
   | Some "stats" -> Ok (Stats { id })
+  | Some "persist" ->
+    let compact =
+      Option.value ~default:false
+        (Option.bind (Json.member "compact" json) Json.to_bool)
+    in
+    Ok (Persist { id; compact })
   | Some "shutdown" -> Ok (Shutdown { id })
   | Some op -> Error (Printf.sprintf "unknown op %S" op)
 
@@ -62,120 +69,31 @@ let request_of_json json =
 (* Encoders                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let json_of_result = function
-  | Answer.Point v -> Json.Obj [ ("kind", Json.String "point"); ("value", Json.Float v) ]
-  | Answer.Within i ->
-    Json.Obj
-      [
-        ("kind", Json.String "within");
-        ("lo", Json.Float (Rw_prelude.Interval.lo i));
-        ("hi", Json.Float (Rw_prelude.Interval.hi i));
-      ]
-  | Answer.No_limit why ->
-    Json.Obj [ ("kind", Json.String "no_limit"); ("why", Json.String why) ]
-  | Answer.Inconsistent -> Json.Obj [ ("kind", Json.String "inconsistent") ]
-  | Answer.Not_applicable why ->
-    Json.Obj [ ("kind", Json.String "not_applicable"); ("why", Json.String why) ]
+(* The answer/trace codecs live in {!Codec} (the service needs them
+   below this layer, to persist and replay store payloads); the
+   protocol re-exports them so wire consumers keep one import. *)
+let json_of_answer = Codec.json_of_answer
+let json_of_trace = Codec.json_of_trace
+let trace_of_json = Codec.trace_of_json
 
-let json_of_answer ?cached ?elapsed_ms (a : Answer.t) =
-  let base =
-    [
-      ("result", json_of_result a.Answer.result);
-      ("engine", Json.String a.Answer.engine);
-      ("notes", Json.List (List.map (fun n -> Json.String n) a.Answer.notes));
-    ]
-  in
-  let base =
-    match cached with
-    | Some c -> base @ [ ("cached", Json.Bool c) ]
-    | None -> base
-  in
-  let base =
-    match elapsed_ms with
-    | Some ms -> base @ [ ("elapsed_ms", Json.Float ms) ]
-    | None -> base
-  in
-  Json.Obj base
-
-(* The stable --explain-json schema: a flat event list, one object per
-   event, discriminated by "ev". Fact fields are flattened into the
-   event object (their keys never collide with "ev"/"tag" — the tag
-   vocabulary in {!Rw_trace.Trace} owns them). *)
-let json_of_trace_value = function
-  | Rw_trace.Trace.S s -> Json.String s
-  | Rw_trace.Trace.F f -> Json.Float f
-  | Rw_trace.Trace.I i -> Json.Int i
-  | Rw_trace.Trace.B b -> Json.Bool b
-
-let json_of_trace events =
-  Json.List
-    (List.map
-       (fun ev ->
-         match ev with
-         | Rw_trace.Trace.Enter phase ->
-           Json.Obj [ ("ev", Json.String "enter"); ("phase", Json.String phase) ]
-         | Rw_trace.Trace.Leave { phase; ms } ->
-           Json.Obj
-             [
-               ("ev", Json.String "leave");
-               ("phase", Json.String phase);
-               ("ms", Json.Float ms);
-             ]
-         | Rw_trace.Trace.Fact { tag; fields } ->
-           Json.Obj
-             (("ev", Json.String "fact")
-             :: ("tag", Json.String tag)
-             :: List.map (fun (k, v) -> (k, json_of_trace_value v)) fields))
-       events)
-
-let trace_of_json json =
-  let fail = Error "malformed trace JSON" in
-  match Json.to_list json with
-  | None -> fail
-  | Some items ->
-    let event item =
-      match Option.bind (Json.member "ev" item) Json.to_str with
-      | Some "enter" -> (
-        match Option.bind (Json.member "phase" item) Json.to_str with
-        | Some phase -> Some (Rw_trace.Trace.Enter phase)
-        | None -> None)
-      | Some "leave" -> (
-        match
-          ( Option.bind (Json.member "phase" item) Json.to_str,
-            Option.bind (Json.member "ms" item) Json.to_float )
-        with
-        | Some phase, Some ms -> Some (Rw_trace.Trace.Leave { phase; ms })
-        | _ -> None)
-      | Some "fact" -> (
-        match
-          (Option.bind (Json.member "tag" item) Json.to_str, item)
-        with
-        | Some tag, Json.Obj members ->
-          let fields =
-            List.filter_map
-              (fun (k, v) ->
-                if k = "ev" || k = "tag" then None
-                else
-                  match v with
-                  | Json.String s -> Some (k, Rw_trace.Trace.S s)
-                  | Json.Float f -> Some (k, Rw_trace.Trace.F f)
-                  | Json.Int i -> Some (k, Rw_trace.Trace.I i)
-                  | Json.Bool b -> Some (k, Rw_trace.Trace.B b)
-                  | _ -> None)
-              members
-          in
-          Some (Rw_trace.Trace.Fact { tag; fields })
-        | _ -> None)
-      | _ -> None
-    in
-    let evs = List.map event items in
-    if List.for_all Option.is_some evs then
-      Ok (List.map Option.get evs)
-    else fail
-
-let json_of_stats (s : Service.stats) =
+let json_of_store_stats (s : Rw_store.Store.stats) =
   Json.Obj
     [
+      ("path", Json.String s.Rw_store.Store.path);
+      ("live", Json.Int s.Rw_store.Store.live);
+      ("dead", Json.Int s.Rw_store.Store.dead);
+      ("write_throughs", Json.Int s.Rw_store.Store.appends);
+      ("probe_hits", Json.Int s.Rw_store.Store.probe_hits);
+      ("probe_misses", Json.Int s.Rw_store.Store.probe_misses);
+      ("recovered", Json.Int s.Rw_store.Store.recovered);
+      ("truncated_bytes", Json.Int s.Rw_store.Store.truncated_bytes);
+      ("compactions", Json.Int s.Rw_store.Store.compactions);
+      ("file_bytes", Json.Int s.Rw_store.Store.file_bytes);
+      ("generation", Json.Int s.Rw_store.Store.generation);
+    ]
+
+let json_of_stats_fields (s : Service.stats) =
+  [
       ( "cache",
         Json.Obj
           [
@@ -209,6 +127,12 @@ let json_of_stats (s : Service.stats) =
             ("max", Json.Float s.Service.latency.Service.max_ms);
           ] );
     ]
+    @
+    match s.Service.store with
+    | None -> []
+    | Some st -> [ ("store", json_of_store_stats st) ]
+
+let json_of_stats s = Json.Obj (json_of_stats_fields s)
 
 (* ------------------------------------------------------------------ *)
 (* Replies                                                            *)

@@ -12,6 +12,8 @@
   {"op":"batch","queries":["Hep(Eric)","~Hep(Eric)"],
    "jobs":4}                              many queries, domain pool
   {"op":"stats"}                                       counters
+  {"op":"persist"}                        fsync the durable store
+  {"op":"persist","compact":true}         ... and compact it
   {"op":"shutdown"}                                    clean exit
     v}
 
@@ -37,6 +39,10 @@ type request =
     }
   | Load_kb of { id : Json.t option; path : string option; text : string option }
   | Stats of { id : Json.t option }
+  | Persist of { id : Json.t option; compact : bool }
+      (** force the durable answer store to disk; [compact] also
+          rewrites it dead-record-free. [ok:false] when the service
+          has no store attached. *)
   | Shutdown of { id : Json.t option }
 
 val request_of_json : Json.t -> (request, string) result
@@ -54,6 +60,14 @@ val json_of_answer :
     ["why"]. *)
 
 val json_of_stats : Service.stats -> Json.t
+(** The serve [stats] payload; includes a ["store"] object (see
+    {!json_of_store_stats}) when a durable tier is attached. *)
+
+val json_of_store_stats : Rw_store.Store.stats -> Json.t
+(** The durable tier's counters: live/dead record counts,
+    write-throughs, probe hits/misses, recovery truncations,
+    compaction generation, file bytes. Shared by the serve [stats] /
+    [persist] replies and [rw store stats]. *)
 
 val json_of_trace : Rw_trace.Trace.event list -> Json.t
 (** The stable [--explain-json] schema: a flat list, one object per

@@ -9,12 +9,29 @@ module Log = (val Logs.src_log src : Logs.LOG)
 let origin_tag = function
   | Service.Computed -> "miss"
   | Service.Cached -> "hit"
+  | Service.Stored -> "hit-store"
   | Service.Degraded -> "degraded"
 
-let answer_payload (a, origin) elapsed_ms =
-  Protocol.json_of_answer ~cached:(origin = Service.Cached) ~elapsed_ms a
+(* Which cache level served the answer — [none] is a full dispatch. *)
+let tier_tag = function
+  | Service.Computed -> "none"
+  | Service.Cached -> "lru"
+  | Service.Stored -> "store"
+  | Service.Degraded -> "degraded"
 
-let handle_request service req =
+let served_from_cache = function
+  | Service.Cached | Service.Stored -> true
+  | Service.Computed | Service.Degraded -> false
+
+let answer_payload (a, origin) elapsed_ms =
+  match
+    Protocol.json_of_answer ~cached:(served_from_cache origin) ~elapsed_ms a
+  with
+  | Json.Obj fields ->
+    Json.Obj (fields @ [ ("tier", Json.String (tier_tag origin)) ])
+  | other -> other
+
+let handle_request ?jobs:default_jobs service req =
   let id = Protocol.request_id req in
   let timed f =
     let t0 = Instr.now () in
@@ -51,6 +68,9 @@ let handle_request service req =
       `Reply (Protocol.error_reply ?id msg)
   end
   | Protocol.Batch { srcs; budget; jobs; _ } ->
+    (* A request-level "jobs" wins; otherwise the serve-level pool
+       width (rw serve --jobs) routes the batch across domains. *)
+    let jobs = match jobs with Some _ as j -> j | None -> default_jobs in
     let results, ms =
       timed (fun () -> Service.batch_srcs ?budget ?jobs service srcs)
     in
@@ -64,7 +84,7 @@ let handle_request service req =
                 ("query", Json.String qsrc);
                 ("ok", Json.Bool true);
                 ("answer", answer_payload hit item_ms);
-                ("cached", Json.Bool (origin = Service.Cached));
+                ("cached", Json.Bool (served_from_cache origin));
               ]
           | Error msg ->
             Json.Obj
@@ -110,11 +130,34 @@ let handle_request service req =
     `Reply
       (Protocol.ok_reply ?id
          [ ("stats", Protocol.json_of_stats (Service.stats service)) ])
+  | Protocol.Persist { compact; _ } -> begin
+    match Service.store service with
+    | None ->
+      Log.warn (fun m -> m "persist: no store attached");
+      `Reply (Protocol.error_reply ?id "no store attached")
+    | Some store -> (
+      match
+        if compact then Rw_store.Store.compact store
+        else Rw_store.Store.sync store
+      with
+      | () ->
+        Log.info (fun m -> m "persist%s" (if compact then "+compact" else ""));
+        `Reply
+          (Protocol.ok_reply ?id
+             [
+               ("persisted", Json.Bool true);
+               ("compacted", Json.Bool compact);
+               ("store", Protocol.json_of_store_stats (Rw_store.Store.stats store));
+             ])
+      | exception Sys_error msg ->
+        Log.err (fun m -> m "persist failed: %s" msg);
+        `Reply (Protocol.error_reply ?id msg))
+  end
   | Protocol.Shutdown _ ->
     Log.info (fun m -> m "shutdown");
     `Quit (Protocol.ok_reply ?id [ ("bye", Json.Bool true) ])
 
-let handle_line service line =
+let handle_line ?jobs service line =
   match Json.of_string line with
   | Error msg ->
     Log.warn (fun m -> m "malformed request: %s" msg);
@@ -124,9 +167,9 @@ let handle_line service line =
     | Error msg ->
       Log.warn (fun m -> m "bad request: %s" msg);
       `Reply (Protocol.error_reply ?id:(Json.member "id" json) msg)
-    | Ok req -> handle_request service req)
+    | Ok req -> handle_request ?jobs service req)
 
-let run ?(ic = stdin) ?(oc = stdout) service =
+let run ?(ic = stdin) ?(oc = stdout) ?jobs service =
   let emit reply =
     output_string oc (Json.to_string reply);
     output_char oc '\n';
@@ -139,7 +182,7 @@ let run ?(ic = stdin) ?(oc = stdout) service =
       0
     | line when String.trim line = "" -> loop ()
     | line -> (
-      match handle_line service line with
+      match handle_line ?jobs service line with
       | `Reply reply ->
         emit reply;
         loop ()

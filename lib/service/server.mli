@@ -9,14 +9,17 @@
 val src : Logs.src
 (** The [rw.serve] log source. *)
 
-val handle_line : Service.t -> string -> [ `Reply of Json.t | `Quit of Json.t ]
+val handle_line :
+  ?jobs:int -> Service.t -> string -> [ `Reply of Json.t | `Quit of Json.t ]
 (** Process one request line: parse, dispatch, build the reply.
     Malformed JSON or an unknown op yields an [ok:false] [`Reply];
-    only a well-formed [shutdown] yields [`Quit]. Exposed for
-    tests. *)
+    only a well-formed [shutdown] yields [`Quit]. [?jobs] is the
+    serve-level default pool width for [batch] requests that do not
+    carry their own ["jobs"] field. Exposed for tests. *)
 
-val run : ?ic:in_channel -> ?oc:out_channel -> Service.t -> int
+val run : ?ic:in_channel -> ?oc:out_channel -> ?jobs:int -> Service.t -> int
 (** Read requests from [ic] (default stdin) until [shutdown] or EOF,
     writing one reply line per request to [oc] (default stdout,
-    flushed per reply). Returns the process exit code (0 on clean
-    shutdown or EOF). *)
+    flushed per reply). [?jobs] as in {!handle_line} ([rw serve
+    --jobs]). Returns the process exit code (0 on clean shutdown or
+    EOF). *)

@@ -17,7 +17,7 @@ let default_config =
     engine_options = Engine.default_options;
   }
 
-type origin = Computed | Cached | Degraded
+type origin = Computed | Cached | Stored | Degraded
 
 (* Latency accounting: running aggregates plus a bounded ring of the
    most recent samples for the percentile estimates — a service that
@@ -103,6 +103,9 @@ type entry = { answer : Answer.t; trace : Trace.event list option }
 type t = {
   config : config;
   cache : entry Lru.Sync.t;
+  store : Rw_store.Store.t option;
+      (** the durable tier under the LRU; appends serialized inside
+          the store, probes near-lock-free — safe from pool workers *)
   opts_digest : string;
   mutable kb : Syntax.formula option;
   mutable kb_digest : string;
@@ -152,10 +155,11 @@ let options_fingerprint (o : Engine.options) =
   in
   Digest.to_hex (Digest.string s)
 
-let create ?(config = default_config) () =
+let create ?(config = default_config) ?store () =
   {
     config;
     cache = Lru.Sync.create ~capacity:config.cache_capacity;
+    store;
     opts_digest = options_fingerprint config.engine_options;
     kb = None;
     kb_digest = "";
@@ -166,6 +170,7 @@ let create ?(config = default_config) () =
   }
 
 let config t = t.config
+let store t = t.store
 
 (* ------------------------------------------------------------------ *)
 (* KB lifecycle                                                       *)
@@ -282,6 +287,28 @@ let with_budget_polled budget ~fallback f =
 
 let cache_key t q = t.kb_digest ^ "|" ^ Canonical.digest q ^ "|" ^ t.opts_digest
 
+(* The durable tier. A probe can never serve damage: records are
+   CRC-verified before they are indexed at all, and a payload that
+   fails to decode (e.g. written by a future payload version) is
+   treated as a miss, not an error. *)
+let store_probe t key =
+  match t.store with
+  | None -> None
+  | Some store -> (
+    match Rw_store.Store.find store key with
+    | None -> None
+    | Some payload -> (
+      match Codec.decode_payload payload with
+      | Ok (answer, trace) -> Some { answer; trace }
+      | Error _ -> None))
+
+let store_put t key (e : entry) =
+  match t.store with
+  | None -> ()
+  | Some store ->
+    Rw_store.Store.add store key
+      (Codec.encode_payload ~answer:e.answer ~trace:e.trace)
+
 let degraded_answer ~kb ~budget q =
   let a = Rules_engine.infer ~kb q in
   Answer.add_notes a
@@ -318,17 +345,25 @@ let query ?budget t q =
     let answer, origin =
       match Lru.Sync.find t.cache key with
       | Some e -> (e.answer, Cached)
-      | None ->
-        let a, timed_out = run_engine ?budget t ~kb q in
-        if timed_out then begin
-          (* Wall-clock-dependent: never cached. *)
-          Atomic.incr t.timeouts;
-          (a, Degraded)
-        end
-        else begin
-          Lru.Sync.add t.cache key { answer = a; trace = None };
-          (a, Computed)
-        end
+      | None -> (
+        match store_probe t key with
+        | Some e ->
+          (* Promote into the LRU so the next ask is a memory hit. *)
+          Lru.Sync.add t.cache key e;
+          (e.answer, Stored)
+        | None ->
+          let a, timed_out = run_engine ?budget t ~kb q in
+          if timed_out then begin
+            (* Wall-clock-dependent: never cached, never persisted. *)
+            Atomic.incr t.timeouts;
+            (a, Degraded)
+          end
+          else begin
+            let e = { answer = a; trace = None } in
+            Lru.Sync.add t.cache key e;
+            store_put t key e;
+            (a, Computed)
+          end)
     in
     latency_record t.latency ((Instr.now () -. t0) *. 1000.0);
     Ok (answer, origin)
@@ -362,45 +397,67 @@ let query_explained ?budget t q =
     let t0 = Instr.now () in
     Atomic.incr t.queries;
     let key = cache_key t q in
+    (* An entry that predates tracing (computed by a plain [query],
+       in this process or a previous one): re-derive once with a
+       trace and upgrade both tiers. The answer served stays the
+       stored one — determinism makes the re-derivation agree, and a
+       timeout mid-retrace must not degrade an answer we already
+       have. *)
+    let upgrade ~tag ~origin (stored : entry) =
+      let tr = Trace.create () in
+      Trace.add tr (cache_fact (tag ^ "-retraced") key);
+      let a, timed_out = run_engine ~trace:tr ?budget t ~kb q in
+      if timed_out then begin
+        Trace.note tr "retrace ran out of budget; cached answer returned";
+        { answer = stored.answer; origin; trace = Trace.events tr }
+      end
+      else begin
+        let evs = Trace.events tr in
+        let e = { answer = a; trace = Some evs } in
+        Lru.Sync.add t.cache key e;
+        store_put t key e;
+        { answer = a; origin; trace = evs }
+      end
+    in
     let result =
       match Lru.Sync.find t.cache key with
       | Some { answer; trace = Some evs } ->
         (* The stored trace explains the cached answer; the prepended
            cache fact says how this particular reply was served. *)
         { answer; origin = Cached; trace = cache_fact "hit" key :: evs }
-      | Some { answer = stored; trace = None } ->
-        (* The entry predates tracing (computed by a plain [query]):
-           re-derive once with a trace and upgrade the entry. The
-           answer served stays the cached one — determinism makes the
-           re-derivation agree, and a timeout mid-retrace must not
-           degrade an answer we already have. *)
-        let tr = Trace.create () in
-        Trace.add tr (cache_fact "hit-retraced" key);
-        let a, timed_out = run_engine ~trace:tr ?budget t ~kb q in
-        if timed_out then begin
-          Trace.note tr "retrace ran out of budget; cached answer returned";
-          { answer = stored; origin = Cached; trace = Trace.events tr }
-        end
-        else begin
-          let evs = Trace.events tr in
-          Lru.Sync.add t.cache key { answer = a; trace = Some evs };
-          { answer = a; origin = Cached; trace = evs }
-        end
-      | None ->
-        let tr = Trace.create () in
-        Trace.add tr (cache_fact "miss" key);
-        let a, timed_out = run_engine ~trace:tr ?budget t ~kb q in
-        if timed_out then begin
-          Atomic.incr t.timeouts;
-          Trace.note tr
-            "budget exhausted: degraded to the rules-engine sound answer";
-          { answer = a; origin = Degraded; trace = Trace.events tr }
-        end
-        else begin
-          let evs = Trace.events tr in
-          Lru.Sync.add t.cache key { answer = a; trace = Some evs };
-          { answer = a; origin = Computed; trace = evs }
-        end
+      | Some ({ trace = None; _ } as e) -> upgrade ~tag:"hit" ~origin:Cached e
+      | None -> (
+        match store_probe t key with
+        | Some ({ answer; trace = Some evs } as e) ->
+          (* The persisted trace explains the persisted answer — the
+             replay works even when the record was written by an
+             earlier process (the warm-restart story). *)
+          Lru.Sync.add t.cache key e;
+          {
+            answer;
+            origin = Stored;
+            trace = cache_fact "hit-store" key :: evs;
+          }
+        | Some ({ trace = None; _ } as e) ->
+          Lru.Sync.add t.cache key e;
+          upgrade ~tag:"hit-store" ~origin:Stored e
+        | None ->
+          let tr = Trace.create () in
+          Trace.add tr (cache_fact "miss" key);
+          let a, timed_out = run_engine ~trace:tr ?budget t ~kb q in
+          if timed_out then begin
+            Atomic.incr t.timeouts;
+            Trace.note tr
+              "budget exhausted: degraded to the rules-engine sound answer";
+            { answer = a; origin = Degraded; trace = Trace.events tr }
+          end
+          else begin
+            let evs = Trace.events tr in
+            let e = { answer = a; trace = Some evs } in
+            Lru.Sync.add t.cache key e;
+            store_put t key e;
+            { answer = a; origin = Computed; trace = evs }
+          end)
     in
     latency_record t.latency ((Instr.now () -. t0) *. 1000.0);
     Ok result
@@ -435,6 +492,7 @@ type stats = {
   timeouts : int;
   kb_loads : int;
   latency : latency_summary;
+  store : Rw_store.Store.stats option;
 }
 
 let stats (t : t) =
@@ -445,4 +503,5 @@ let stats (t : t) =
     timeouts = Atomic.get t.timeouts;
     kb_loads = Atomic.get t.kb_loads;
     latency = latency_summary t.latency;
+    store = Option.map Rw_store.Store.stats t.store;
   }

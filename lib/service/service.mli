@@ -33,7 +33,23 @@
     with in-flight queries is not supported.
 
     Answers served from the cache are the very same {!Answer.t} values
-    the engine produced — byte-identical verdicts, by construction. *)
+    the engine produced — byte-identical verdicts, by construction.
+
+    {b The durable tier.} A service created with [?store] gains a
+    second, persistent cache level under the LRU
+    ({!Rw_store.Store} — an append-only, checksummed, crash-recovering
+    answer log keyed by the same canonical digests). The lookup path
+    becomes {e LRU → store probe → engine dispatch}, and a computed
+    answer is written through to both tiers (with its trace when one
+    was recorded, so persisted answers still explain themselves after
+    a restart). A store hit is promoted into the LRU and reported as
+    {!Stored}; degraded answers are never persisted, exactly as they
+    are never cached. Because the store key includes the options
+    digest, services with different engine knobs never share records;
+    because it excludes [jobs], records are shared across pool widths.
+    Store appends are serialized inside {!Rw_store.Store}; probes take
+    only nanosecond-scale index locks — a parallel {!batch}
+    write-through is safe at any [jobs]. *)
 
 open Rw_logic
 open Randworlds
@@ -50,15 +66,21 @@ val default_config : config
 type t
 
 (** Where an answer came from — the cache-behaviour tests and the
-    serve protocol's [cached] flag key off this. *)
+    serve protocol's [cached]/[tier] fields key off this. *)
 type origin =
-  | Computed  (** full engine dispatch, now cached *)
+  | Computed  (** full engine dispatch, now cached (and persisted) *)
   | Cached  (** served from the LRU *)
+  | Stored  (** served from the durable store, now promoted to the LRU *)
   | Degraded  (** budget expired: rules-engine sound interval *)
 
-val create : ?config:config -> unit -> t
+val create : ?config:config -> ?store:Rw_store.Store.t -> unit -> t
+(** [?store] attaches the durable answer tier (see the module
+    docstring). The service borrows the store — callers own closing
+    it. *)
 
 val config : t -> config
+
+val store : t -> Rw_store.Store.t option
 
 (** {2 KB lifecycle} *)
 
@@ -93,8 +115,12 @@ val query_src :
     serve protocol's ["explain": true]. Cache entries store the trace
     of the computation that produced them, so a cached answer explains
     itself — the reply's trace leads with a ["cache"] fact saying how
-    it was served ([hit], [miss], or [hit-retraced] when a pre-trace
-    entry had to be re-derived once to obtain its trace). *)
+    it was served: [miss], [hit] (LRU), [hit-store] (the durable
+    tier's stored trace replayed, possibly from a previous process),
+    or the [-retraced] variants ([hit-retraced] / [hit-store-retraced])
+    when an entry computed with tracing off had to be re-derived once
+    to obtain its trace — the upgrade is written back to both
+    tiers. *)
 
 type explained = {
   answer : Answer.t;
@@ -156,6 +182,10 @@ type stats = {
   timeouts : int;  (** requests degraded on budget expiry *)
   kb_loads : int;
   latency : latency_summary;
+  store : Rw_store.Store.stats option;
+      (** the durable tier's counters (probe hits/misses,
+          write-throughs, live/dead records, recovery truncations)
+          when one is attached *)
 }
 
 val stats : t -> stats

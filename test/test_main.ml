@@ -17,6 +17,7 @@ let () =
       ("mc", Test_mc.suite);
       ("kb_corpus", Test_kb_corpus.suite);
       ("service", Test_service.suite);
+      ("store", Test_store.suite);
       ("fuzz", Test_fuzz.suite);
       ("pool", Test_pool.suite);
       ("trace", Test_trace.suite);

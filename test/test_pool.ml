@@ -251,6 +251,7 @@ let test_budget_degrades_in_parallel_batch () =
           (match origin with
           | Rw_service.Service.Computed -> "Computed"
           | Rw_service.Service.Cached -> "Cached"
+          | Rw_service.Service.Stored -> "Stored"
           | Rw_service.Service.Degraded -> "Degraded")
       | Error msg -> Alcotest.failf "query %d: %s" i msg)
     results

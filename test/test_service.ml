@@ -219,6 +219,7 @@ let ask svc q =
 let origin = Alcotest.of_pp (fun ppf -> function
   | Service.Computed -> Fmt.string ppf "computed"
   | Service.Cached -> Fmt.string ppf "cached"
+  | Service.Stored -> Fmt.string ppf "stored"
   | Service.Degraded -> Fmt.string ppf "degraded")
 
 let test_cache_hit_after_miss () =
