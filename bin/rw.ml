@@ -4,6 +4,7 @@
      rw query --kb FILE --query FORMULA [--engine ENGINE] [--json]
      rw batch --kb FILE [--queries FILE] [--json]
      rw serve [--kb FILE] [--cache N] [--budget S] [--store PATH] [--jobs N]
+     rw compile --kb FILE [--json]
      rw store (stats|verify|compact) PATH
      rw consistent --kb FILE
      rw zoo [--id ID]
@@ -245,10 +246,13 @@ let query_cmd =
 (* batch                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let service_config cache_size budget =
+let service_config ?(no_compiled = false) cache_size budget =
   {
     Rw_service.Service.default_config with
     Rw_service.Service.cache_capacity = cache_size;
+    compiled_capacity =
+      (if no_compiled then 0
+       else Rw_service.Service.default_config.Rw_service.Service.compiled_capacity);
     budget;
   }
 
@@ -256,8 +260,13 @@ let read_query_lines = function
   | "-" -> In_channel.input_lines stdin
   | path -> In_channel.with_open_text path In_channel.input_lines
 
-let run_batch kb_path queries_path cache_size budget jobs json verbose =
-  let svc = Rw_service.Service.create ~config:(service_config cache_size budget) () in
+let run_batch kb_path queries_path cache_size budget no_compiled jobs json
+    verbose =
+  let svc =
+    Rw_service.Service.create
+      ~config:(service_config ~no_compiled cache_size budget)
+      ()
+  in
   match Rw_service.Service.load_kb_file svc kb_path with
   | Error msg ->
     Fmt.epr "error loading %s:@.%s@." kb_path msg;
@@ -312,7 +321,14 @@ let run_batch kb_path queries_path cache_size budget jobs json verbose =
           stats.Rw_service.Service.queries stats.Rw_service.Service.cache.Rw_service.Lru.hits
           (stats.Rw_service.Service.cache.Rw_service.Lru.hits
           + stats.Rw_service.Service.cache.Rw_service.Lru.misses)
-          !failures
+          !failures;
+        match stats.Rw_service.Service.compiled with
+        | None -> ()
+        | Some c ->
+          Fmt.epr "-- compiled KBs: %d reuses, %d compiles (%.1f ms compiling)@."
+            c.Rw_service.Service.compiled_cache.Rw_service.Lru.hits
+            c.Rw_service.Service.compiles
+            c.Rw_service.Service.compile_ms_total
       end;
       if !failures > 0 then exit_query_error else 0)
 
@@ -339,6 +355,16 @@ let budget_arg =
           "Per-query wall-clock budget. On expiry the request degrades to \
            the rules engine's provably-sound answer instead of blocking.")
 
+let no_compiled_arg =
+  Arg.(
+    value & flag
+    & info [ "no-compiled" ]
+        ~doc:
+          "Disable the compiled-KB artifact cache: every query rebuilds \
+           the KB's statistical index and re-solves its maximum-entropy \
+           point from scratch. Answers are bit-identical either way; this \
+           flag exists for measurement and for bug isolation.")
+
 let batch_cmd =
   let doc = "evaluate a file or stream of queries against one resident KB" in
   let man =
@@ -355,13 +381,14 @@ let batch_cmd =
     (Cmd.info "batch" ~doc ~man ~exits:common_exits)
     Term.(
       const run_batch $ kb_arg $ queries_arg $ cache_arg $ budget_arg
-      $ pool_jobs_arg $ json_arg $ verbose_arg)
+      $ no_compiled_arg $ pool_jobs_arg $ json_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run_serve kb_path cache_size budget store_path no_store jobs verbose =
+let run_serve kb_path cache_size budget no_compiled store_path no_store jobs
+    verbose =
   (* Replies own stdout; logging goes to stderr unconditionally. *)
   Logs.set_reporter (Logs_fmt.reporter ~app:Fmt.stderr ~dst:Fmt.stderr ());
   Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning));
@@ -398,7 +425,7 @@ let run_serve kb_path cache_size budget store_path no_store jobs verbose =
   | Ok store -> (
     let svc =
       Rw_service.Service.create
-        ~config:(service_config cache_size budget)
+        ~config:(service_config ~no_compiled cache_size budget)
         ?store ()
     in
     let serve () =
@@ -470,7 +497,98 @@ let serve_cmd =
     (Cmd.info "serve" ~doc ~man ~exits:common_exits)
     Term.(
       const run_serve $ serve_kb_arg $ cache_arg $ budget_arg
-      $ store_path_opt_arg $ no_store_arg $ pool_jobs_arg $ verbose_arg)
+      $ no_compiled_arg $ store_path_opt_arg $ no_store_arg $ pool_jobs_arg
+      $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
+(* compile                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_compile kb_path json =
+  match load_kb kb_path with
+  | Error msg ->
+    Fmt.epr "error loading %s:@.%s@." kb_path msg;
+    exit_kb_error
+  | Ok kb ->
+    let module C = Rw_compile.Compiled_kb in
+    let c = C.compile kb in
+    let s = C.stats c in
+    let profile = C.entropy_profile c in
+    if json then begin
+      let module J = Rw_service.Json in
+      let opt_int = function Some n -> J.Int n | None -> J.Null in
+      print_endline
+        (J.to_string
+           (Rw_service.Protocol.ok_reply
+              [
+                ("kb", J.String kb_path);
+                ("digest", J.String s.C.digest);
+                ("conjuncts", J.Int s.C.conjunct_count);
+                ("statistical", J.Int s.C.stat_count);
+                ("unary_fragment", J.Bool (s.C.atoms <> None));
+                ("atoms", opt_int s.C.atoms);
+                ("constants", J.Int s.C.constants);
+                ("presolved", J.Int s.C.presolved);
+                ("infeasible", J.Int s.C.infeasible);
+                ("compile_ms", J.Float s.C.compile_ms);
+                ( "entropy",
+                  J.List
+                    (List.map
+                       (fun (tol, h) ->
+                         J.Obj
+                           [
+                             ("tol", J.String (Fmt.str "%a" Tolerance.pp tol));
+                             ( "entropy",
+                               match h with
+                               | Some v -> J.Float v
+                               | None -> J.Null );
+                           ])
+                       profile) );
+              ]))
+    end
+    else begin
+      Fmt.pr "kb         %s@." kb_path;
+      Fmt.pr "digest     %s@." s.C.digest;
+      Fmt.pr "conjuncts  %d (%d statistical)@." s.C.conjunct_count
+        s.C.stat_count;
+      (match s.C.atoms with
+      | Some n ->
+        Fmt.pr "atoms      %d over %d constant(s) (fully-supported unary)@." n
+          s.C.constants
+      | None ->
+        Fmt.pr "atoms      - (outside the fully-supported unary fragment)@.");
+      if profile <> [] then begin
+        Fmt.pr "maxent     %d tolerance(s) pre-solved, %d infeasible@."
+          s.C.presolved s.C.infeasible;
+        List.iter
+          (fun (tol, h) ->
+            match h with
+            | Some v -> Fmt.pr "  %a  entropy %.6f@." Tolerance.pp tol v
+            | None -> Fmt.pr "  %a  infeasible@." Tolerance.pp tol)
+          profile
+      end;
+      Fmt.pr "compile    %.2f ms@." s.C.compile_ms
+    end;
+    0
+
+let compile_cmd =
+  let doc = "compile a knowledge base and report the artifact's contents" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the one-time compilation pass the service layer performs \
+         behind $(b,rw serve)/$(b,rw batch): canonical digest, conjunct \
+         split, statistical-statement index, unary atom vocabulary, and \
+         the pre-solved maximum-entropy point at every tolerance of the \
+         τ̄-schedule (with its entropy profile). Useful for inspecting \
+         what queries against this KB will reuse, and for timing the \
+         compile itself.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc ~man ~exits:common_exits)
+    Term.(const run_compile $ kb_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* store                                                              *)
@@ -824,7 +942,8 @@ let fuzz_cmd =
          applicable engines agree within tolerance, Pr(φ)+Pr(¬φ)=1, \
          canonically-equivalent variants get identical digests and answers, \
          cached answers match direct dispatch, exact finite-N series \
-         converge, and the parser is total on mutated input.";
+         converge, the parser is total on mutated input, and compiled-KB \
+         artifacts leave answers bit-identical.";
       `P
         "Failures are minimized by a greedy shrinker and printed as a \
          reproduction recipe; $(b,--corpus) additionally writes each \
@@ -855,8 +974,8 @@ let fuzz_cmd =
       & info [ "oracle" ] ~docv:"NAME"
           ~doc:
             "Restrict to one oracle (repeatable): agreement, duality, \
-             canonical, cache, convergence, parser, or explain. Default: \
-             all.")
+             canonical, cache, convergence, parser, explain, or compiled. \
+             Default: all.")
   in
   let corpus_arg =
     Arg.(
@@ -885,8 +1004,8 @@ let () =
       Cmd.eval'
         (Cmd.group info
            [
-             query_cmd; batch_cmd; serve_cmd; store_cmd; consistent_cmd;
-             series_cmd; zoo_cmd; parse_cmd; fuzz_cmd;
+             query_cmd; batch_cmd; serve_cmd; compile_cmd; store_cmd;
+             consistent_cmd; series_cmd; zoo_cmd; parse_cmd; fuzz_cmd;
            ])
     with
     | Rw_kbzoo.Kbzoo.Parse_error (src, msg) ->

@@ -17,7 +17,8 @@ dune exec bin/rw.exe -- query \
 
 # Differential fuzz: a fixed-seed budgeted sweep of the metamorphic
 # oracle suite (engine agreement, duality, canonicalization, cache,
-# convergence, parser totality). Any violation fails the gate and the
+# convergence, parser totality, compiled-artifact answer identity).
+# Any violation fails the gate and the
 # report prints the shrunk counterexample. ~30s; the deeper 500-case
 # sweep is run manually (see EXPERIMENTS.md). Runs through the domain
 # pool (--jobs 2) so the parallel driver is part of the gate.
@@ -103,6 +104,34 @@ if [ "$norm1" != "$norm2" ]; then
   exit 1
 fi
 rm -rf "$store_dir"
+
+# Compiled-KB tier: a 200-query same-KB batch must produce replies
+# byte-identical with and without the compiled-artifact cache, modulo
+# the per-reply timing fields (strip_reply above). The queries are all
+# distinct, so nothing is served by the answer LRU — every reply goes
+# through an engine, once against the shared artifact and once from
+# scratch. This is the whole-pipeline statement of the artifact's
+# answers-unchanged contract.
+compile_dir=$(mktemp -d)
+qfile="$compile_dir/queries.txt"
+i=0
+while [ "$i" -lt 200 ]; do echo "Hep(C$i)"; i=$((i + 1)); done > "$qfile"
+with_c=$(dune exec bin/rw.exe -- batch --kb examples/kb/hepatitis.kb \
+  --queries "$qfile" --json | strip_reply)
+without_c=$(dune exec bin/rw.exe -- batch --kb examples/kb/hepatitis.kb \
+  --queries "$qfile" --json --no-compiled | strip_reply)
+if [ "$with_c" != "$without_c" ]; then
+  echo "ci: compiled-KB tier changed answers" >&2
+  echo "--- with compiled cache ---" >&2; printf '%s\n' "$with_c" >&2
+  echo "--- without (--no-compiled) ---" >&2; printf '%s\n' "$without_c" >&2
+  exit 1
+fi
+rm -rf "$compile_dir"
+
+# Smoke: `rw compile` builds and describes the artifact — every
+# tolerance in the schedule must presolve on this KB.
+dune exec bin/rw.exe -- compile --kb examples/kb/hepatitis.kb --json \
+  | grep -q '"presolved":6'
 
 # Smoke: --explain prints the derivation and --explain-json carries a
 # machine-readable trace that names the winning reference class and

@@ -1,0 +1,138 @@
+(** Compiled knowledge bases.
+
+    Every query against a KB used to re-derive the same machinery from
+    scratch: split the KB into conjuncts, recognise its statistical
+    statements, build the unary atom universe and ε-constraints, and —
+    most expensively — re-run the entropy-maximising solver for every
+    tolerance in the τ̄-schedule. All of that depends only on the KB
+    (Grove–Halpern–Koller: the maxent point over atom proportions is a
+    function of the constraints alone), so a serve/batch session
+    answering many queries over one KB can {e compile} the KB once and
+    share the artifact.
+
+    [compile kb] performs the one-time pass and returns a {!t} holding:
+
+    - the KB's canonical digest (cache key at the service layer),
+    - its split conjuncts and the pre-indexed statistical statements
+      the rules engine matches reference classes against,
+    - the two query-independent eventual-inconsistency pre-checks,
+    - when the KB sits in the fully-supported unary fragment: the
+      analysed {!Rw_unary.Analysis.parts}, the per-constant atom
+      bitsets, the pre-solved maxent point for every tolerance in the
+      τ̄-schedule (with its entropy profile), and memo tables for
+      further solves and for unary profile-counting tables,
+    - the KB's vocabulary (reused when merging with a query's).
+
+    Thread-safety: one artifact may be used concurrently from many
+    pool domains. The memo tables are mutex-guarded and fill each
+    (tolerance / size) cell exactly once.
+
+    Soundness: reuse is gated on {!compatible} — structural equality
+    of the per-query analysis against the compiled one — so engines
+    can always ask; an incompatible query silently falls back to the
+    from-scratch path and answers are identical either way. *)
+
+open Rw_logic
+open Rw_unary
+
+type t
+
+val compile : ?schedule:Tolerance.t list -> Syntax.formula -> t
+(** One-time compilation pass. [schedule] defaults to
+    {!default_schedule} and is pre-solved eagerly when the KB is in the
+    unary fragment. *)
+
+val default_schedule : Tolerance.t list
+(** The τ̄-schedule pre-solved by default — the same schedule the
+    maxent engine walks, so its solves all hit the artifact. *)
+
+(** {1 Precomputed KB structure} *)
+
+val digest : t -> string
+(** Canonical digest of the compiled KB ({!Rw_logic.Canonical.digest}). *)
+
+val kb : t -> Syntax.formula
+
+val matches : t -> Syntax.formula -> bool
+(** Structural identity with the compiled KB. Canonical digests
+    identify KBs only up to alpha/AC renaming, so cache layers must
+    verify this before reusing an artifact. *)
+
+val vocab : t -> Vocab.t
+val conjuncts : t -> Syntax.formula list
+
+val stat_index : t -> (Syntax.formula * Stat.t option) list
+(** Each conjunct paired with its recognised statistical reading, in
+    conjunct order — the rules engine's candidate structure. *)
+
+val ground_inconsistent : t -> bool
+val degenerate_inconsistent : t -> bool
+
+val parts : t -> Analysis.parts option
+(** The compiled unary analysis, or [None] outside the fully-supported
+    fragment (e.g. a disjunctive KB). *)
+
+val allowed_atoms : t -> Atoms.Set.t option
+val fact_atom_sets : t -> (string * Atoms.Set.t) list
+val atom_count : t -> int option
+
+(** {1 Solver reuse} *)
+
+val compatible : t -> Analysis.parts -> bool
+(** Does a per-query analysis describe the same optimisation problem
+    as the compiled one (same universe, universals, statisticals and
+    constant facts; nothing unsupported)? *)
+
+val solve : t -> Analysis.parts -> Tolerance.t -> Solver.solution
+(** Memoised {!Rw_unary.Solver.solve} when [compatible], the plain
+    solver otherwise. Cached [Infeasible]/[Unsupported] outcomes are
+    re-raised, so failure behaviour matches the from-scratch path. *)
+
+val solver : t -> Analysis.parts -> (Tolerance.t -> Solver.solution) option
+(** [Some] memoised solve function when [compatible], else [None] —
+    the form engines thread through {!Rw_unary.Solver.conditional_distribution}
+    and the MC importance tilt. *)
+
+val profile_table :
+  t -> Analysis.parts -> n:int -> tol:Tolerance.t -> Profile.table option
+(** Memoised {!Rw_unary.Profile.stat_table} for a domain size and
+    tolerance; [None] when incompatible or the table is not
+    precomputable (statistics mentioning constants, or too many
+    satisfying profiles to store). *)
+
+(** {1 Pre-checks shared with the uncompiled path} *)
+
+val ground_contradiction : Syntax.formula list -> bool
+val degenerate_self_conditional : (Syntax.formula * Stat.t option) list -> bool
+
+(** {1 Observability} *)
+
+val compile_ms : t -> float
+
+val use : t -> int
+(** Record one consumption of the artifact and return the {e previous}
+    use count — 0 means this answer paid for the compile (a fresh
+    solve), >0 means the maxent point was reused. *)
+
+val entropy_profile : t -> (Tolerance.t * float option) list
+(** Entropy of the pre-solved maxent point at each schedule tolerance
+    ([None] where infeasible or not in the unary fragment). *)
+
+type stats = {
+  digest : string;
+  conjunct_count : int;
+  stat_count : int;
+  atoms : int option;
+  constants : int;
+  presolved : int;
+  infeasible : int;
+  tables : int;
+  solve_hits : int;
+  solve_misses : int;
+  table_hits : int;
+  table_misses : int;
+  compile_ms : float;
+  uses : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,68 @@
+(** Statistical conjuncts as interval bounds — see the interface. *)
+
+open Rw_prelude
+open Rw_logic
+open Syntax
+
+type t = {
+  target : formula;  (** φ of [||φ | ψ||] *)
+  ref_class : formula;  (** ψ *)
+  subscript : string list;
+  bounds : Interval.t;
+  tol_index : int;
+}
+
+let of_conjunct = function
+  | Compare (Cond (f, g, xs), Approx_eq i, Num v)
+  | Compare (Num v, Approx_eq i, Cond (f, g, xs)) ->
+    Some
+      { target = f; ref_class = g; subscript = xs;
+        bounds = Interval.point v; tol_index = i }
+  | Compare (Cond (f, g, xs), Approx_le i, Num v) ->
+    Some
+      { target = f; ref_class = g; subscript = xs;
+        bounds = Interval.make 0.0 (Floats.clamp01 v); tol_index = i }
+  | Compare (Num v, Approx_le i, Cond (f, g, xs)) ->
+    Some
+      { target = f; ref_class = g; subscript = xs;
+        bounds = Interval.make (Floats.clamp01 v) 1.0; tol_index = i }
+  | _ -> None
+
+(* [||φ | ψ|| ∈ [α, β]] is the same information as
+   [||¬φ | ψ|| ∈ [1−β, 1−α]]: expose both forms so negated queries
+   match (e.g. the query ¬Fly(Tweety) against the statistic
+   ||Fly | Penguin|| ≈ 0). Double negations are stripped. *)
+let negate = function Not f -> f | f -> Not f
+
+let complement s =
+  {
+    s with
+    target = negate s.target;
+    bounds =
+      Interval.make
+        (Floats.clamp01 (1.0 -. Interval.hi s.bounds))
+        (Floats.clamp01 (1.0 -. Interval.lo s.bounds));
+  }
+
+let with_complements stats = stats @ List.map complement stats
+
+(* Merge bounds of stats that speak about the same (target, class)
+   modulo alpha/AC. *)
+let merge stats =
+  let same a b =
+    Unify.prop_alpha_ac_equal
+      (Cond (a.target, a.ref_class, a.subscript))
+      (Cond (b.target, b.ref_class, b.subscript))
+  in
+  List.fold_left
+    (fun acc s ->
+      let rec insert = function
+        | [] -> [ s ]
+        | t :: rest when same s t -> (
+          match Interval.inter s.bounds t.bounds with
+          | Some b -> { t with bounds = b } :: rest
+          | None -> t :: rest (* inconsistent bounds; keep first *))
+        | t :: rest -> t :: insert rest
+      in
+      insert acc)
+    [] stats

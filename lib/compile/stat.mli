@@ -1,0 +1,34 @@
+(** Statistical conjuncts recognised as interval bounds on a
+    conditional proportion — the unit the syntactic rule engine matches
+    reference classes against, factored out here so a KB's statistics
+    can be extracted {e once} at compile time ({!Compiled_kb}) and
+    reused across every query sharing that KB. *)
+
+open Rw_prelude
+open Rw_logic
+
+type t = {
+  target : Syntax.formula;  (** φ of [||φ | ψ||] *)
+  ref_class : Syntax.formula;  (** ψ *)
+  subscript : string list;
+  bounds : Interval.t;
+  tol_index : int;
+}
+
+val of_conjunct : Syntax.formula -> t option
+(** Recognise one conjunct as a bound on a conditional proportion
+    ([||φ|ψ|| ≈_i v], [⪯_i v], or the mirrored forms). *)
+
+val negate : Syntax.formula -> Syntax.formula
+(** Logical negation with double negations stripped. *)
+
+val complement : t -> t
+(** [||φ|ψ|| ∈ [α,β]] restated as [||¬φ|ψ|| ∈ [1−β,1−α]]. *)
+
+val with_complements : t list -> t list
+(** Each statistic together with its complement form, so negated
+    queries match. *)
+
+val merge : t list -> t list
+(** Intersect the bounds of stats about the same (target, class)
+    modulo alpha/AC. *)

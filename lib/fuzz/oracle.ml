@@ -9,7 +9,7 @@ let pp_violation ppf v = Fmt.pf ppf "[%s] %s" v.oracle v.detail
 let names =
   [
     "agreement"; "duality"; "canonical"; "cache"; "convergence"; "parser";
-    "explain";
+    "explain"; "compiled";
   ]
 
 (* Throughput-tuned engine options: hundreds of cases per run means
@@ -556,6 +556,55 @@ let explain ~options (c : Gen.case) =
     List.rev !vs
 
 (* ------------------------------------------------------------------ *)
+(* compiled                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The compiled-KB artifact ({!Rw_compile.Compiled_kb}) is a pure
+   cache: dispatch with it must return the identical verdict and
+   interval as the from-scratch path — bit-identical floats, not just
+   close ones — and the same engine must sign the answer. This is the
+   whole-system statement of the artifact's contract (memoised solves
+   re-raise cached failures, profile tables preserve accumulation
+   order, the MC importance tilt is proposal-identical). *)
+let compiled ~options (c : Gen.case) =
+  let kb = Gen.kb_formula c and query = c.Gen.query in
+  match
+    let artifact =
+      match options.Engine.tols with
+      | Some schedule -> Rw_compile.Compiled_kb.compile ~schedule kb
+      | None -> Rw_compile.Compiled_kb.compile kb
+    in
+    let tr_c = Rw_trace.Trace.create () in
+    let tr_p = Rw_trace.Trace.create () in
+    let a = Engine.infer ~options ~compiled:artifact ~trace:tr_c ~kb query in
+    let b = Engine.infer ~options ~trace:tr_p ~kb query in
+    (a, b, Rw_trace.Trace.events tr_c, Rw_trace.Trace.events tr_p)
+  with
+  | exception e ->
+    [
+      violationf "compiled" "compiled-path dispatch raised %s"
+        (Printexc.to_string e);
+    ]
+  | a, b, ev_c, ev_p ->
+    let vs = ref [] in
+    let add v = vs := v :: !vs in
+    if not (results_equal ~eps:0.0 a.Answer.result b.Answer.result) then
+      add
+        (violationf "compiled"
+           "compiled answer %a differs from from-scratch answer %a" pp_result
+           a.Answer.result pp_result b.Answer.result);
+    (match
+       ( Rw_trace.Trace.selected_engine ev_c,
+         Rw_trace.Trace.selected_engine ev_p )
+     with
+    | Some ec, Some ep when ec <> ep ->
+      add
+        (violationf "compiled"
+           "compiled path selects engine %s, from-scratch selects %s" ec ep)
+    | _ -> ());
+    List.rev !vs
+
+(* ------------------------------------------------------------------ *)
 (* Driver-facing entry point                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -571,3 +620,4 @@ let check ?only ~options (c : Gen.case) =
   @ run "convergence" (fun () -> convergence ~options c)
   @ run "parser" (fun () -> parser c)
   @ run "explain" (fun () -> explain ~options c)
+  @ run "compiled" (fun () -> compiled ~options c)

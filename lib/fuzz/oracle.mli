@@ -26,7 +26,11 @@
     - {b explain}: tracing the dispatch does not change the verdict,
       the trace's last engine-selected fact names the engine that
       signed the answer, and the [--explain-json] encoding survives a
-      JSON round trip with that consistency intact. *)
+      JSON round trip with that consistency intact;
+    - {b compiled}: dispatching with a pre-compiled KB artifact
+      ({!Rw_compile.Compiled_kb}) returns the bit-identical verdict
+      and interval of the from-scratch path, signed by the same
+      engine. *)
 
 open Randworlds
 

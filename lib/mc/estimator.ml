@@ -125,7 +125,11 @@ let wilson ~z ~hits ~total =
    world the uniform prior can produce must be producible here too). *)
 let uniform_mix = 0.1
 
-let tilted_proposal ~(vocab : Vocab.t) ~tol kb =
+(* [solve] overrides the maxent solve the tilt is read from — a
+   compiled KB supplies its memoised solver so batches don't re-run
+   the optimiser per grid point. The proposal (and hence the sample
+   stream) is identical either way. *)
+let tilted_proposal ?solve ~(vocab : Vocab.t) ~tol kb =
   let all_unary =
     vocab.Vocab.preds <> []
     && List.for_all (fun (_, a) -> a = 1) vocab.Vocab.preds
@@ -136,7 +140,11 @@ let tilted_proposal ~(vocab : Vocab.t) ~tol kb =
     try
       let pred_names = List.map fst vocab.Vocab.preds in
       let parts = Rw_unary.Analysis.analyze ~extra_preds:pred_names kb in
-      let sol = Rw_unary.Solver.solve parts tol in
+      let sol =
+        match solve with
+        | Some f -> f parts tol
+        | None -> Rw_unary.Solver.solve parts tol
+      in
       let u = parts.Rw_unary.Analysis.universe in
       let a = Atoms.num_atoms u in
       let theta =
@@ -183,12 +191,14 @@ let accum_interval ~z acc =
    which therefore do not depend on the job count either. *)
 let chunks_per_round = 16
 
-(** [estimate ?config ?pool ~seed ~vocab ~n ~tol ~kb query] — the
-    adaptive Monte-Carlo estimate of [Pr_N^τ̄(query | kb)].
+(** [estimate ?config ?pool ?tilt_solve ~seed ~vocab ~n ~tol ~kb query]
+    — the adaptive Monte-Carlo estimate of [Pr_N^τ̄(query | kb)].
     Deterministic in [seed] at any pool width (up to the wall-time
-    budget). Raises [Invalid_argument] when the vocabulary does not
-    cover both sentences. *)
-let estimate ?(config = default_config) ?pool ~seed ~vocab ~n ~tol ~kb query =
+    budget). [tilt_solve] overrides the maxent solve behind the tilted
+    proposal (see {!tilted_proposal}). Raises [Invalid_argument] when
+    the vocabulary does not cover both sentences. *)
+let estimate ?(config = default_config) ?pool ?tilt_solve ~seed ~vocab ~n ~tol
+    ~kb query =
   if not (Vocab.covers vocab kb && Vocab.covers vocab query) then
     invalid_arg "Estimator.estimate: vocabulary does not cover formulas";
   let master = Prng.create seed in
@@ -262,7 +272,7 @@ let estimate ?(config = default_config) ?pool ~seed ~vocab ~n ~tol ~kb query =
     if Option.is_none !proposal && !total_samples >= config.warmup then begin
       let rate = float_of_int !total_hits /. float_of_int !total_samples in
       if rate < config.stratify_below then
-        match tilted_proposal ~vocab ~tol kb with
+        match tilted_proposal ?solve:tilt_solve ~vocab ~tol kb with
         | Some prop ->
           (* Restart the accumulators: mixing unweighted and weighted
              phases would need per-phase variance bookkeeping for no

@@ -64,6 +64,8 @@ val wilson : z:float -> hits:float -> total:float -> float * Interval.t
 val estimate :
   ?config:config ->
   ?pool:Rw_pool.Pool.t ->
+  ?tilt_solve:
+    (Rw_unary.Analysis.parts -> Tolerance.t -> Rw_unary.Solver.solution) ->
   seed:int ->
   vocab:Vocab.t ->
   n:int ->
@@ -72,6 +74,11 @@ val estimate :
   Syntax.formula ->
   outcome
 (** The adaptive Monte-Carlo estimate of [Pr_N^τ̄(query | kb)].
+
+    [?tilt_solve] overrides the maximum-entropy solve the stratified
+    fallback reads its tilted proposal from (a compiled KB passes its
+    memoised solver); the proposal — and hence the sample stream — is
+    identical either way.
 
     Sampling is sharded into fixed-size chunks ([config.batch]
     samples), each with a generator split off the master stream {e per

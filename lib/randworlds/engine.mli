@@ -47,6 +47,7 @@ val independence_split :
 
 val infer :
   ?options:options ->
+  ?compiled:Rw_compile.Compiled_kb.t ->
   ?trace:Rw_trace.Trace.t ->
   kb:Syntax.formula ->
   Syntax.formula ->
@@ -54,18 +55,27 @@ val infer :
 (** Full dispatch. [?trace] records a "dispatch" span containing every
     engine consulted, the refinement and independence-split decisions,
     and a final "engine-selected" fact naming the engine whose answer
-    is returned ({!Rw_trace.Trace.selected_engine} reads it back). *)
+    is returned ({!Rw_trace.Trace.selected_engine} reads it back).
+
+    [?compiled] supplies a pre-compiled artifact for [kb]
+    ({!Rw_compile.Compiled_kb.compile}): engines reuse its memoised
+    maxent solves, profile tables, statistical index and vocabulary
+    instead of recomputing them, and the trace gains a "compiled-kb"
+    fact (digest, compile time, reused vs fresh maxent point). Answers
+    are bit-identical with or without it. An artifact whose KB does
+    not structurally match [kb] is ignored. *)
 
 val degree_of_belief :
   ?options:options ->
+  ?compiled:Rw_compile.Compiled_kb.t ->
   ?trace:Rw_trace.Trace.t ->
   kb:Syntax.formula ->
   Syntax.formula ->
   Answer.t
 (** The headline API: [Pr_∞(query | kb)] by the best applicable
-    engine, credited to that engine in {!Instr}. [?trace] as in
-    {!infer}; passing [None] (the default) costs nothing on the hot
-    path. *)
+    engine, credited to that engine in {!Instr}. [?trace] and
+    [?compiled] as in {!infer}; passing [None] (the default) costs
+    nothing on the hot path. *)
 
 (** {2 Per-engine access}
 
@@ -90,6 +100,7 @@ val applicable :
 
 val run :
   ?options:options ->
+  ?compiled:Rw_compile.Compiled_kb.t ->
   ?trace:Rw_trace.Trace.t ->
   id ->
   kb:Syntax.formula ->
@@ -99,4 +110,5 @@ val run :
     exceptions ([Rw_unary.Profile.Unsupported],
     [Rw_model.Enum.Too_many_worlds], [Invalid_argument]) are mapped to
     [Answer.Not_applicable]. [?trace] records the engine's own facts
-    plus an "engine-selected" fact marking the forced choice. *)
+    plus an "engine-selected" fact marking the forced choice.
+    [?compiled] as in {!infer} — same answer, less recomputation. *)

@@ -20,8 +20,12 @@ open Rw_unary
 open Syntax
 module Trace = Rw_trace.Trace
 
-let default_tols =
-  Tolerance.schedule ~factor:0.5 ~steps:6 (Tolerance.uniform 0.02)
+module Compiled_kb = Rw_compile.Compiled_kb
+
+(* The engine's τ̄-schedule is owned by the compile subsystem, so that a
+   compiled KB's eagerly pre-solved schedule and the schedule walked
+   here can never drift apart. *)
+let default_tols = Compiled_kb.default_schedule
 
 exception Outside_fragment of string
 
@@ -206,10 +210,11 @@ let rec flatten_or = function
     @raise Outside_fragment / [Constraints.Unsupported] when KB or
     query leave the unary fragment.
     @raise Solver.Infeasible when the KB is inconsistent at [tol]. *)
-let rec belief_at ~kb ~query tol =
+let rec belief_at ?compiled ~kb ~query tol =
   match flatten_or kb with
-  | [] | [ _ ] -> belief_at_conjunctive ~kb ~query tol
+  | [] | [ _ ] -> belief_at_conjunctive ?compiled ~kb ~query tol
   | disjuncts -> begin
+    (* Sub-KBs of a disjunction are not the compiled KB: from-scratch. *)
     let evaluated =
       List.filter_map
         (fun d ->
@@ -242,17 +247,26 @@ let rec belief_at ~kb ~query tol =
     end
   end
 
-and belief_at_conjunctive ~kb ~query tol =
+and belief_at_conjunctive ?compiled ~kb ~query tol =
   let parts = Analysis.analyze ~extra_preds:(Unary_engine.unary_preds_of query) kb in
   if not (Analysis.fully_supported parts) then
     raise (Outside_fragment "KB outside the unary fragment")
   else begin
+    (* With a compiled artifact, the unconditioned maxent solve comes
+       from its memo table whenever the query's analysis matches the
+       compiled one (no new predicates); incompatible queries fall back
+       to a fresh solve inside [Compiled_kb.solve]. *)
+    let solve tol =
+      match compiled with
+      | Some c -> Compiled_kb.solve c parts tol
+      | None -> Solver.solve parts tol
+    in
     let u = parts.Analysis.universe in
     let const_part, stat_part = split_query query in
     let stat_prob =
       if stat_part = [] then Some 1.0
       else begin
-        let sol = Solver.solve parts tol in
+        let sol = solve tol in
         if stat_truth_at_point sol tol (conj stat_part) then Some 1.0 else Some 0.0
       end
     in
@@ -267,7 +281,7 @@ and belief_at_conjunctive ~kb ~query tol =
             List.map
               (fun c ->
                 let given = Analysis.fact_atoms parts c in
-                match Solver.conditional_distribution parts tol ~given with
+                match Solver.conditional_distribution ~solve parts tol ~given with
                 | Some d -> (c, d)
                 | None -> raise (Solver.Infeasible 1.0))
               consts
@@ -285,12 +299,16 @@ and belief_at_conjunctive ~kb ~query tol =
    count, and per-atom mass at the first tolerance that solved. Runs
    exclusively when tracing is on; any failure is silently dropped —
    emission must never change the engine's verdict. *)
-let emit_profile tr ~kb ~query tol =
+let emit_profile tr ?compiled ~kb ~query tol =
   match
     let parts =
       Analysis.analyze ~extra_preds:(Unary_engine.unary_preds_of query) kb
     in
-    let sol = Solver.solve parts tol in
+    let sol =
+      match compiled with
+      | Some c -> Compiled_kb.solve c parts tol
+      | None -> Solver.solve parts tol
+    in
     let u = parts.Analysis.universe in
     let n_constraints = List.length (Constraints.of_parts parts tol) in
     let atom_fields =
@@ -307,9 +325,11 @@ let emit_profile tr ~kb ~query tol =
   | fields -> Trace.fact tr "maxent-profile" fields
   | exception _ -> ()
 
-(** [estimate ?tols ?trace ~kb query] — the [τ̄ → 0] limit over a
-    shrinking schedule with Aitken extrapolation. *)
-let rec estimate ?(tols = default_tols) ?trace ~kb query =
+(** [estimate ?tols ?compiled ?trace ~kb query] — the [τ̄ → 0] limit
+    over a shrinking schedule with Aitken extrapolation. [compiled]
+    reuses the artifact's pre-solved maxent points; answers are
+    identical with or without it. *)
+let rec estimate ?(tols = default_tols) ?compiled ?trace ~kb query =
   Trace.span trace "maxent" @@ fun () ->
   let declined why =
     (match trace with
@@ -317,18 +337,18 @@ let rec estimate ?(tols = default_tols) ?trace ~kb query =
     | Some tr -> Trace.fact tr "note" [ ("declined", Trace.S why) ]);
     Answer.make ~engine:"maxent" (Answer.Not_applicable why)
   in
-  try estimate_exn ~tols ~trace ~kb query with
+  try estimate_exn ~tols ~compiled ~trace ~kb query with
   | Outside_fragment why -> declined why
   | Constraints.Unsupported (why, _) -> declined why
   | Atoms.Not_boolean _ -> declined "non-boolean subformula"
   | Profile.Unsupported why -> declined why
   | Invalid_argument why -> declined why
 
-and estimate_exn ~tols ~trace ~kb query =
+and estimate_exn ~tols ~compiled ~trace ~kb query =
   let values =
     List.filter_map
       (fun tol ->
-        match belief_at ~kb ~query tol with
+        match belief_at ?compiled ~kb ~query tol with
         | Some v -> Some (tol, v)
         | None -> None
         | exception Solver.Infeasible _ -> None)
@@ -336,7 +356,7 @@ and estimate_exn ~tols ~trace ~kb query =
   in
   (match (trace, values) with
   | Some tr, (tol0, _) :: _ ->
-    emit_profile tr ~kb ~query tol0;
+    emit_profile tr ?compiled ~kb ~query tol0;
     List.iter
       (fun (tol, v) ->
         Trace.fact tr "tolerance"
@@ -346,7 +366,7 @@ and estimate_exn ~tols ~trace ~kb query =
   match values with
   | [] -> (
     (* Distinguish "inconsistent" from "outside fragment". *)
-    match belief_at ~kb ~query (List.hd tols) with
+    match belief_at ?compiled ~kb ~query (List.hd tols) with
     | exception Outside_fragment why ->
       Answer.make ~engine:"maxent" (Answer.Not_applicable why)
     | exception Constraints.Unsupported (why, _) ->

@@ -18,12 +18,18 @@
 open Rw_logic
 
 val default_tols : Tolerance.t list
+(** Alias of {!Rw_compile.Compiled_kb.default_schedule}: the engine
+    walks exactly the schedule a compiled artifact pre-solves. *)
 
 exception Outside_fragment of string
 (** KB or query outside the unary fragment; caught by {!estimate}. *)
 
 val belief_at :
-  kb:Syntax.formula -> query:Syntax.formula -> Tolerance.t -> float option
+  ?compiled:Rw_compile.Compiled_kb.t ->
+  kb:Syntax.formula ->
+  query:Syntax.formula ->
+  Tolerance.t ->
+  float option
 (** The degree of belief at one fixed tolerance vector; [None] when
     conditioning is impossible there.
     @raise Outside_fragment outside the unary fragment.
@@ -32,6 +38,7 @@ val belief_at :
 
 val estimate :
   ?tols:Tolerance.t list ->
+  ?compiled:Rw_compile.Compiled_kb.t ->
   ?trace:Rw_trace.Trace.t ->
   kb:Syntax.formula ->
   Syntax.formula ->
@@ -43,4 +50,6 @@ val estimate :
     per-index powers) to probe default priorities — Section 5.3's
     non-robustness ablation. [?trace] records the entropy-maximum
     profile (entropy, binding-constraint count, per-atom masses), the
-    per-tolerance beliefs, and the extrapolation verdict. *)
+    per-tolerance beliefs, and the extrapolation verdict. [?compiled]
+    reuses a matching artifact's pre-solved maxent points; answers are
+    identical with or without it. *)

@@ -13,11 +13,13 @@ open Rw_prelude
 
 let default_seed = 1
 
-(** [pr_n ?config ?pool ?seed ~vocab ~n ~tol ~kb query] — one
-    Monte-Carlo estimate at a single [(N, τ̄)], exposed for benches and
-    tests. *)
-let pr_n ?config ?pool ?(seed = default_seed) ~vocab ~n ~tol ~kb query =
-  Rw_mc.Estimator.estimate ?config ?pool ~seed ~vocab ~n ~tol ~kb query
+(** [pr_n ?config ?pool ?tilt_solve ?seed ~vocab ~n ~tol ~kb query] —
+    one Monte-Carlo estimate at a single [(N, τ̄)], exposed for benches
+    and tests. *)
+let pr_n ?config ?pool ?tilt_solve ?(seed = default_seed) ~vocab ~n ~tol ~kb
+    query =
+  Rw_mc.Estimator.estimate ?config ?pool ?tilt_solve ~seed ~vocab ~n ~tol ~kb
+    query
 
 let config ~samples ~ci_width =
   {
@@ -45,7 +47,7 @@ let note_of ~tol ~outcome =
     tolerance that produced an estimate; the evidence for every grid
     point attempted, including starved ones, is in the notes. *)
 let estimate ?(seed = default_seed) ?samples ?ci_width ?(jobs = 1)
-    ?(ns = [ 8; 16; 32 ]) ?tols ?trace ~vocab ~kb query =
+    ?(ns = [ 8; 16; 32 ]) ?tols ?compiled ?trace ~vocab ~kb query =
   Rw_trace.Trace.span trace "mc" @@ fun () ->
   let tols =
     match tols with
@@ -54,6 +56,15 @@ let estimate ?(seed = default_seed) ?samples ?ci_width ?(jobs = 1)
   in
   let ns_desc = List.sort_uniq (fun a b -> Stdlib.compare b a) ns in
   let cfg = config ~samples ~ci_width in
+  (* A compiled artifact supplies the memoised maxent solve behind the
+     stratified rescue's importance tilt (the tilt is a function of the
+     KB and tolerance only). The proposal is identical, so the sample
+     stream — and the answer — do not change. *)
+  let tilt_solve =
+    Option.map
+      (fun c parts tol -> Rw_compile.Compiled_kb.solve c parts tol)
+      compiled
+  in
   (* Split one master generator per grid point so points are
      independent but jointly reproducible from the one seed. *)
   let master = Rw_mc.Prng.create seed in
@@ -64,7 +75,9 @@ let estimate ?(seed = default_seed) ?samples ?ci_width ?(jobs = 1)
           | [] -> []
           | n :: rest ->
             let seed = Int64.to_int (Rw_mc.Prng.bits64 master) land 0x3FFFFFFF in
-            let o = pr_n ~config:cfg ?pool ~seed ~vocab ~n ~tol ~kb query in
+            let o =
+              pr_n ~config:cfg ?pool ?tilt_solve ~seed ~vocab ~n ~tol ~kb query
+            in
             let attempt = (tol, o) in
             (match o with
             | Rw_mc.Estimator.Estimate _ -> [ attempt ]

@@ -15,6 +15,8 @@ val default_seed : int
 val pr_n :
   ?config:Rw_mc.Estimator.config ->
   ?pool:Rw_pool.Pool.t ->
+  ?tilt_solve:
+    (Rw_unary.Analysis.parts -> Rw_logic.Tolerance.t -> Rw_unary.Solver.solution) ->
   ?seed:int ->
   vocab:Vocab.t ->
   n:int ->
@@ -33,6 +35,7 @@ val estimate :
   ?jobs:int ->
   ?ns:int list ->
   ?tols:Tolerance.t list ->
+  ?compiled:Rw_compile.Compiled_kb.t ->
   ?trace:Rw_trace.Trace.t ->
   vocab:Vocab.t ->
   kb:Syntax.formula ->
@@ -50,4 +53,6 @@ val estimate :
     sequentially rather than nesting fan-outs. [?trace] records one
     "mc-point" fact per grid attempt (sample counts, KB hits, per-point
     seed, CI — but no wall-clock, so traces too are jobs-invariant and
-    seed-deterministic) and the final interval verdict. *)
+    seed-deterministic) and the final interval verdict. [?compiled]
+    feeds the artifact's memoised maxent solve to the stratified
+    rescue's importance tilt; the sample stream is identical. *)

@@ -68,9 +68,12 @@ let abstraction_mapping avoid consts =
       (c, x))
     consts
 
-(* A statistical conjunct about a conditional proportion, as an
-   interval bound. *)
-type stat = {
+(* The statistical-conjunct machinery lives in {!Rw_compile.Stat} so a
+   compiled KB can pre-index it once per KB; re-exported here (with the
+   record fields) to keep the rule code reading naturally. *)
+module Cstat = Rw_compile.Stat
+
+type stat = Cstat.t = {
   target : formula;  (** φ of [||φ | ψ||] *)
   ref_class : formula;  (** ψ *)
   subscript : string list;
@@ -78,59 +81,10 @@ type stat = {
   tol_index : int;
 }
 
-(* Recognise one conjunct as a bound on a conditional proportion. *)
-let stat_of_conjunct = function
-  | Compare (Cond (f, g, xs), Approx_eq i, Num v)
-  | Compare (Num v, Approx_eq i, Cond (f, g, xs)) ->
-    Some { target = f; ref_class = g; subscript = xs; bounds = Interval.point v; tol_index = i }
-  | Compare (Cond (f, g, xs), Approx_le i, Num v) ->
-    Some
-      { target = f; ref_class = g; subscript = xs;
-        bounds = Interval.make 0.0 (Floats.clamp01 v); tol_index = i }
-  | Compare (Num v, Approx_le i, Cond (f, g, xs)) ->
-    Some
-      { target = f; ref_class = g; subscript = xs;
-        bounds = Interval.make (Floats.clamp01 v) 1.0; tol_index = i }
-  | _ -> None
-
-(* [||φ | ψ|| ∈ [α, β]] is the same information as
-   [||¬φ | ψ|| ∈ [1−β, 1−α]]: expose both forms so negated queries
-   match (e.g. the query ¬Fly(Tweety) against the statistic
-   ||Fly | Penguin|| ≈ 0). Double negations are stripped. *)
-let negate = function Not f -> f | f -> Not f
-
-let complement_stat s =
-  {
-    s with
-    target = negate s.target;
-    bounds =
-      Interval.make
-        (Floats.clamp01 (1.0 -. Interval.hi s.bounds))
-        (Floats.clamp01 (1.0 -. Interval.lo s.bounds));
-  }
-
-let with_complements stats = stats @ List.map complement_stat stats
-
-(* Merge bounds of stats that speak about the same (target, class)
-   modulo alpha/AC. *)
-let merge_stats stats =
-  let same a b =
-    Unify.prop_alpha_ac_equal
-      (Cond (a.target, a.ref_class, a.subscript))
-      (Cond (b.target, b.ref_class, b.subscript))
-  in
-  List.fold_left
-    (fun acc s ->
-      let rec insert = function
-        | [] -> [ s ]
-        | t :: rest when same s t -> (
-          match Interval.inter s.bounds t.bounds with
-          | Some b -> { t with bounds = b } :: rest
-          | None -> t :: rest (* inconsistent bounds; keep first *))
-        | t :: rest -> t :: insert rest
-      in
-      insert acc)
-    [] stats
+let stat_of_conjunct = Cstat.of_conjunct
+let complement_stat = Cstat.complement
+let with_complements = Cstat.with_complements
+let merge_stats = Cstat.merge
 
 (* ------------------------------------------------------------------ *)
 (* Eventual-inconsistency pre-checks                                  *)
@@ -141,58 +95,12 @@ let merge_stats stats =
    statistic against an inconsistent KB yields confident nonsense
    (e.g. answering 0 from ||P(x)|P(x)|| ≈ 0 ∧ P(D), a KB with no
    worlds once τ < 1). Two cheap sound checks run first; either one
-   firing makes the whole inference [Inconsistent]. *)
+   firing makes the whole inference [Inconsistent]. Both are
+   query-independent, so they live in {!Rw_compile.Compiled_kb} and a
+   compiled artifact carries their results as booleans. *)
 
-let is_ground f = Syntax.Sset.is_empty (Syntax.all_vars_formula f)
-
-(* A complementary pair of ground literals, or a ground [t ≠ t],
-   admits no worlds at any domain size. *)
-let ground_contradiction kb_conjuncts =
-  let lits =
-    List.filter_map
-      (fun f ->
-        match f with
-        | Pred _ when is_ground f -> Some (true, f)
-        | Not (Pred _ as a) when is_ground a -> Some (false, a)
-        | _ -> None)
-      kb_conjuncts
-  in
-  List.exists
-    (fun (sign, a) ->
-      List.exists (fun (sign', a') -> sign <> sign' && a = a') lits)
-    lits
-  || List.exists
-       (function Not (Eq (t, t')) -> t = t' | _ -> false)
-       kb_conjuncts
-
-(* A self-conditional statistic [||φ | ψ|| ⪯ v] with φ ≡ ψ and v < 1 is
-   satisfiable only by worlds where ψ is empty (the proportion is
-   pinned to 1 the moment #ψ > 0, and τᵢ → 0 eventually excludes it).
-   A further ground fact ψ(c) then leaves no worlds at all beyond the
-   first few tolerance steps: the KB is not eventually consistent. *)
-let degenerate_self_conditional kb_conjuncts =
-  let stats =
-    with_complements (List.filter_map stat_of_conjunct kb_conjuncts)
-  in
-  let consts =
-    Rw_prelude.Listx.sort_uniq_strings
-      (List.concat_map Syntax.constants kb_conjuncts)
-  in
-  List.exists
-    (fun s ->
-      Interval.hi s.bounds < 1.0 -. 1e-9
-      && (Unify.alpha_ac_equal s.target s.ref_class
-         || Canonical.equivalent s.target s.ref_class)
-      &&
-      match s.subscript with
-      | [ x ] ->
-        List.exists
-          (fun c ->
-            let psi_c = subst [ (x, Fn (c, [])) ] s.ref_class in
-            List.exists (fun g -> Unify.alpha_ac_equal g psi_c) kb_conjuncts)
-          consts
-      | _ -> false)
-    stats
+let ground_contradiction = Rw_compile.Compiled_kb.ground_contradiction
+let degenerate_self_conditional = Rw_compile.Compiled_kb.degenerate_self_conditional
 
 (* ------------------------------------------------------------------ *)
 (* Rule A: Theorem 5.6                                                *)
@@ -206,33 +114,43 @@ let rec subsets = function
     let tails = subsets rest in
     List.map (fun tl -> x :: tl) tails @ tails
 
-let rule_a ~trace ~kb_conjuncts ~query =
+(* [indexed] pairs each KB conjunct with its pre-recognised statistical
+   reading (a compiled KB's {!Rw_compile.Compiled_kb.stat_index}), so
+   the candidate statistics come from a partition of the index instead
+   of re-parsing every conjunct per query. *)
+let rule_a ~trace ~indexed ~query =
   let query_consts = Syntax.constants query in
   if query_consts = [] then None
   else begin
     let avoid =
       List.fold_left
-        (fun acc f -> Syntax.Sset.union acc (Syntax.all_vars_formula f))
-        (Syntax.all_vars_formula query) kb_conjuncts
+        (fun acc (f, _) -> Syntax.Sset.union acc (Syntax.all_vars_formula f))
+        (Syntax.all_vars_formula query) indexed
     in
     let candidates =
       List.filter (fun s -> s <> []) (subsets query_consts)
     in
     let try_subset cs =
-      let mentions f = List.exists (fun c -> Syntax.mentions_constant c f) cs in
-      let psi_parts, kb' = List.partition mentions kb_conjuncts in
-      if psi_parts = [] then None
+      let mentions (f, _) =
+        List.exists (fun c -> Syntax.mentions_constant c f) cs
+      in
+      let psi_pairs, kb' = List.partition mentions indexed in
+      if psi_pairs = [] then None
       else begin
         let mapping = abstraction_mapping avoid cs in
         let xs = List.map snd mapping in
         let phi_x = const_to_var mapping query in
-        let psi_x = const_to_var mapping (conj psi_parts) in
+        let psi_x = const_to_var mapping (conj (List.map fst psi_pairs)) in
         (* Hypotheses: the abstracted constants appear nowhere else. *)
-        if List.exists (fun f -> List.exists (fun c -> Syntax.mentions_constant c f) cs) kb'
+        if
+          List.exists
+            (fun (f, _) ->
+              List.exists (fun c -> Syntax.mentions_constant c f) cs)
+            kb'
         then None
         else begin
           let pattern = Cond (phi_x, psi_x, xs) in
-          let stats = with_complements (List.filter_map stat_of_conjunct kb') in
+          let stats = with_complements (List.filter_map snd kb') in
           let matching =
             List.filter
               (fun s ->
@@ -283,8 +201,10 @@ type unary_context = {
 
 (* Build the unary context for a single-constant query, enforcing
    Theorem 5.16's condition (c): the query's predicate symbols occur in
-   the KB only as targets of the matched statistics. *)
-let unary_context ~kb_conjuncts ~query =
+   the KB only as targets of the matched statistics. Like {!rule_a},
+   consumes the pre-indexed conjunct list. *)
+let unary_context ~indexed ~query =
+  let kb_conjuncts = List.map fst indexed in
   match Syntax.constants query with
   | [ c ] -> begin
     let all_preds =
@@ -320,14 +240,14 @@ let unary_context ~kb_conjuncts ~query =
         in
         let stats, rest =
           List.partition_map
-            (fun f ->
-              match stat_of_conjunct f with
+            (fun (f, st) ->
+              match st with
               | Some s
                 when (not (Syntax.mentions_constant c f))
                      && (matches_query s || matches_query (complement_stat s)) ->
                 Left (if matches_query s then s else complement_stat s)
               | _ -> Right f)
-            kb_conjuncts
+            indexed
         in
         if stats = [] then None
         else begin
@@ -616,12 +536,27 @@ let rule_d ~trace ~kb_conjuncts ctx =
 (* Entry point                                                        *)
 (* ------------------------------------------------------------------ *)
 
-(** [infer ?trace ~kb query] applies every rule whose hypotheses hold
-    and intersects the sound conclusions. *)
-let infer ?trace ~kb query =
+(** [infer ?compiled ?trace ~kb query] applies every rule whose
+    hypotheses hold and intersects the sound conclusions. [compiled]
+    (an artifact for this exact KB) supplies the pre-split conjuncts,
+    the statistical index, and the pre-evaluated inconsistency checks;
+    inference is identical with or without it. *)
+let infer ?compiled ?trace ~kb query =
   Trace.span trace "rules" @@ fun () ->
-  let kb_conjuncts = Rw_unary.Analysis.split_conjuncts kb in
-  if ground_contradiction kb_conjuncts then begin
+  let module C = Rw_compile.Compiled_kb in
+  let indexed, ground_bad, degenerate_bad =
+    match compiled with
+    | Some c when C.matches c kb ->
+      (C.stat_index c, C.ground_inconsistent c, C.degenerate_inconsistent c)
+    | _ ->
+      let conjuncts = Rw_unary.Analysis.split_conjuncts kb in
+      let indexed = List.map (fun f -> (f, stat_of_conjunct f)) conjuncts in
+      ( indexed,
+        ground_contradiction conjuncts,
+        degenerate_self_conditional indexed )
+  in
+  let kb_conjuncts = List.map fst indexed in
+  if ground_bad then begin
     (match trace with
     | None -> ()
     | Some tr ->
@@ -631,7 +566,7 @@ let infer ?trace ~kb query =
       ~notes:[ "ground facts contain a complementary literal pair" ]
       ~engine:"rules" Answer.Inconsistent
   end
-  else if degenerate_self_conditional kb_conjuncts then begin
+  else if degenerate_bad then begin
     (match trace with
     | None -> ()
     | Some tr ->
@@ -652,12 +587,12 @@ let infer ?trace ~kb query =
   let answers = ref [] in
   let note = ref [] in
   try
-  (match rule_a ~trace ~kb_conjuncts ~query with
+  (match rule_a ~trace ~indexed ~query with
   | Some bounds ->
     answers := bounds :: !answers;
     note := "Theorem 5.6 (exact reference class)" :: !note
   | None -> ());
-  (match unary_context ~kb_conjuncts ~query with
+  (match unary_context ~indexed ~query with
   | None -> ()
   | Some ctx ->
     (match rule_b ~trace ctx with

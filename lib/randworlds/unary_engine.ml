@@ -52,11 +52,14 @@ let series ~kb ~query ~ns ~tol =
       | None -> None)
     ns
 
-(** [estimate ?ns ?tols ~kb query] — the double limit over a grid, with
-    Aitken extrapolation of the inner [N→∞] limit at each tolerance.
+(** [estimate ?ns ?tols ?compiled ~kb query] — the double limit over a
+    grid, with Aitken extrapolation of the inner [N→∞] limit at each
+    tolerance. [compiled] substitutes the artifact's precomputed
+    stat-satisfying profile tables for the full composition sweep at
+    each (N, τ̄); results are bit-identical with or without it.
 
     @raise Profile.Unsupported outside the unary fragment. *)
-let estimate ?(ns = default_sizes) ?tols ?trace ~kb query =
+let estimate ?(ns = default_sizes) ?tols ?compiled ?trace ~kb query =
   Trace.span trace "unary" @@ fun () ->
   let emit tag fields =
     match trace with None -> () | Some tr -> Trace.fact tr tag fields
@@ -135,11 +138,19 @@ let estimate ?(ns = default_sizes) ?tols ?trace ~kb query =
         ( Rw_prelude.Floats.clamp01 (Float.min x2 far),
           Rw_prelude.Floats.clamp01 (Float.max x2 far) )
       in
+      let pr ~n ~tol =
+        let table =
+          match compiled with
+          | Some c -> Rw_compile.Compiled_kb.profile_table c parts ~n ~tol
+          | None -> None
+        in
+        Profile.pr_n ?table parts ~query ~n ~tol
+      in
       let inner_limit tol =
         let vals =
           List.filter_map
             (fun n ->
-              match Profile.pr_n parts ~query ~n ~tol with
+              match pr ~n ~tol with
               | Some v -> Some (n, v)
               | None -> None)
             ns

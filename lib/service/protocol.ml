@@ -92,6 +92,18 @@ let json_of_store_stats (s : Rw_store.Store.stats) =
       ("generation", Json.Int s.Rw_store.Store.generation);
     ]
 
+let json_of_compiled_stats (c : Service.compiled_stats) =
+  Json.Obj
+    [
+      ("hits", Json.Int c.Service.compiled_cache.Lru.hits);
+      ("misses", Json.Int c.Service.compiled_cache.Lru.misses);
+      ("evictions", Json.Int c.Service.compiled_cache.Lru.evictions);
+      ("size", Json.Int c.Service.compiled_cache.Lru.size);
+      ("capacity", Json.Int c.Service.compiled_cache.Lru.capacity);
+      ("compiles", Json.Int c.Service.compiles);
+      ("compile_ms_total", Json.Float c.Service.compile_ms_total);
+    ]
+
 let json_of_stats_fields (s : Service.stats) =
   [
       ( "cache",
@@ -127,6 +139,9 @@ let json_of_stats_fields (s : Service.stats) =
             ("max", Json.Float s.Service.latency.Service.max_ms);
           ] );
     ]
+    @ (match s.Service.compiled with
+      | None -> []
+      | Some c -> [ ("compiled", json_of_compiled_stats c) ])
     @
     match s.Service.store with
     | None -> []

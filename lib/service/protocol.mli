@@ -60,7 +60,10 @@ val json_of_answer :
     ["why"]. *)
 
 val json_of_stats : Service.stats -> Json.t
-(** The serve [stats] payload; includes a ["store"] object (see
+(** The serve [stats] payload; includes a ["compiled"] object
+    (compiled-KB artifact cache hits/misses/evictions/size/capacity,
+    compile count and total compile milliseconds) when the compiled
+    tier is enabled, and a ["store"] object (see
     {!json_of_store_stats}) when a durable tier is attached. *)
 
 val json_of_store_stats : Rw_store.Store.stats -> Json.t

@@ -6,6 +6,8 @@ module Trace = Rw_trace.Trace
 
 type config = {
   cache_capacity : int;
+  compiled_capacity : int;
+  parallel_threshold : int;
   budget : float option;
   engine_options : Engine.options;
 }
@@ -13,6 +15,8 @@ type config = {
 let default_config =
   {
     cache_capacity = 1024;
+    compiled_capacity = 8;
+    parallel_threshold = 8;
     budget = None;
     engine_options = Engine.default_options;
   }
@@ -103,6 +107,15 @@ type entry = { answer : Answer.t; trace : Trace.event list option }
 type t = {
   config : config;
   cache : entry Lru.Sync.t;
+  compiled : Rw_compile.Compiled_kb.t Lru.Sync.t;
+      (** compiled-KB artifacts keyed by canonical KB digest; the LRU's
+          hit/miss/eviction counters are the compile-cache counters *)
+  compile_m : Mutex.t;
+      (** serialises compilation so a parallel batch's first wave
+          compiles each KB exactly once; also guards
+          [compile_ms_total] *)
+  mutable compile_ms_total : float;
+  compiles : int Atomic.t;
   store : Rw_store.Store.t option;
       (** the durable tier under the LRU; appends serialized inside
           the store, probes near-lock-free — safe from pool workers *)
@@ -159,6 +172,10 @@ let create ?(config = default_config) ?store () =
   {
     config;
     cache = Lru.Sync.create ~capacity:config.cache_capacity;
+    compiled = Lru.Sync.create ~capacity:config.compiled_capacity;
+    compile_m = Mutex.create ();
+    compile_ms_total = 0.0;
+    compiles = Atomic.make 0;
     store;
     opts_digest = options_fingerprint config.engine_options;
     kb = None;
@@ -318,8 +335,47 @@ let degraded_answer ~kb ~budget q =
         budget;
     ]
 
+(* The compiled-artifact tier: one {!Rw_compile.Compiled_kb.t} per
+   resident KB digest, shared by every query against that KB. The LRU
+   fast path is lock-free of the compile mutex; a miss takes
+   [compile_m] and re-probes, so a parallel batch's first wave
+   compiles exactly once (the losers of the race block on the mutex
+   and find the winner's artifact). Digests identify KBs only up to
+   canonical renaming, so a cache hit is verified structurally
+   ({!Rw_compile.Compiled_kb.matches}) before reuse — a mismatch
+   recompiles for the actual KB and replaces the entry. *)
+let compiled_for t kb =
+  if t.config.compiled_capacity <= 0 then None
+  else begin
+    let digest = t.kb_digest in
+    let module C = Rw_compile.Compiled_kb in
+    let fresh () =
+      let c =
+        match t.config.engine_options.Engine.tols with
+        | Some schedule -> C.compile ~schedule kb
+        | None -> C.compile kb
+      in
+      Lru.Sync.add t.compiled digest c;
+      Atomic.incr t.compiles;
+      t.compile_ms_total <- t.compile_ms_total +. C.compile_ms c;
+      c
+    in
+    match Lru.Sync.find t.compiled digest with
+    | Some c when C.matches c kb -> Some c
+    | Some _ | None ->
+      Some
+        (Mutex.protect t.compile_m (fun () ->
+             match Lru.Sync.find t.compiled digest with
+             | Some c when C.matches c kb -> c
+             | Some _ | None -> fresh ()))
+  end
+
 (* One budgeted engine run, choosing the alarm or the polled deadline
-   as [query] always has (see the two [with_budget] variants above). *)
+   as [query] always has (see the two [with_budget] variants above).
+   The compiled artifact is fetched {e inside} the budgeted closure:
+   the first request against a KB pays the compile against its own
+   budget (degrading soundly if it expires mid-compile), later
+   requests hit the artifact cache. *)
 let run_engine ?trace ?budget t ~kb q =
   let run_budget =
     if Rw_pool.Pool.on_worker () || t.config.engine_options.Engine.jobs > 1
@@ -330,7 +386,9 @@ let run_engine ?trace ?budget t ~kb q =
     ~fallback:(fun () ->
       degraded_answer ~kb ~budget:(Option.value budget ~default:0.0) q)
     (fun () ->
-      Engine.degree_of_belief ~options:t.config.engine_options ?trace ~kb q)
+      let compiled = compiled_for t kb in
+      Engine.degree_of_belief ~options:t.config.engine_options ?compiled
+        ?trace ~kb q)
 
 let query ?budget t q =
   match t.kb with
@@ -467,8 +525,17 @@ let query_src_explained ?budget t src =
   | Error msg -> Error (Printf.sprintf "query parse error: %s" msg)
   | Ok q -> query_explained ?budget t q
 
+(* Fanning a batch out to a domain pool costs domain spawns plus GC
+   contention before the first item runs — on small batches of cheap
+   (rules/maxent-weight) queries that overhead exceeds the whole
+   sequential run (bench Table 13's jobs-4 cold-dispatch row). Below
+   [parallel_threshold] items the pool cannot win, so the batch runs
+   sequentially regardless of [?jobs]. *)
+let batch_jobs t ~jobs n = if n < t.config.parallel_threshold then 1 else jobs
+
 let batch ?budget ?(jobs = 1) t qs =
   let one q = query ?budget t q in
+  let jobs = batch_jobs t ~jobs (List.length qs) in
   if jobs <= 1 then List.map one qs
   else Rw_pool.Pool.run ~jobs (fun p -> Rw_pool.Pool.map p one qs)
 
@@ -478,6 +545,7 @@ let batch_srcs ?budget ?(jobs = 1) t srcs =
     let r = query_src ?budget t src in
     (r, (Instr.now () -. t0) *. 1000.0)
   in
+  let jobs = batch_jobs t ~jobs (List.length srcs) in
   if jobs <= 1 then List.map one srcs
   else Rw_pool.Pool.run ~jobs (fun p -> Rw_pool.Pool.map p one srcs)
 
@@ -485,8 +553,15 @@ let batch_srcs ?budget ?(jobs = 1) t srcs =
 (* Observability                                                      *)
 (* ------------------------------------------------------------------ *)
 
+type compiled_stats = {
+  compiled_cache : Lru.stats;
+  compiles : int;
+  compile_ms_total : float;
+}
+
 type stats = {
   cache : Lru.stats;
+  compiled : compiled_stats option;
   engines : Instr.entry list;
   queries : int;
   timeouts : int;
@@ -498,6 +573,16 @@ type stats = {
 let stats (t : t) =
   {
     cache = Lru.Sync.stats t.cache;
+    compiled =
+      (if t.config.compiled_capacity <= 0 then None
+       else
+         Some
+           {
+             compiled_cache = Lru.Sync.stats t.compiled;
+             compiles = Atomic.get t.compiles;
+             compile_ms_total =
+               Mutex.protect t.compile_m (fun () -> t.compile_ms_total);
+           });
     engines = Instr.snapshot ();
     queries = Atomic.get t.queries;
     timeouts = Atomic.get t.timeouts;

@@ -49,19 +49,42 @@
     because it excludes [jobs], records are shared across pool widths.
     Store appends are serialized inside {!Rw_store.Store}; probes take
     only nanosecond-scale index locks — a parallel {!batch}
-    write-through is safe at any [jobs]. *)
+    write-through is safe at any [jobs].
+
+    {b The compiled-KB tier.} Orthogonal to the answer caches: a
+    bounded LRU of {!Rw_compile.Compiled_kb.t} artifacts keyed by
+    canonical KB digest. Answer caches make {e repeated questions}
+    free; the compiled tier makes {e distinct questions against the
+    same KB} cheap, by reusing the one-time artifact (vocabulary,
+    statistical index, memoised maxent solves, profile tables) across
+    every query that misses the answer tiers. The first query against
+    a KB compiles under its own request budget; under a parallel
+    batch a mutex makes compilation happen exactly once per KB.
+    Answers are bit-identical with the tier on or off
+    ({!Rw_compile.Compiled_kb}'s contract); [compiled_capacity = 0]
+    switches it off. *)
 
 open Rw_logic
 open Randworlds
 
 type config = {
   cache_capacity : int;  (** LRU entries; [0] disables caching *)
+  compiled_capacity : int;
+      (** compiled-KB artifacts kept resident (one per KB digest);
+          [0] disables the compiled tier entirely — every query
+          recomputes from scratch, as before the tier existed *)
+  parallel_threshold : int;
+      (** batches shorter than this run sequentially even when the
+          caller asks for [jobs > 1]: pool spin-up and GC contention
+          exceed the whole sequential run on small batches (bench
+          Table 13's jobs-4 cold-dispatch row) *)
   budget : float option;  (** default per-request seconds; [None] = unlimited *)
   engine_options : Engine.options;  (** fixed per service instance *)
 }
 
 val default_config : config
-(** 1024 cache entries, no budget, {!Engine.default_options}. *)
+(** 1024 cache entries, 8 compiled artifacts, parallel threshold 8,
+    no budget, {!Engine.default_options}. *)
 
 type t
 
@@ -150,7 +173,9 @@ val batch :
     loaded and keyed once for the whole batch. [?jobs] (default 1)
     evaluates items on a domain pool of that width; results stay in
     input order, and each item's budget is enforced by deadline
-    polling on whichever domain runs it. *)
+    polling on whichever domain runs it. Batches shorter than
+    [config.parallel_threshold] run sequentially regardless of
+    [?jobs] — see the config field. *)
 
 val batch_srcs :
   ?budget:float ->
@@ -173,8 +198,20 @@ type latency_summary = {
   max_ms : float;
 }
 
+type compiled_stats = {
+  compiled_cache : Lru.stats;
+      (** hits = queries that reused a resident artifact; misses =
+          compiles (plus re-probes that lost the compile-once race);
+          evictions from the bounded artifact LRU *)
+  compiles : int;  (** artifacts actually compiled *)
+  compile_ms_total : float;  (** wall-clock spent compiling, summed *)
+}
+
 type stats = {
   cache : Lru.stats;
+  compiled : compiled_stats option;
+      (** the compiled-KB tier's counters; [None] when
+          [compiled_capacity = 0] *)
   engines : Instr.entry list;
       (** per-engine dispatch counts and wall-clock (process-global,
           merged across domains — see {!Instr}) *)

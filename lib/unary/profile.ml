@@ -126,6 +126,69 @@ and eval_prop prof tol env = function
 let sat prof tol f = eval_formula prof tol [] f
 
 (* ------------------------------------------------------------------ *)
+(* Precomputed stat-satisfying profile tables                         *)
+(* ------------------------------------------------------------------ *)
+
+(* When the KB's statistical conjuncts mention no constants, the set of
+   count profiles satisfying them — and each profile's multinomial
+   weight — depends only on (parts, n, τ̄), not on the query. A compiled
+   KB builds this table once per (n, τ̄) and every query then iterates
+   the (usually tiny) satisfying subset instead of all compositions.
+
+   The stored weight deliberately excludes [log_prior]: priors are
+   per-query hooks, added at consumption so results stay bit-identical
+   with the from-scratch path. *)
+
+type table = {
+  t_n : int;  (** domain size the table was enumerated for *)
+  rows : (int array * float) array;
+      (** satisfying profiles in composition order, with
+          [log_multinomial n counts] *)
+}
+
+let table_size t = Array.length t.rows
+
+(** [stat_table parts ~n ~tol] enumerates the stat-satisfying profiles,
+    or returns [None] when the table would be unsound (statistics
+    mentioning constants make satisfaction assignment-dependent) or too
+    large to be worth storing ([max_rows], default 200k). *)
+let stat_table ?(max_rows = 200_000) (parts : Analysis.parts) ~n ~tol =
+  if not (Analysis.fully_supported parts) then None
+  else begin
+    let u = parts.Analysis.universe in
+    let na = Atoms.num_atoms u in
+    let stat = Analysis.statistical_formula parts in
+    if Syntax.constants stat <> [] then None
+    else begin
+      let rows = ref [] in
+      let count = ref 0 in
+      let capped = ref false in
+      (try
+         Listx.iter_compositions n na (fun counts ->
+             Rw_pool.Budget.check ();
+             let prof = { universe = u; n; counts; const_atoms = [] } in
+             if sat prof tol stat then begin
+               incr count;
+               if !count > max_rows then begin
+                 capped := true;
+                 raise Exit
+               end;
+               (* [iter_compositions] reuses its buffer: copy. *)
+               rows :=
+                 ( Array.copy counts,
+                   Logspace.log_multinomial n (Array.to_list counts) )
+                 :: !rows
+             end)
+       with
+      | Exit -> ()
+      | Unsupported _ ->
+        capped := true);
+      if !capped then None
+      else Some { t_n = n; rows = Array.of_list (List.rev !rows) }
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Exact conditional probability at domain size N                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -153,9 +216,15 @@ let iter_assignments universe counts consts k =
     propensities (Section 7.3, {!Propensity}): the method itself never
     re-weights.
 
+    [table] — a {!stat_table} for the same (parts, n, tol) — replaces
+    the full composition sweep with its precomputed stat-satisfying
+    rows. Per-assignment evaluation and accumulation order are
+    unchanged, so results are bit-identical.
+
     @raise Unsupported when KB or query leave the engine's fragment
     (equality, non-unary predicates, function symbols). *)
-let pr_n ?(log_prior = fun _ -> 0.0) (parts : Analysis.parts) ~query ~n ~tol =
+let pr_n ?(log_prior = fun _ -> 0.0) ?table (parts : Analysis.parts) ~query ~n
+    ~tol =
   if not (Analysis.fully_supported parts) then
     raise (Unsupported "KB has unsupported conjuncts")
   else begin
@@ -171,29 +240,45 @@ let pr_n ?(log_prior = fun _ -> 0.0) (parts : Analysis.parts) ~query ~n ~tol =
        constant assignment. *)
     let stat_mentions_consts = Syntax.constants stat <> [] in
     let log_kb = ref Logspace.zero and log_kb_q = ref Logspace.zero in
-    Listx.iter_compositions n na (fun counts ->
-        (* Budget poll per profile: compositions number in the millions
-           for wide universes, and worker domains see no SIGALRM. *)
-        Rw_pool.Budget.check ();
-        let prof = { universe = u; n; counts; const_atoms = [] } in
-        let stat_ok = if stat_mentions_consts then true else sat prof tol stat in
-        if stat_ok then begin
-          let log_multi =
-            Logspace.log_multinomial n (Array.to_list counts) +. log_prior counts
+    let eval_profile counts log_multi =
+      let prof = { universe = u; n; counts; const_atoms = [] } in
+      iter_assignments u counts consts (fun assignment log_w ->
+          let prof = { prof with const_atoms = assignment } in
+          let kb_ok =
+            sat prof tol facts
+            && ((not stat_mentions_consts) || sat prof tol stat)
           in
-          iter_assignments u counts consts (fun assignment log_w ->
-              let prof = { prof with const_atoms = assignment } in
-              let kb_ok =
-                sat prof tol facts
-                && ((not stat_mentions_consts) || sat prof tol stat)
-              in
-              if kb_ok then begin
-                let weight = log_multi +. log_w in
-                log_kb := Logspace.add !log_kb weight;
-                if sat prof tol query then
-                  log_kb_q := Logspace.add !log_kb_q weight
-              end)
-        end);
+          if kb_ok then begin
+            let weight = log_multi +. log_w in
+            log_kb := Logspace.add !log_kb weight;
+            if sat prof tol query then
+              log_kb_q := Logspace.add !log_kb_q weight
+          end)
+    in
+    (match table with
+    | Some t
+      when t.t_n = n
+           && (not stat_mentions_consts)
+           && (Array.length t.rows = 0 || Array.length (fst t.rows.(0)) = na)
+      ->
+      Array.iter
+        (fun (counts, lm) ->
+          Rw_pool.Budget.check ();
+          eval_profile counts (lm +. log_prior counts))
+        t.rows
+    | _ ->
+      Listx.iter_compositions n na (fun counts ->
+          (* Budget poll per profile: compositions number in the millions
+             for wide universes, and worker domains see no SIGALRM. *)
+          Rw_pool.Budget.check ();
+          let prof = { universe = u; n; counts; const_atoms = [] } in
+          let stat_ok =
+            if stat_mentions_consts then true else sat prof tol stat
+          in
+          if stat_ok then
+            eval_profile counts
+              (Logspace.log_multinomial n (Array.to_list counts)
+              +. log_prior counts)));
     if Logspace.is_zero !log_kb then None
     else Some (Logspace.ratio !log_kb_q !log_kb)
   end

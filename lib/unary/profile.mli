@@ -33,8 +33,24 @@ val sat : profile -> Tolerance.t -> Syntax.formula -> bool
 (** Satisfaction of a sentence by every world with this profile.
     @raise Unsupported on equality / non-unary symbols / functions. *)
 
+type table
+(** Precomputed stat-satisfying count profiles with their multinomial
+    weights for one (KB parts, domain size, tolerance) — the compiled
+    KB's specialised profile counter. Query-independent because it is
+    only built when the statistics mention no constants. *)
+
+val table_size : table -> int
+
+val stat_table :
+  ?max_rows:int -> Analysis.parts -> n:int -> tol:Tolerance.t -> table option
+(** Enumerate the stat-satisfying profiles once. [None] when the table
+    would be unsound (statistics mentioning constants) or exceeds
+    [max_rows] (default 200k rows — memory bound; callers fall back to
+    the full sweep). *)
+
 val pr_n :
   ?log_prior:(int array -> float) ->
+  ?table:table ->
   Analysis.parts ->
   query:Syntax.formula ->
   n:int ->
@@ -43,7 +59,9 @@ val pr_n :
 (** Exact [Pr_N^τ̄(query | KB)]; [None] when [#worlds_N^τ̄(KB) = 0].
     [log_prior] re-weights atom-count profiles (log domain; uniform —
     the random-worlds prior — when omitted): the hook behind prior
-    variants such as {!Propensity}.
+    variants such as {!Propensity}. [table] (a {!stat_table} for the
+    same parts/[n]/[tol]) skips the composition sweep; results are
+    bit-identical with or without it.
     @raise Unsupported when KB or query leave the fragment. *)
 
 val consistent_n : Analysis.parts -> n:int -> tol:Tolerance.t -> bool

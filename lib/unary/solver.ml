@@ -107,13 +107,19 @@ let belief parts tol ~query_set ~given_set =
     let floor = 1e-7 in
     conditional_refined parts tol ~num:query_set ~den:given_set ~floor
 
-(** [conditional_distribution parts tol ~given] is the distribution of
-    a named individual's atom given that its known facts select the
-    atom set [given]: the maxent proportions restricted and normalised
-    to [given]. Falls back to the floored re-solve when [given] has
-    vanishing mass. Returns an association list over the atoms of
-    [given]; [None] when conditioning is impossible. *)
-let conditional_distribution (parts : Analysis.parts) tol ~given =
+(** [conditional_distribution ?solve parts tol ~given] is the
+    distribution of a named individual's atom given that its known
+    facts select the atom set [given]: the maxent proportions
+    restricted and normalised to [given]. Falls back to the floored
+    re-solve when [given] has vanishing mass. Returns an association
+    list over the atoms of [given]; [None] when conditioning is
+    impossible.
+
+    [solve] supplies the unconditioned maxent solve (a compiled KB
+    passes its memoised one); the default re-solves from scratch. The
+    floored fallback is query-dependent and always solves fresh. *)
+let conditional_distribution ?solve:solve_hook (parts : Analysis.parts) tol
+    ~given =
   let u = parts.Analysis.universe in
   let atoms = Atoms.members u given in
   let of_point p =
@@ -121,7 +127,9 @@ let conditional_distribution (parts : Analysis.parts) tol ~given =
     if m <= 0.0 then None
     else Some (List.map (fun a -> (a, p.(a) /. m)) atoms)
   in
-  let sol = solve parts tol in
+  let sol =
+    match solve_hook with Some f -> f tol | None -> solve parts tol
+  in
   if mass sol given > 1e-6 then of_point sol.point
   else begin
     (* Vanishing-mass conditioning: floor the given set and re-solve. *)

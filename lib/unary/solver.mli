@@ -58,10 +58,16 @@ val belief :
     the refined computation on vanishing mass. *)
 
 val conditional_distribution :
-  Analysis.parts -> Tolerance.t -> given:Atoms.Set.t -> (int * float) list option
+  ?solve:(Tolerance.t -> solution) ->
+  Analysis.parts ->
+  Tolerance.t ->
+  given:Atoms.Set.t ->
+  (int * float) list option
 (** The distribution of a named individual's atom given its known
     facts: maxent proportions restricted and renormalised to [given]
-    (with the floored fallback). *)
+    (with the floored fallback). [solve] overrides the unconditioned
+    maxent solve — a compiled KB passes its memoised solve here; the
+    floored fallback always re-solves. *)
 
 val consistent_at : Analysis.parts -> Tolerance.t -> bool
 (** Is the KB satisfiable as a constraint system at this tolerance? *)

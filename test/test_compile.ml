@@ -1,0 +1,287 @@
+(* Tests for the compiled-KB subsystem: artifact identity (digests),
+   answer invariance (compiled vs from-scratch dispatch), the service's
+   bounded artifact cache and its eviction, compile-once under a
+   parallel batch, and the compiled-kb trace provenance fact. *)
+
+open Rw_logic
+open Randworlds
+module C = Rw_compile.Compiled_kb
+module Service = Rw_service.Service
+module Trace = Rw_trace.Trace
+module Interval = Rw_prelude.Interval
+
+let parse s =
+  match Parser.formula s with
+  | Ok f -> f
+  | Error msg -> Alcotest.failf "parse %S failed: %s" s msg
+
+let kb_a =
+  parse "||Fly(x) | Bird(x)||_x ~=_1 0.9 /\\ Bird(Tweety)"
+
+let kb_b =
+  parse "||Fly(x) | Bird(x)||_x ~=_1 0.8 /\\ Bird(Tweety)"
+
+let result_eq a b =
+  match (a, b) with
+  | Answer.Point x, Answer.Point y -> Float.equal x y
+  | Answer.Within i, Answer.Within j ->
+    Float.equal (Interval.lo i) (Interval.lo j)
+    && Float.equal (Interval.hi i) (Interval.hi j)
+  | Answer.Inconsistent, Answer.Inconsistent -> true
+  | Answer.No_limit _, Answer.No_limit _ -> true
+  | Answer.Not_applicable _, Answer.Not_applicable _ -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Artifact identity                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* One statistical statement changed (0.9 → 0.8) must produce a
+   distinct digest and a distinct artifact — the cache key really does
+   separate the two KBs. *)
+let test_distinct_digests () =
+  let ca = C.compile kb_a and cb = C.compile kb_b in
+  if String.equal (C.digest ca) (C.digest cb) then
+    Alcotest.failf "KBs differing in a statistical bound share digest %s"
+      (C.digest ca);
+  Alcotest.(check bool) "artifact a matches kb_a" true (C.matches ca kb_a);
+  Alcotest.(check bool) "artifact a rejects kb_b" false (C.matches ca kb_b);
+  Alcotest.(check bool) "artifact b rejects kb_a" false (C.matches cb kb_a);
+  (* The digest agrees with the canonical digest the service keys on. *)
+  Alcotest.(check string) "digest is the canonical digest"
+    (Canonical.digest kb_a) (C.digest ca)
+
+let test_artifact_contents () =
+  let c = C.compile kb_a in
+  let s = C.stats c in
+  Alcotest.(check int) "conjuncts" 2 s.C.conjunct_count;
+  Alcotest.(check int) "statistical statements" 1 s.C.stat_count;
+  (* Bird/Fly: 2 unary predicates → 4 atoms, one named constant. *)
+  Alcotest.(check (option int)) "atoms" (Some 4) s.C.atoms;
+  Alcotest.(check int) "constants" 1 s.C.constants;
+  Alcotest.(check int) "schedule pre-solved"
+    (List.length C.default_schedule)
+    (s.C.presolved + s.C.infeasible);
+  Alcotest.(check bool) "no infeasible tolerance" true (s.C.infeasible = 0);
+  List.iter
+    (fun (_, h) ->
+      match h with
+      | Some e ->
+        if not (Float.is_finite e) then
+          Alcotest.fail "non-finite entropy in the profile"
+      | None -> Alcotest.fail "missing entropy on a feasible tolerance")
+    (C.entropy_profile c)
+
+(* ------------------------------------------------------------------ *)
+(* Answer invariance                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Dispatch with a compiled artifact must be bit-identical to the
+   from-scratch path — across the dispatcher and each engine that
+   consumes artifact state directly. *)
+let invariance_cases =
+  [
+    ("maxent point", kb_a, "Fly(Tweety)");
+    ("negated query", kb_a, "~Fly(Tweety)");
+    ("other KB", kb_b, "Fly(Tweety)");
+    ("conjunction", kb_a, "Fly(Tweety) /\\ Bird(Tweety)");
+    ("unknown constant", kb_a, "Fly(Opus)");
+  ]
+
+let test_dispatch_invariance () =
+  List.iter
+    (fun (name, kb, q) ->
+      let query = parse q in
+      let compiled = C.compile kb in
+      let plain = Engine.degree_of_belief ~kb query in
+      let fast = Engine.degree_of_belief ~compiled ~kb query in
+      if not (result_eq plain.Answer.result fast.Answer.result) then
+        Alcotest.failf "%s: compiled dispatch changed the answer: %a vs %a"
+          name Answer.pp_result plain.Answer.result Answer.pp_result
+          fast.Answer.result;
+      Alcotest.(check string)
+        (name ^ ": same engine") plain.Answer.engine fast.Answer.engine)
+    invariance_cases
+
+let test_forced_engine_invariance () =
+  let query = parse "Fly(Tweety)" in
+  let compiled = C.compile kb_a in
+  List.iter
+    (fun eid ->
+      let plain = Engine.run eid ~kb:kb_a query in
+      let fast = Engine.run ~compiled eid ~kb:kb_a query in
+      if not (result_eq plain.Answer.result fast.Answer.result) then
+        Alcotest.failf "engine %s: compiled run changed the answer: %a vs %a"
+          (Engine.id_name eid) Answer.pp_result plain.Answer.result
+          Answer.pp_result fast.Answer.result)
+    Engine.all_ids
+
+(* A foreign artifact (compiled for a different KB) must be ignored,
+   not misapplied. *)
+let test_foreign_artifact_ignored () =
+  let query = parse "Fly(Tweety)" in
+  let wrong = C.compile kb_b in
+  let plain = Engine.degree_of_belief ~kb:kb_a query in
+  let guarded = Engine.degree_of_belief ~compiled:wrong ~kb:kb_a query in
+  if not (result_eq plain.Answer.result guarded.Answer.result) then
+    Alcotest.failf "foreign artifact changed the answer: %a vs %a"
+      Answer.pp_result plain.Answer.result Answer.pp_result
+      guarded.Answer.result
+
+(* ------------------------------------------------------------------ *)
+(* Service artifact cache                                             *)
+(* ------------------------------------------------------------------ *)
+
+let compiled_stats svc =
+  match (Service.stats svc).Service.compiled with
+  | Some c -> c
+  | None -> Alcotest.fail "compiled tier disabled unexpectedly"
+
+(* A capacity-1 artifact cache alternating between two KBs must evict
+   and recompile each time the KB changes — and keep answering
+   correctly throughout. *)
+let test_eviction () =
+  (* The answer LRU is disabled so the repeated question actually
+     reaches the compiled tier instead of being served from the answer
+     cache. *)
+  let config =
+    {
+      Service.default_config with
+      Service.compiled_capacity = 1;
+      cache_capacity = 0;
+    }
+  in
+  let svc = Service.create ~config () in
+  let q = parse "Fly(Tweety)" in
+  let ask kb =
+    Service.load_kb svc kb;
+    match Service.query svc q with
+    | Ok (a, _) -> a
+    | Error msg -> Alcotest.failf "query failed: %s" msg
+  in
+  let a1 = ask kb_a in
+  let b1 = ask kb_b in
+  let a2 = ask kb_a in
+  let c = compiled_stats svc in
+  Alcotest.(check int) "three compiles (kb_a evicted between)" 3 c.Service.compiles;
+  Alcotest.(check int) "two evictions" 2
+    c.Service.compiled_cache.Rw_service.Lru.evictions;
+  Alcotest.(check int) "capacity one" 1
+    c.Service.compiled_cache.Rw_service.Lru.capacity;
+  (* The recompiled artifact answers exactly as the first one did. *)
+  if not (result_eq a1.Answer.result a2.Answer.result) then
+    Alcotest.fail "recompile after eviction changed the answer";
+  if result_eq a1.Answer.result b1.Answer.result then
+    Alcotest.fail "distinct KBs unexpectedly share an answer"
+
+let test_disabled_tier () =
+  let config = { Service.default_config with Service.compiled_capacity = 0 } in
+  let svc = Service.create ~config () in
+  Service.load_kb svc kb_a;
+  (match Service.query svc (parse "Fly(Tweety)") with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "query failed: %s" msg);
+  Alcotest.(check bool) "stats omit the compiled tier" true
+    ((Service.stats svc).Service.compiled = None)
+
+(* ------------------------------------------------------------------ *)
+(* Compile-once under a parallel batch                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Twelve distinct queries fanned out on four domains: the artifact
+   must be compiled exactly once (no duplicate solves, no torn
+   artifact), and every answer must match the sequential
+   compiled-tier-off run. *)
+let test_concurrent_compile_once () =
+  let queries =
+    List.map parse
+      [
+        "Fly(Tweety)"; "~Fly(Tweety)"; "Bird(Tweety)"; "~Bird(Tweety)";
+        "Fly(Tweety) /\\ Bird(Tweety)"; "Fly(Tweety) \\/ Bird(Tweety)";
+        "Fly(Tweety) => Bird(Tweety)"; "Bird(Tweety) => Fly(Tweety)";
+        "Fly(Opus)"; "Bird(Opus)"; "Fly(Opus) /\\ Bird(Opus)";
+        "~(Fly(Tweety) /\\ Bird(Tweety))";
+      ]
+  in
+  let svc = Service.create () in
+  Service.load_kb svc kb_a;
+  let results = Service.batch ~jobs:4 svc queries in
+  let c = compiled_stats svc in
+  Alcotest.(check int) "compiled exactly once" 1 c.Service.compiles;
+  (* Reference answers: same service config, compiled tier off,
+     sequential. *)
+  let plain_config =
+    { Service.default_config with Service.compiled_capacity = 0 }
+  in
+  let plain = Service.create ~config:plain_config () in
+  Service.load_kb plain kb_a;
+  List.iter2
+    (fun q (r, p) ->
+      match (r, p) with
+      | Ok (a, _), Ok (b, _) ->
+        if not (result_eq a.Answer.result b.Answer.result) then
+          Alcotest.failf "parallel compiled batch diverged on %s: %a vs %a"
+            (Pretty.to_string q) Answer.pp_result a.Answer.result
+            Answer.pp_result b.Answer.result
+      | Error m, _ | _, Error m -> Alcotest.failf "batch item failed: %s" m)
+    queries
+    (List.combine results (Service.batch plain queries))
+
+(* ------------------------------------------------------------------ *)
+(* Trace provenance                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let compiled_kb_fact events =
+  List.find_map
+    (function
+      | Trace.Fact { tag = "compiled-kb"; fields } -> Some fields
+      | _ -> None)
+    events
+
+(* The first answer against a KB pays the compile ("fresh-solve");
+   later distinct queries reuse the artifact ("reused"). *)
+let test_trace_provenance () =
+  let svc = Service.create () in
+  Service.load_kb svc kb_a;
+  let explained q =
+    match Service.query_explained svc (parse q) with
+    | Ok e -> e.Service.trace
+    | Error msg -> Alcotest.failf "explained query failed: %s" msg
+  in
+  let point fields =
+    match List.assoc_opt "maxent_point" fields with
+    | Some (Trace.S s) -> s
+    | _ -> Alcotest.fail "compiled-kb fact lacks maxent_point"
+  in
+  (match compiled_kb_fact (explained "Fly(Tweety)") with
+  | None -> Alcotest.fail "first dispatch emitted no compiled-kb fact"
+  | Some fields ->
+    Alcotest.(check string) "first use is the fresh solve" "fresh-solve"
+      (point fields);
+    (match List.assoc_opt "digest" fields with
+    | Some (Trace.S d) ->
+      Alcotest.(check bool) "digest prefix matches" true
+        (String.length d > 0
+        && String.sub (Canonical.digest kb_a) 0 (String.length d) = d)
+    | _ -> Alcotest.fail "compiled-kb fact lacks a digest"));
+  match compiled_kb_fact (explained "Bird(Tweety)") with
+  | None -> Alcotest.fail "second dispatch emitted no compiled-kb fact"
+  | Some fields ->
+    Alcotest.(check string) "second use reuses the artifact" "reused"
+      (point fields)
+
+let suite =
+  [
+    Alcotest.test_case "distinct digests" `Quick test_distinct_digests;
+    Alcotest.test_case "artifact contents" `Quick test_artifact_contents;
+    Alcotest.test_case "dispatch invariance" `Quick test_dispatch_invariance;
+    Alcotest.test_case "forced-engine invariance" `Quick
+      test_forced_engine_invariance;
+    Alcotest.test_case "foreign artifact ignored" `Quick
+      test_foreign_artifact_ignored;
+    Alcotest.test_case "eviction" `Quick test_eviction;
+    Alcotest.test_case "disabled tier" `Quick test_disabled_tier;
+    Alcotest.test_case "concurrent compile-once" `Quick
+      test_concurrent_compile_once;
+    Alcotest.test_case "trace provenance" `Quick test_trace_provenance;
+  ]

@@ -16,6 +16,7 @@ let () =
       ("cross_engine", Test_cross_engine.suite);
       ("mc", Test_mc.suite);
       ("kb_corpus", Test_kb_corpus.suite);
+      ("compile", Test_compile.suite);
       ("service", Test_service.suite);
       ("store", Test_store.suite);
       ("fuzz", Test_fuzz.suite);
