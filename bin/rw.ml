@@ -388,7 +388,7 @@ let batch_cmd =
 (* ------------------------------------------------------------------ *)
 
 let run_serve kb_path cache_size budget no_compiled store_path no_store jobs
-    verbose =
+    listen max_clients idle_timeout verbose =
   (* Replies own stdout; logging goes to stderr unconditionally. *)
   Logs.set_reporter (Logs_fmt.reporter ~app:Fmt.stderr ~dst:Fmt.stderr ());
   Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning));
@@ -429,7 +429,13 @@ let run_serve kb_path cache_size budget no_compiled store_path no_store jobs
         ?store ()
     in
     let serve () =
-      let code = Rw_service.Server.run ~jobs svc in
+      let code =
+        match listen with
+        | None -> Rw_service.Server.run ~jobs svc
+        | Some addr_str ->
+          let addr = Rw_service.Server.parse_addr addr_str in
+          Rw_service.Server.listen ~jobs ~max_clients ?idle_timeout ~addr svc
+      in
       Option.iter Rw_store.Store.close store;
       code
     in
@@ -472,6 +478,34 @@ let no_store_arg =
           "Run without a durable store even when $(b,\\$RW_STORE) is set; \
            wins over $(b,--store).")
 
+let listen_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "listen" ] ~docv:"PATH|HOST:PORT"
+        ~doc:
+          "Accept many concurrent clients on a Unix socket ($(i,PATH)) or \
+           TCP socket ($(i,HOST:PORT)) instead of speaking to one client on \
+           stdin/stdout. All clients share the service's caches and durable \
+           store; each request is answered on a worker domain.")
+
+let max_clients_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-clients" ] ~docv:"N"
+        ~doc:
+          "With $(b,--listen): reject connections beyond N concurrent \
+           clients (they get an ok:false reply and an immediate close).")
+
+let idle_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "idle-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "With $(b,--listen): close connections that send nothing for this \
+           many seconds.")
+
 let serve_cmd =
   let doc = "answer degree-of-belief queries over NDJSON on stdin/stdout" in
   let man =
@@ -491,6 +525,14 @@ let serve_cmd =
         "Example session: echo \
          '{\"op\":\"query\",\"query\":\"Hep(Eric)\"}' | rw serve --kb \
          examples/kb/hepatitis.kb --store answers.rws";
+      `P
+        "With $(b,--listen) the same protocol is served to many concurrent \
+         clients over a Unix or TCP socket — one shared cache/store, \
+         requests routed across $(b,--jobs) worker domains, graceful drain \
+         on a shutdown request or SIGTERM. Connect with $(b,rw client): rw \
+         serve --listen /tmp/rw.sock --kb examples/kb/hepatitis.kb &; echo \
+         '{\"op\":\"query\",\"query\":\"Hep(Eric)\"}' | rw client \
+         /tmp/rw.sock";
     ]
   in
   Cmd.v
@@ -498,7 +540,101 @@ let serve_cmd =
     Term.(
       const run_serve $ serve_kb_arg $ cache_arg $ budget_arg
       $ no_compiled_arg $ store_path_opt_arg $ no_store_arg $ pool_jobs_arg
-      $ verbose_arg)
+      $ listen_arg $ max_clients_arg $ idle_timeout_arg $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
+(* client                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_client addr_str retry =
+  let addr = Rw_service.Server.parse_addr addr_str in
+  let sa =
+    try Ok (Rw_service.Server.sockaddr addr)
+    with Unix.Unix_error (e, _, arg) ->
+      Error (Fmt.str "cannot resolve %s: %s" arg (Unix.error_message e))
+  in
+  match sa with
+  | Error msg ->
+    Fmt.epr "%s@." msg;
+    1
+  | Ok sa -> (
+    let domain = Unix.domain_of_sockaddr sa in
+    (* --retry covers the serve-startup race in scripts: keep trying
+       to connect until the deadline instead of failing on the first
+       refused/absent socket. *)
+    let deadline = Unix.gettimeofday () +. retry in
+    let rec connect () =
+      let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+      match Unix.connect fd sa with
+      | () -> Ok fd
+      | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if Unix.gettimeofday () < deadline then begin
+          Unix.sleepf 0.05;
+          connect ()
+        end
+        else Error (Unix.error_message e)
+    in
+    match connect () with
+    | Error msg ->
+      Fmt.epr "cannot connect to %a: %s@." Rw_service.Server.pp_addr addr msg;
+      1
+    | Ok fd ->
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      (* Lock-step NDJSON: one request line from stdin, one reply line
+         to stdout — replies on a connection come back in request
+         order, so this is lossless. *)
+      let rec loop () =
+        match input_line stdin with
+        | exception End_of_file -> 0
+        | line when String.trim line = "" -> loop ()
+        | line -> (
+          output_string oc line;
+          output_char oc '\n';
+          flush oc;
+          match input_line ic with
+          | reply ->
+            print_endline reply;
+            loop ()
+          | exception End_of_file ->
+            Fmt.epr "server closed the connection@.";
+            1)
+      in
+      let code = loop () in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      code)
+
+let client_cmd =
+  let doc = "connect to a listening rw serve and relay NDJSON requests" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Connects to an $(b,rw serve --listen) socket, sends each stdin \
+         line as a request, and prints each reply line to stdout — the \
+         stdin/stdout serve session, re-speakable over a socket without \
+         nc/socat. Exits 0 on stdin EOF, 1 if the server closes first or \
+         the connection fails.";
+    ]
+  in
+  let addr_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PATH|HOST:PORT" ~doc:"The serve socket to connect to.")
+  in
+  let retry_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "retry" ] ~docv:"SECONDS"
+          ~doc:
+            "Keep retrying the connect for this long before giving up — \
+             for scripts racing a just-started server.")
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc ~man ~exits:common_exits)
+    Term.(const run_client $ addr_arg $ retry_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compile                                                            *)
@@ -1004,8 +1140,9 @@ let () =
       Cmd.eval'
         (Cmd.group info
            [
-             query_cmd; batch_cmd; serve_cmd; compile_cmd; store_cmd;
-             consistent_cmd; series_cmd; zoo_cmd; parse_cmd; fuzz_cmd;
+             query_cmd; batch_cmd; serve_cmd; client_cmd; compile_cmd;
+             store_cmd; consistent_cmd; series_cmd; zoo_cmd; parse_cmd;
+             fuzz_cmd;
            ])
     with
     | Rw_kbzoo.Kbzoo.Parse_error (src, msg) ->

@@ -24,6 +24,16 @@ dune exec bin/rw.exe -- query \
 # pool (--jobs 2) so the parallel driver is part of the gate.
 dune exec bin/rw.exe -- fuzz --seed 42 --cases 20 --jobs 2
 
+# Agreement pin: the 500-case agreement-oracle sweep that used to lose
+# 3 cases to the MC importance-tilt misses on near-degenerate KBs
+# (seeds 708734350365, 764477501514, 1096281972639 — minimized into
+# test/fuzz_corpus/agreement-mc-tilt-*.case) must stay at 0 failures.
+# Restricted to the agreement oracle to keep the gate's runtime
+# proportionate (~7 min; the full eight-oracle 500-case sweep is
+# ~45 min and stays a manual step — see EXPERIMENTS.md).
+dune exec bin/rw.exe -- fuzz --seed 42 --cases 500 --oracle agreement \
+  --jobs 2
+
 # Parallel batch smoke: the pool path end to end, answers printed in
 # input order.
 printf '%s\n' 'Hep(Eric)' '~Hep(Eric)' 'Jaun(Eric)' \
@@ -104,6 +114,68 @@ if [ "$norm1" != "$norm2" ]; then
   exit 1
 fi
 rm -rf "$store_dir"
+
+# Socket serve: a listening server hammered by 4 parallel clients must
+# answer everyone coherently, then survive kill -9 with a clean store.
+# Each client sends the same query set over its own connection; every
+# answer must be byte-identical to the single-connection session's
+# (modulo the per-reply timing/tier fields), the compiled stats must
+# show exactly one compile across all clients, and after the SIGKILL
+# the store must verify clean and warm-restart from the durable tier.
+listen_dir=$(mktemp -d)
+lsock="$listen_dir/rw.sock"
+lstore="$listen_dir/answers.rws"
+_build/default/bin/rw.exe serve --listen "$lsock" \
+  --kb examples/kb/hepatitis.kb --store "$lstore" --jobs 2 \
+  2> /dev/null &
+listen_pid=$!
+reqs='{"op":"query","query":"Hep(Eric)"}
+{"op":"query","query":"~Hep(Eric)"}
+{"op":"query","query":"Jaun(Eric)"}
+{"op":"query","query":"Jaun(Eric) /\\ Hep(Eric)"}'
+client_pids=
+i=0
+while [ "$i" -lt 4 ]; do
+  printf '%s\n' "$reqs" \
+    | _build/default/bin/rw.exe client "$lsock" --retry 10 \
+    > "$listen_dir/client$i.out" &
+  client_pids="$client_pids $!"
+  i=$((i + 1))
+done
+for pid in $client_pids; do
+  wait "$pid" || { echo "ci: concurrent client failed" >&2; exit 1; }
+done
+single=$(printf '%s\n' "$reqs" \
+  | _build/default/bin/rw.exe serve --kb examples/kb/hepatitis.kb \
+      2> /dev/null | strip_reply)
+i=0
+while [ "$i" -lt 4 ]; do
+  got=$(strip_reply < "$listen_dir/client$i.out")
+  if [ "$got" != "$single" ]; then
+    echo "ci: concurrent client $i diverged from the single-connection session" >&2
+    echo "--- single connection ---" >&2; printf '%s\n' "$single" >&2
+    echo "--- client $i ---" >&2; printf '%s\n' "$got" >&2
+    exit 1
+  fi
+  i=$((i + 1))
+done
+echo '{"op":"stats"}' \
+  | _build/default/bin/rw.exe client "$lsock" --retry 10 \
+  | grep -q '"compiles":1' \
+  || { echo "ci: listen served 4 clients with more than one KB compile" >&2; exit 1; }
+kill -9 "$listen_pid"
+wait "$listen_pid" 2> /dev/null || true
+_build/default/bin/rw.exe store verify "$lstore" > /dev/null \
+  || { echo "ci: store corrupt after kill -9 of the listener" >&2; exit 1; }
+warm=$(printf '%s\n' '{"op":"query","query":"Hep(Eric)"}' \
+  | _build/default/bin/rw.exe serve --kb examples/kb/hepatitis.kb \
+      --store "$lstore" 2> /dev/null)
+case $warm in
+  *'"tier":"store"'*) ;;
+  *) echo "ci: restart after listener kill -9 did not serve from the store" >&2
+     exit 1 ;;
+esac
+rm -rf "$listen_dir"
 
 # Compiled-KB tier: a 200-query same-KB batch must produce replies
 # byte-identical with and without the compiled-artifact cache, modulo

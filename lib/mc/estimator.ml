@@ -191,6 +191,20 @@ let accum_interval ~z acc =
    which therefore do not depend on the job count either. *)
 let chunks_per_round = 16
 
+(* The stratification checkpoint must be reachable within the sample
+   budget, or the tilted rescue can never engage: a budget no larger
+   than one full round used to be consumed entirely before the first
+   [maybe_stratify], and a warmup exceeding the budget pushed the
+   checkpoint past the end of the run altogether. Both shapes are the
+   norm under the fuzzer's small per-case budgets (the three
+   near-degenerate agreement failures in ROADMAP: uniform sampling of
+   a KB whose satisfaction probability is ~3e-3 produced a handful of
+   hits and a junk interval, while the tilt — which hits the same KBs
+   at ~10% — sat unused). Scaling the warmup reserves at least three
+   quarters of small budgets for the tilted phase. *)
+let effective_warmup config =
+  min config.warmup (max 1 (config.max_samples / 4))
+
 (** [estimate ?config ?pool ?tilt_solve ~seed ~vocab ~n ~tol ~kb query]
     — the adaptive Monte-Carlo estimate of [Pr_N^τ̄(query | kb)].
     Deterministic in [seed] at any pool width (up to the wall-time
@@ -241,11 +255,26 @@ let estimate ?(config = default_config) ?pool ?tilt_solve ~seed ~vocab ~n ~tol
     dst.w2_kb <- dst.w2_kb +. src.w2_kb;
     dst.w_both <- dst.w_both +. src.w_both
   in
+  let warmup = effective_warmup config in
   let draw_round () =
     (* Chunk generators are split off the master stream per chunk —
        never per domain — so the stream assignment is a pure function
        of (seed, chunk index). *)
     let prop = !proposal in
+    let remaining =
+      (* A budget that fits inside one round would blow straight past
+         the stratification checkpoint, so cap the uniform phase of
+         such runs at the warmup boundary — the tilted phase then gets
+         the rest of the budget. Multi-round budgets keep their full
+         round size (and their exact historical sample stream): their
+         first round boundary already lands past the warmup. *)
+      if
+        Option.is_none prop
+        && config.max_samples <= chunks_per_round * config.batch
+        && !total_samples < warmup
+      then warmup - !total_samples
+      else config.max_samples - !total_samples
+    in
     let rec specs remaining k =
       if k = 0 || remaining <= 0 then []
       else
@@ -253,7 +282,7 @@ let estimate ?(config = default_config) ?pool ?tilt_solve ~seed ~vocab ~n ~tol
         let rng = Prng.split master in
         (size, rng, prop) :: specs (remaining - size) (k - 1)
     in
-    let specs = specs (config.max_samples - !total_samples) chunks_per_round in
+    let specs = specs remaining chunks_per_round in
     let accs =
       match pool with
       | Some p when Rw_pool.Pool.jobs p > 1 -> Rw_pool.Pool.map p run_chunk specs
@@ -269,7 +298,7 @@ let estimate ?(config = default_config) ?pool ?tilt_solve ~seed ~vocab ~n ~tol
       accs
   in
   let maybe_stratify () =
-    if Option.is_none !proposal && !total_samples >= config.warmup then begin
+    if Option.is_none !proposal && !total_samples >= warmup then begin
       let rate = float_of_int !total_hits /. float_of_int !total_samples in
       if rate < config.stratify_below then
         match tilted_proposal ?solve:tilt_solve ~vocab ~tol kb with
@@ -306,9 +335,20 @@ let estimate ?(config = default_config) ?pool ?tilt_solve ~seed ~vocab ~n ~tol
       (* Importance-weight collapse: hits happened but every weight
          underflowed to 0 (or the effective sample size did), so the
          ratio Σw_both/Σw_kb is 0/0. There is no estimate to report —
-         that is starvation, not an Estimate with NaN fields. *)
-      if Float.is_finite mean && ess best > 0.0 then
-        Estimate { mean; ci; stats = { (stats ()) with ess = ess best } }
+         that is starvation, not an Estimate with NaN fields.
+
+         The same honesty applies below [min_hits]: the config calls it
+         the evidence "required before trusting the CI", yet a run that
+         exhausted its budget with a handful of KB hits used to report
+         the Wilson interval of those few worlds as its answer — on
+         near-degenerate KBs that interval lands far from the
+         conditional often enough to fail cross-engine agreement
+         deterministically. Too little evidence to trust is starvation,
+         not an estimate. *)
+      if
+        Float.is_finite mean
+        && ess best >= float_of_int (max 1 config.min_hits)
+      then Estimate { mean; ci; stats = { (stats ()) with ess = ess best } }
       else Starved (stats ())
     end
   in

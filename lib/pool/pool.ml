@@ -79,6 +79,59 @@ let run ~jobs f =
 
 let jobs t = t.jobs
 
+(* ------------------------------------------------------------------ *)
+(* Futures: submit-without-participating, for sys-threads             *)
+(* ------------------------------------------------------------------ *)
+
+type 'a future = {
+  fm : Mutex.t;
+  done_ : Condition.t;
+  mutable result : ('a, exn * Printexc.raw_backtrace) result option;
+}
+
+let async t f =
+  if t.jobs < 2 then
+    invalid_arg "Pool.async: needs a spawned worker (jobs >= 2)";
+  let fut =
+    { fm = Mutex.create (); done_ = Condition.create (); result = None }
+  in
+  let deadline = Budget.current () in
+  let task () =
+    let r =
+      match Budget.with_inherited deadline f with
+      | v -> Ok v
+      | exception e -> Error (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock fut.fm;
+    fut.result <- Some r;
+    Condition.broadcast fut.done_;
+    Mutex.unlock fut.fm
+  in
+  Mutex.lock t.m;
+  if t.closing then begin
+    Mutex.unlock t.m;
+    invalid_arg "Pool.async: pool is shut down"
+  end;
+  Queue.add task t.queue;
+  Condition.signal t.work;
+  Mutex.unlock t.m;
+  fut
+
+let await fut =
+  Mutex.lock fut.fm;
+  let rec wait () =
+    match fut.result with
+    | Some r -> r
+    | None ->
+      Condition.wait fut.done_ fut.fm;
+      wait ()
+  in
+  let r = wait () in
+  Mutex.unlock fut.fm;
+  match r with
+  | Ok v -> v
+  | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+
 let map t f xs =
   if on_worker () then raise Nested;
   match xs with
@@ -111,8 +164,11 @@ let map t f xs =
     done;
     Condition.broadcast t.work;
     (* The caller helps drain the queue, then waits for stragglers
-       running on other domains. Only this map's tasks can be queued
-       (nested maps are refused), so an empty queue is final. *)
+       running on other domains. The queue may also hold {!async}
+       tasks from other threads; executing those here is harmless
+       helping — [remaining] only counts this map's tasks, and the
+       condition wait covers the case where the queue empties before
+       they finish. *)
     let rec drain () =
       match Queue.take_opt t.queue with
       | Some task ->

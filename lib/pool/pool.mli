@@ -61,3 +61,30 @@ val on_worker : unit -> bool
 (** Is the current code running inside a pool task (on any domain —
     the coordinator executes tasks as well)? The guard nested
     parallelism keys off. *)
+
+(** {2 Futures}
+
+    {!map} assumes the submitting domain participates in the work —
+    wrong for the serve listener, where many sys-threads (one per
+    connection, all sharing the main domain and its DLS/signal state)
+    each need their request to run on a worker {e domain} while they
+    only block. {!async}/{!await} is that submission path: the task
+    queue is shared with {!map}, the submitter never executes tasks,
+    and completion is signalled per-future. *)
+
+type 'a future
+
+val async : t -> (unit -> 'a) -> 'a future
+(** Enqueue [f] for the worker domains and return immediately. The
+    submitting thread's {!Budget} deadline (if any) is inherited by
+    the task, as with {!map}. Requires a pool with at least one
+    spawned worker ([jobs >= 2] — the submitter does not participate,
+    so someone else must run the task); raises [Invalid_argument]
+    otherwise, or if the pool has been shut down. Safe to call from
+    any sys-thread. *)
+
+val await : 'a future -> 'a
+(** Block until the future's task has run; return its value or
+    re-raise its exception with the original backtrace. Must not be
+    called from inside a pool task (a worker blocking on queued work
+    can deadlock the pool). *)

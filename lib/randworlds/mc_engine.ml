@@ -130,7 +130,8 @@ let estimate ?(seed = default_seed) ?samples ?ci_width ?(jobs = 1)
     List.filter_map
       (fun (_, o) ->
         match o with
-        | Rw_mc.Estimator.Estimate { ci; _ } -> Some ci
+        | Rw_mc.Estimator.Estimate { ci; stats; _ } ->
+          Some (ci, stats.Rw_mc.Estimator.n)
         | Rw_mc.Estimator.Starved _ -> None)
       outcomes
   in
@@ -140,13 +141,33 @@ let estimate ?(seed = default_seed) ?samples ?ci_width ?(jobs = 1)
     | Some tr -> Rw_trace.Trace.fact tr tag fields
   in
   match List.rev estimates with
-  | ci :: _ ->
+  | (ci, n) :: _ ->
+    (* The grid's answer is a single finite-N confidence interval, but
+       it is reported as an estimate of the N → ∞ limit. At size [N]
+       proportions only exist in multiples of 1/N, so the conditioned
+       world-set is distorted by up to that resolution (near-degenerate
+       statistics are the worst case: whole profile ranges fall outside
+       the tolerance band and the conditional shifts by O(1/N)). An
+       honest interval for the limit carries that finite-size slack on
+       top of the sampling error; the raw CI stays in the notes. *)
+    let slack = 1.0 /. float_of_int n in
+    let reported = Interval.clamp01 (Interval.widen ci slack) in
     emit "limit"
       [ ("verdict", Rw_trace.Trace.S "ci-at-smallest-tolerance");
-        ("ci_lo", Rw_trace.Trace.F (Interval.lo ci));
-        ("ci_hi", Rw_trace.Trace.F (Interval.hi ci))
+        ("n", Rw_trace.Trace.I n);
+        ("finite_size_slack", Rw_trace.Trace.F slack);
+        ("ci_lo", Rw_trace.Trace.F (Interval.lo reported));
+        ("ci_hi", Rw_trace.Trace.F (Interval.hi reported))
       ];
-    Answer.make ~notes ~engine:"mc" (Answer.Within ci)
+    Answer.make
+      ~notes:
+        (notes
+        @ [ Fmt.str
+              "mc: interval widened by 1/N = %g finite-size slack (sampled at \
+               N=%d; the limit answer inherits the proportion resolution)"
+              slack n
+          ])
+      ~engine:"mc" (Answer.Within reported)
   | [] ->
     (* Rejection starved on every tolerance: report honestly with a
        widened (vacuous) interval rather than guessing or hanging. *)

@@ -18,6 +18,7 @@ let () =
       ("kb_corpus", Test_kb_corpus.suite);
       ("compile", Test_compile.suite);
       ("service", Test_service.suite);
+      ("listen", Test_listen.suite);
       ("store", Test_store.suite);
       ("fuzz", Test_fuzz.suite);
       ("pool", Test_pool.suite);
