@@ -17,7 +17,8 @@ dune exec bin/rw.exe -- query \
 
 # Differential fuzz: a fixed-seed budgeted sweep of the metamorphic
 # oracle suite (engine agreement, duality, canonicalization, cache,
-# convergence, parser totality, compiled-artifact answer identity).
+# convergence, parser totality, compiled-artifact answer identity,
+# belief-change session soundness).
 # Any violation fails the gate and the
 # report prints the shrunk counterexample. ~30s; the deeper 500-case
 # sweep is run manually (see EXPERIMENTS.md). Runs through the domain
@@ -32,6 +33,14 @@ dune exec bin/rw.exe -- fuzz --seed 42 --cases 20 --jobs 2
 # proportionate (~7 min; the full eight-oracle 500-case sweep is
 # ~45 min and stays a manual step — see EXPERIMENTS.md).
 dune exec bin/rw.exe -- fuzz --seed 42 --cases 500 --oracle agreement \
+  --jobs 2
+
+# Update pin: the 500-case belief-change sweep — every generated
+# assert/retract sequence must leave session answers bit-identical to
+# a cold dispatch on the accumulated KB (ISSUE 9's soundness gate).
+# Restricted to the update oracle for the same runtime reasons as the
+# agreement pin above.
+dune exec bin/rw.exe -- fuzz --seed 42 --cases 500 --oracle update \
   --jobs 2
 
 # Parallel batch smoke: the pool path end to end, answers printed in
@@ -176,6 +185,87 @@ case $warm in
      exit 1 ;;
 esac
 rm -rf "$listen_dir"
+
+# Belief-change session: a scripted session over --listen is SIGKILLed
+# mid-session; a restart from the same --store replaying the same
+# script must land on answers byte-identical to an uninterrupted run
+# (modulo the per-reply timing/tier fields). This pins the revalidation
+# write-through: the pre-kill session's answer was computed under the
+# original KB digest and carried across two updates purely by
+# revalidation, so the replay can only match if those re-keyed entries
+# reached the store under their post-update digests.
+sess_dir=$(mktemp -d)
+ssock="$sess_dir/rw.sock"
+sess_script='{"op":"query","query":"Hep(Eric)"}
+{"op":"session_update","action":"assert","src":"Wet(Sam)"}
+{"op":"query","query":"Hep(Eric)"}
+{"op":"session_update","action":"assert","src":"Damp(Kim)"}
+{"op":"query","query":"Hep(Eric)"}'
+# Uninterrupted reference: the whole script in one serve session.
+sess_ref=$(printf '%s\n' "$sess_script" \
+  | _build/default/bin/rw.exe serve --kb examples/kb/hepatitis.kb \
+      --store "$sess_dir/ref.rws" 2> /dev/null | strip_reply)
+# Interrupted run: first three lines over the socket, then kill -9.
+_build/default/bin/rw.exe serve --listen "$ssock" \
+  --kb examples/kb/hepatitis.kb --store "$sess_dir/live.rws" \
+  2> /dev/null &
+sess_pid=$!
+printf '%s\n' "$sess_script" | head -n 3 \
+  | _build/default/bin/rw.exe client "$ssock" --retry 10 \
+  > "$sess_dir/pre-kill.out" \
+  || { echo "ci: session client failed" >&2; exit 1; }
+kill -9 "$sess_pid"
+wait "$sess_pid" 2> /dev/null || true
+_build/default/bin/rw.exe store verify "$sess_dir/live.rws" > /dev/null \
+  || { echo "ci: session store corrupt after kill -9" >&2; exit 1; }
+# The killed session's second query never dispatched an engine under
+# the updated KB — it survived the assert by revalidation. A restart
+# that replays just the update must therefore find the re-keyed answer
+# in the durable tier.
+revived=$(printf '%s\n' \
+  '{"op":"session_update","action":"assert","src":"Wet(Sam)"}' \
+  '{"op":"query","query":"Hep(Eric)"}' \
+  | _build/default/bin/rw.exe serve --kb examples/kb/hepatitis.kb \
+      --store "$sess_dir/live.rws" 2> /dev/null | tail -n 1)
+case $revived in
+  *'"tier":"store"'*) ;;
+  *) echo "ci: revalidated answer not served from the store after restart: $revived" >&2
+     exit 1 ;;
+esac
+# Full replay from the crashed store matches the uninterrupted run.
+sess_replay=$(printf '%s\n' "$sess_script" \
+  | _build/default/bin/rw.exe serve --kb examples/kb/hepatitis.kb \
+      --store "$sess_dir/live.rws" 2> /dev/null | strip_reply)
+if [ "$sess_replay" != "$sess_ref" ]; then
+  echo "ci: session replay after kill -9 diverged from the uninterrupted run" >&2
+  echo "--- uninterrupted ---" >&2; printf '%s\n' "$sess_ref" >&2
+  echo "--- replay ---" >&2; printf '%s\n' "$sess_replay" >&2
+  exit 1
+fi
+rm -rf "$sess_dir"
+
+# Delta reuse: evidence-only updates must carry the compiled artifact
+# across digest changes — three asserts about known predicates may not
+# trigger a single recompile (compiles stays 1, three carries).
+sess_stats=$(printf '%s\n' \
+  '{"op":"query","query":"Hep(Eric)"}' \
+  '{"op":"session_update","action":"assert","src":"Jaun(Dana)"}' \
+  '{"op":"session_update","action":"assert","src":"Jaun(Kim)"}' \
+  '{"op":"session_update","action":"assert","src":"Jaun(Pat)"}' \
+  '{"op":"query","query":"Hep(Eric)"}' \
+  '{"op":"stats"}' \
+  | _build/default/bin/rw.exe serve --kb examples/kb/hepatitis.kb \
+      2> /dev/null)
+case $(printf '%s\n' "$sess_stats" | tail -n 1) in
+  *'"compiles":1'*) ;;
+  *) echo "ci: evidence-only updates recompiled the artifact" >&2
+     printf '%s\n' "$sess_stats" >&2; exit 1 ;;
+esac
+case $(printf '%s\n' "$sess_stats" | tail -n 1) in
+  *'"artifact_carries":3'*) ;;
+  *) echo "ci: expected 3 artifact carries" >&2
+     printf '%s\n' "$sess_stats" >&2; exit 1 ;;
+esac
 
 # Compiled-KB tier: a 200-query same-KB batch must produce replies
 # byte-identical with and without the compiled-artifact cache, modulo

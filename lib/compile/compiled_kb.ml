@@ -240,6 +240,75 @@ let compile ?(schedule = default_schedule) kb =
   { t with compile_ms = (Unix.gettimeofday () -. t0) *. 1000.0 }
 
 (* ------------------------------------------------------------------ *)
+(* Incremental update                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The entropy-maximising solve reads only the optimisation problem —
+   atom universe, universal constraints, statistical constraints
+   ({!Constraints.of_parts} never looks at [const_facts]) — and the
+   profile tables likewise count proportions, not individuals. So a
+   delta that only adds, removes or rewords {e evidence} (ground
+   boolean facts about constants, over the existing predicates) poses
+   the identical problem and the memo contents stay exact. *)
+let same_solve_problem (a : Analysis.parts) (b : Analysis.parts) =
+  Atoms.predicates a.Analysis.universe = Atoms.predicates b.Analysis.universe
+  && a.Analysis.universals = b.Analysis.universals
+  && a.Analysis.statisticals = b.Analysis.statisticals
+
+let update old kb =
+  let t0 = Unix.gettimeofday () in
+  let parts = Analysis.analyze kb in
+  match old.unary with
+  | Some u when Analysis.fully_supported parts && same_solve_problem u.parts parts
+    ->
+    (* Dirty parts only: digest, conjunct split, statistical index and
+       the inconsistency pre-checks are recomputed (cheap, syntactic);
+       the unary analysis adopts the new constant facts; the solved
+       τ̄-schedule and profile tables are carried over verbatim. *)
+    let conjuncts = Analysis.split_conjuncts kb in
+    let stat_index = List.map (fun f -> (f, Stat.of_conjunct f)) conjuncts in
+    let solutions, tables =
+      Mutex.protect u.m (fun () ->
+          (Hashtbl.copy u.solutions, Hashtbl.copy u.tables))
+    in
+    let t =
+      {
+        digest = Canonical.digest kb;
+        kb;
+        vocab = Vocab.of_formula kb;
+        conjuncts;
+        stat_index;
+        ground_inconsistent = ground_contradiction conjuncts;
+        degenerate_inconsistent = degenerate_self_conditional stat_index;
+        unary =
+          Some
+            {
+              parts;
+              allowed = Analysis.allowed_atoms parts;
+              fact_atoms =
+                List.map
+                  (fun c -> (c, Analysis.fact_atoms parts c))
+                  (Analysis.constants parts);
+              m = Mutex.create ();
+              solutions;
+              tables;
+            };
+        schedule = old.schedule;
+        compile_ms = 0.0;
+        (* Seed [uses] from the predecessor: nobody re-paid a solve, so
+           the first consumer of the carried artifact reports "reused",
+           not "fresh-solve". *)
+        uses = Atomic.make (max 1 (Atomic.get old.uses));
+        solve_hits = Atomic.make 0;
+        solve_misses = Atomic.make 0;
+        table_hits = Atomic.make 0;
+        table_misses = Atomic.make 0;
+      }
+    in
+    ({ t with compile_ms = (Unix.gettimeofday () -. t0) *. 1000.0 }, true)
+  | _ -> (compile ~schedule:old.schedule kb, false)
+
+(* ------------------------------------------------------------------ *)
 (* Accessors and observability                                        *)
 (* ------------------------------------------------------------------ *)
 

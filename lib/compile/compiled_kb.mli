@@ -46,6 +46,22 @@ val default_schedule : Tolerance.t list
 (** The τ̄-schedule pre-solved by default — the same schedule the
     maxent engine walks, so its solves all hit the artifact. *)
 
+val update : t -> Syntax.formula -> t * bool
+(** [update old kb] compiles an artifact for [kb] — a small delta of
+    [old]'s KB — reusing [old] where the delta leaves it undisturbed.
+    The digest, conjunct split, statistical index and inconsistency
+    pre-checks are always recomputed (cheap, purely syntactic). When
+    both KBs are in the unary fragment and pose the {e same
+    optimisation problem} — equal atom universe, universal and
+    statistical constraints; only the evidence about individuals
+    changed — the pre-solved maxent schedule and profile-table memos
+    are carried over instead of re-solved, which is sound because the
+    solver never reads the constant facts. Returns [(artifact,
+    carried)]; when the delta disturbs the problem the result is
+    exactly [compile ~schedule kb] (a full recompile, [carried =
+    false]). The old artifact is left untouched and remains valid for
+    the old KB. *)
+
 (** {1 Precomputed KB structure} *)
 
 val digest : t -> string

@@ -9,7 +9,7 @@ let pp_violation ppf v = Fmt.pf ppf "[%s] %s" v.oracle v.detail
 let names =
   [
     "agreement"; "duality"; "canonical"; "cache"; "convergence"; "parser";
-    "explain"; "compiled";
+    "explain"; "compiled"; "update";
   ]
 
 (* Throughput-tuned engine options: hundreds of cases per run means
@@ -605,6 +605,136 @@ let compiled ~options (c : Gen.case) =
     List.rev !vs
 
 (* ------------------------------------------------------------------ *)
+(* update                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Belief-change sessions: after every assert/retract the service must
+   answer exactly like a cold dispatch on the accumulated KB — whether
+   the answer was revalidated, recomputed, or served from the cache is
+   an implementation detail that may never show through. Updates are
+   drawn to exercise every invalidation path: deltas over fresh
+   vocabulary (revalidation candidates), deltas overlapping the
+   generator's own pools (evictions), retracts of resident conjuncts,
+   and canonical no-ops. *)
+
+(* Mirrors of {!Gen}'s pools (not exported there) plus a disjoint set
+   the generator never touches, so a "fresh vocabulary" delta really
+   is disjoint from every generated case. *)
+let upd_fresh_preds = [| "U"; "V"; "W" |]
+let upd_fresh_consts = [| "F"; "G" |]
+let upd_overlap_preds = [| "P"; "Q"; "R"; "S" |]
+let upd_overlap_consts = [| "C"; "D"; "E" |]
+
+let upd_pick rng arr = arr.(Prng.int rng (Array.length arr))
+
+(* One update op: (action, formula). [resident] is the oracle's mirror
+   of the KB's conjunct list, used only to choose retract targets and
+   re-assert candidates — ground truth stays [Service.kb]. *)
+let gen_update rng ~resident =
+  let ground_fact preds consts =
+    let a = Syntax.pred (upd_pick rng preds) [ Syntax.const (upd_pick rng consts) ] in
+    if Prng.bool rng then a else Syntax.Not a
+  in
+  match Prng.int rng 6 with
+  | 0 | 1 ->
+    (* fresh-vocabulary evidence: the revalidation sweet spot *)
+    (Rw_service.Service.Assert, ground_fact upd_fresh_preds upd_fresh_consts)
+  | 2 ->
+    (* fresh-vocabulary statistical: exercises artifact recompiles *)
+    let p = Syntax.pred (upd_pick rng upd_fresh_preds) [ Syntax.var "x" ] in
+    ( Rw_service.Service.Assert,
+      Syntax.approx_eq ~i:1 (Syntax.Prop (p, [ "x" ])) (Syntax.Num 0.5) )
+  | 3 ->
+    (* overlapping evidence: must evict, not revalidate stale bits *)
+    (Rw_service.Service.Assert, ground_fact upd_overlap_preds upd_overlap_consts)
+  | 4 when resident <> [] ->
+    (Rw_service.Service.Retract,
+     List.nth resident (Prng.int rng (List.length resident)))
+  | _ when resident <> [] ->
+    (* re-assert something already present: the canonical no-op path *)
+    (Rw_service.Service.Assert,
+     List.nth resident (Prng.int rng (List.length resident)))
+  | _ -> (Rw_service.Service.Assert, ground_fact upd_fresh_preds upd_fresh_consts)
+
+let update ~options (c : Gen.case) =
+  let module Svc = Rw_service.Service in
+  match
+    let config = { Svc.default_config with engine_options = options } in
+    let svc = Svc.create ~config () in
+    Svc.load_kb svc (Gen.kb_formula c);
+    let rng = Prng.create (c.Gen.seed lxor 0x5e5510) in
+    let vs = ref [] in
+    let add v = vs := v :: !vs in
+    (* The session answer must match a cold dispatch on the service's
+       own accumulated KB — bit-identical result and same signing
+       engine, whatever mix of cached / revalidated / recomputed
+       served it. *)
+    let check_query tag =
+      match Svc.query svc c.Gen.query with
+      | Error msg -> add (violationf "update" "%s: query failed: %s" tag msg)
+      | Ok (a, _origin) ->
+        let kb_now = Option.get (Svc.kb svc) in
+        let direct = Engine.degree_of_belief ~options ~kb:kb_now c.Gen.query in
+        if not (results_equal ~eps:0.0 a.Answer.result direct.Answer.result)
+        then
+          add
+            (violationf "update"
+               "%s: session answer %a differs from cold dispatch %a" tag
+               pp_result a.Answer.result pp_result direct.Answer.result);
+        if a.Answer.engine <> direct.Answer.engine then
+          add
+            (violationf "update" "%s: session engine %s, cold dispatch %s" tag
+               a.Answer.engine direct.Answer.engine)
+    in
+    check_query "initial";
+    let resident = ref c.Gen.kb in
+    let nops = 2 + Prng.int rng 3 in
+    for i = 1 to nops do
+      let action, f = gen_update rng ~resident:!resident in
+      (match Svc.update svc action f with
+      | Error msg ->
+        add
+          (violationf "update" "op %d: update rejected a generated delta: %s"
+             i msg)
+      | Ok _ ->
+        (* keep the retract-target mirror in sync, at the same
+           conjunct granularity the service uses *)
+        let ds = List.map Canonical.digest (Rw_unary.Analysis.split_conjuncts f) in
+        (match action with
+        | Svc.Assert ->
+          let present =
+            List.map Canonical.digest !resident |> fun have ->
+            List.filter
+              (fun g -> not (List.mem (Canonical.digest g) have))
+              (Rw_unary.Analysis.split_conjuncts f)
+          in
+          resident := !resident @ present
+        | Svc.Retract ->
+          resident :=
+            List.filter
+              (fun g -> not (List.mem (Canonical.digest g) ds))
+              !resident));
+      check_query (Printf.sprintf "op %d" i)
+    done;
+    (* Bookkeeping: one log entry per mutation plus the initial load,
+       and the stats counters must agree with what we just did. *)
+    let log = Svc.session_log svc in
+    if List.length log <> nops + 1 then
+      add
+        (violationf "update" "session log has %d entries, expected %d"
+           (List.length log) (nops + 1));
+    let st = (Svc.stats svc).Svc.session in
+    if st.Svc.updates <> nops then
+      add
+        (violationf "update" "session stats count %d updates, expected %d"
+           st.Svc.updates nops);
+    List.rev !vs
+  with
+  | vs -> vs
+  | exception e ->
+    [ violationf "update" "session raised %s" (Printexc.to_string e) ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver-facing entry point                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -621,3 +751,4 @@ let check ?only ~options (c : Gen.case) =
   @ run "parser" (fun () -> parser c)
   @ run "explain" (fun () -> explain ~options c)
   @ run "compiled" (fun () -> compiled ~options c)
+  @ run "update" (fun () -> update ~options c)

@@ -30,7 +30,13 @@
     - {b compiled}: dispatching with a pre-compiled KB artifact
       ({!Rw_compile.Compiled_kb}) returns the bit-identical verdict
       and interval of the from-scratch path, signed by the same
-      engine. *)
+      engine;
+    - {b update}: a belief-change session ({!Rw_service.Service.update})
+      fed a seeded mix of asserts, retracts and canonical no-ops —
+      over vocabulary both fresh and overlapping the resident KB —
+      answers every re-query bit-identically to a cold dispatch on the
+      accumulated KB, with the same signing engine, and its session
+      log / stats count exactly the mutations applied. *)
 
 open Randworlds
 

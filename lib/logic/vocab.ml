@@ -60,6 +60,16 @@ let is_unary v =
   List.for_all (fun (_, a) -> a <= 1) v.preds
   && List.for_all (fun (_, a) -> a = 0) v.funcs
 
+(** [disjoint v1 v2] holds when the vocabularies share no symbol at
+    all — no predicate and no function (constants included). The
+    session layer's delta classifier keys off this: an update whose
+    vocabulary is disjoint from a cached query's cannot add or remove
+    a reference class for it. *)
+let disjoint v1 v2 =
+  let names v = List.map fst v.preds @ List.map fst v.funcs in
+  let n2 = names v2 in
+  not (List.exists (fun x -> List.mem x n2) (names v1))
+
 (** [covers v f] checks that every symbol of [f] appears in [v] with
     the same arity. *)
 let covers v f =

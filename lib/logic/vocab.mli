@@ -36,4 +36,9 @@ val is_unary : t -> bool
 val covers : t -> Syntax.formula -> bool
 (** Does every symbol of the formula appear with the same arity? *)
 
+val disjoint : t -> t -> bool
+(** No shared predicate or function symbol (constants included) —
+    arities are ignored, sharing a name in any role counts as
+    overlap. The basis of the session layer's update classifier. *)
+
 val pp : Format.formatter -> t -> unit

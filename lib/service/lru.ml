@@ -1,7 +1,7 @@
 (** Bounded LRU cache — see the interface. *)
 
 type 'v node = {
-  key : string;
+  mutable key : string;
   mutable value : 'v;
   mutable prev : 'v node option;  (** toward most-recent *)
   mutable next : 'v node option;  (** toward least-recent *)
@@ -15,12 +15,14 @@ type 'v t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable removed : int;
 }
 
 type stats = {
   hits : int;
   misses : int;
   evictions : int;
+  removed : int;
   size : int;
   capacity : int;
 }
@@ -35,6 +37,7 @@ let create ~capacity =
     hits = 0;
     misses = 0;
     evictions = 0;
+    removed = 0;
   }
 
 let unlink t node =
@@ -90,11 +93,59 @@ let add (t : _ t) key value =
 
 let mem (t : _ t) key = Hashtbl.mem t.tbl key
 
+(* Nodes matching the predicate, least-recent first so that re-keyed
+   survivors keep their relative recency when callers re-insert. The
+   snapshot makes the subsequent mutation safe. *)
+let matching_nodes t p =
+  let rec walk acc = function
+    | None -> acc
+    | Some node ->
+      walk (if p node.key node.value then node :: acc else acc) node.prev
+  in
+  walk [] t.tail |> List.rev
+
+let drop_node t node =
+  unlink t node;
+  Hashtbl.remove t.tbl node.key;
+  t.removed <- t.removed + 1
+
+let remove_if (t : _ t) p =
+  let victims = matching_nodes t p in
+  List.iter (drop_node t) victims;
+  List.length victims
+
+let remap (t : _ t) ~prefix f =
+  let nodes =
+    matching_nodes t (fun key _ -> String.starts_with ~prefix key)
+  in
+  let kept = ref 0 and removed = ref 0 in
+  List.iter
+    (fun node ->
+      match f node.key node.value with
+      | None -> drop_node t node; incr removed
+      | Some (key', value') ->
+        if key' <> node.key && Hashtbl.mem t.tbl key' then begin
+          (* The target key is already live (a KB cycle re-keying onto
+             itself): the resident entry wins, the stale one goes. *)
+          drop_node t node;
+          incr removed
+        end
+        else begin
+          Hashtbl.remove t.tbl node.key;
+          node.key <- key';
+          node.value <- value';
+          Hashtbl.add t.tbl key' node;
+          incr kept
+        end)
+    nodes;
+  (!kept, !removed)
+
 let stats (t : _ t) =
   {
     hits = t.hits;
     misses = t.misses;
     evictions = t.evictions;
+    removed = t.removed;
     size = Hashtbl.length t.tbl;
     capacity = t.capacity;
   }
@@ -107,7 +158,8 @@ let clear (t : _ t) =
 let reset_stats (t : _ t) =
   t.hits <- 0;
   t.misses <- 0;
-  t.evictions <- 0
+  t.evictions <- 0;
+  t.removed <- 0
 
 (* The mutex-guarded wrapper: every operation — including [find], which
    rewires the recency list and bumps counters — runs under one lock.
@@ -120,6 +172,8 @@ module Sync = struct
   let find t key = Mutex.protect t.m (fun () -> find t.c key)
   let add t key value = Mutex.protect t.m (fun () -> add t.c key value)
   let mem t key = Mutex.protect t.m (fun () -> mem t.c key)
+  let remove_if t p = Mutex.protect t.m (fun () -> remove_if t.c p)
+  let remap t ~prefix f = Mutex.protect t.m (fun () -> remap t.c ~prefix f)
   let stats t = Mutex.protect t.m (fun () -> stats t.c)
   let clear t = Mutex.protect t.m (fun () -> clear t.c)
   let reset_stats t = Mutex.protect t.m (fun () -> reset_stats t.c)

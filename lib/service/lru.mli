@@ -18,6 +18,9 @@ type stats = {
   hits : int;
   misses : int;
   evictions : int;
+  removed : int;
+      (** entries dropped by {!remove_if}/{!remap} — deliberate
+          invalidation, counted apart from capacity [evictions] *)
   size : int;  (** live entries *)
   capacity : int;
 }
@@ -40,6 +43,21 @@ val add : 'v t -> string -> 'v -> unit
 val mem : 'v t -> string -> bool
 (** Presence test that touches neither recency nor counters. *)
 
+val remove_if : 'v t -> (string -> 'v -> bool) -> int
+(** [remove_if t p] drops every entry satisfying [p], returning how
+    many were dropped (also added to the [removed] counter). The
+    invalidation primitive: a digest-keyed cache passes a key-prefix
+    predicate to reclaim everything belonging to a retired KB. *)
+
+val remap : 'v t -> prefix:string -> (string -> 'v -> (string * 'v) option) -> int * int
+(** [remap t ~prefix f] visits every entry whose key starts with
+    [prefix]: [f key value] returning [None] drops the entry (counted
+    in [removed]), [Some (key', value')] re-keys it in place,
+    preserving its recency position. Returns [(kept, dropped)]. When a
+    re-key target collides with a live entry, the resident entry wins
+    and the visited one is dropped. The session layer's delta-aware
+    invalidation walks old-digest entries with this. *)
+
 val stats : 'v t -> stats
 
 val clear : 'v t -> unit
@@ -61,6 +79,16 @@ module Sync : sig
   val find : 'v t -> string -> 'v option
   val add : 'v t -> string -> 'v -> unit
   val mem : 'v t -> string -> bool
+
+  val remove_if : 'v t -> (string -> 'v -> bool) -> int
+  (** Runs under the lock: the predicate must not call back into the
+      same cache. *)
+
+  val remap : 'v t -> prefix:string -> (string -> 'v -> (string * 'v) option) -> int * int
+  (** Runs under the lock — the whole walk is atomic with respect to
+      concurrent [find]/[add]; [f] must not call back into the same
+      cache. *)
+
   val stats : 'v t -> stats
   val clear : 'v t -> unit
   val reset_stats : 'v t -> unit

@@ -16,12 +16,19 @@ type request =
       jobs : int option;
     }
   | Load_kb of { id : Json.t option; path : string option; text : string option }
+  | Session_update of {
+      id : Json.t option;
+      action : Service.update_action;
+      src : string;
+    }
+  | Session_log of { id : Json.t option }
   | Stats of { id : Json.t option }
   | Persist of { id : Json.t option; compact : bool }
   | Shutdown of { id : Json.t option }
 
 let request_id = function
-  | Query { id; _ } | Batch { id; _ } | Load_kb { id; _ } | Stats { id }
+  | Query { id; _ } | Batch { id; _ } | Load_kb { id; _ }
+  | Session_update { id; _ } | Session_log { id } | Stats { id }
   | Persist { id; _ } | Shutdown { id } ->
     id
 
@@ -55,6 +62,20 @@ let request_of_json json =
     match (path, text) with
     | None, None -> Error "\"load_kb\" op needs a \"path\" or inline \"kb\""
     | _ -> Ok (Load_kb { id; path; text }))
+  | Some "session_update" -> (
+    let action =
+      match Option.bind (Json.member "action" json) Json.to_str with
+      | Some "assert" -> Ok Service.Assert
+      | Some "retract" -> Ok Service.Retract
+      | Some a -> Error (Printf.sprintf "unknown session_update action %S" a)
+      | None ->
+        Error "\"session_update\" op needs an \"action\" (assert|retract)"
+    in
+    match (action, Option.bind (Json.member "src" json) Json.to_str) with
+    | Error e, _ -> Error e
+    | Ok _, None -> Error "\"session_update\" op needs a string \"src\" field"
+    | Ok action, Some src -> Ok (Session_update { id; action; src }))
+  | Some "session_log" -> Ok (Session_log { id })
   | Some "stats" -> Ok (Stats { id })
   | Some "persist" ->
     let compact =
@@ -98,10 +119,50 @@ let json_of_compiled_stats (c : Service.compiled_stats) =
       ("hits", Json.Int c.Service.compiled_cache.Lru.hits);
       ("misses", Json.Int c.Service.compiled_cache.Lru.misses);
       ("evictions", Json.Int c.Service.compiled_cache.Lru.evictions);
+      ("removed", Json.Int c.Service.compiled_cache.Lru.removed);
       ("size", Json.Int c.Service.compiled_cache.Lru.size);
       ("capacity", Json.Int c.Service.compiled_cache.Lru.capacity);
       ("compiles", Json.Int c.Service.compiles);
       ("compile_ms_total", Json.Float c.Service.compile_ms_total);
+    ]
+
+let update_outcome_fields (u : Service.update_outcome) =
+  [
+    ("seq", Json.Int u.Service.useq);
+    ("digest", Json.String u.Service.digest);
+    ("changed", Json.Bool u.Service.changed);
+    ("revalidated", Json.Int u.Service.revalidated);
+    ("evicted", Json.Int u.Service.evicted);
+    ("artifact", Json.String u.Service.artifact);
+    ("elapsed_ms", Json.Float u.Service.elapsed_ms);
+  ]
+
+let json_of_session_event (e : Service.session_event) =
+  Json.Obj
+    [
+      ("seq", Json.Int e.Service.seq);
+      ("action", Json.String e.Service.action);
+      ("src", Json.String e.Service.src);
+      ("digest_before", Json.String e.Service.digest_before);
+      ("digest_after", Json.String e.Service.digest_after);
+      ("changed", Json.Bool e.Service.changed);
+      ("revalidated", Json.Int e.Service.revalidated);
+      ("evicted", Json.Int e.Service.evicted);
+      ("artifact", Json.String e.Service.artifact);
+      ("elapsed_ms", Json.Float e.Service.elapsed_ms);
+    ]
+
+let json_of_session_stats (s : Service.session_stats) =
+  Json.Obj
+    [
+      ("updates", Json.Int s.Service.updates);
+      ("asserts", Json.Int s.Service.asserts);
+      ("retracts", Json.Int s.Service.retracts);
+      ("revalidated", Json.Int s.Service.revalidated);
+      ("update_evicted", Json.Int s.Service.update_evicted);
+      ("swap_reclaimed", Json.Int s.Service.swap_reclaimed);
+      ("artifact_carries", Json.Int s.Service.artifact_carries);
+      ("log_entries", Json.Int s.Service.log_entries);
     ]
 
 let json_of_stats_fields (s : Service.stats) =
@@ -112,6 +173,7 @@ let json_of_stats_fields (s : Service.stats) =
             ("hits", Json.Int s.Service.cache.Lru.hits);
             ("misses", Json.Int s.Service.cache.Lru.misses);
             ("evictions", Json.Int s.Service.cache.Lru.evictions);
+            ("removed", Json.Int s.Service.cache.Lru.removed);
             ("size", Json.Int s.Service.cache.Lru.size);
             ("capacity", Json.Int s.Service.cache.Lru.capacity);
           ] );
@@ -142,10 +204,10 @@ let json_of_stats_fields (s : Service.stats) =
     @ (match s.Service.compiled with
       | None -> []
       | Some c -> [ ("compiled", json_of_compiled_stats c) ])
-    @
-    match s.Service.store with
-    | None -> []
-    | Some st -> [ ("store", json_of_store_stats st) ]
+    @ (match s.Service.store with
+      | None -> []
+      | Some st -> [ ("store", json_of_store_stats st) ])
+    @ [ ("session", json_of_session_stats s.Service.session) ]
 
 let json_of_stats s = Json.Obj (json_of_stats_fields s)
 

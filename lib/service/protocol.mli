@@ -11,6 +11,10 @@
   {"op":"query","query":"Hep(Eric)","budget":0.5}      one query
   {"op":"batch","queries":["Hep(Eric)","~Hep(Eric)"],
    "jobs":4}                              many queries, domain pool
+  {"op":"session_update","action":"assert",
+   "src":"Jaun(Dana)"}                    belief change, delta-aware
+  {"op":"session_update","action":"retract","src":"Jaun(Dana)"}
+  {"op":"session_log"}                    every KB mutation so far
   {"op":"stats"}                                       counters
   {"op":"persist"}                        fsync the durable store
   {"op":"persist","compact":true}         ... and compact it
@@ -38,6 +42,16 @@ type request =
       jobs : int option;  (** domain-pool width for this batch *)
     }
   | Load_kb of { id : Json.t option; path : string option; text : string option }
+  | Session_update of {
+      id : Json.t option;
+      action : Service.update_action;
+      src : string;  (** KB-file syntax; multi-statement text allowed *)
+    }
+      (** incremental belief change against the resident KB
+          ({!Service.update_src}): evicts exactly the cache entries the
+          delta can affect, revalidates the rest under the new digest *)
+  | Session_log of { id : Json.t option }
+      (** the session's mutation history ({!Service.session_log}) *)
   | Stats of { id : Json.t option }
   | Persist of { id : Json.t option; compact : bool }
       (** force the durable answer store to disk; [compact] also
@@ -63,8 +77,19 @@ val json_of_stats : Service.stats -> Json.t
 (** The serve [stats] payload; includes a ["compiled"] object
     (compiled-KB artifact cache hits/misses/evictions/size/capacity,
     compile count and total compile milliseconds) when the compiled
-    tier is enabled, and a ["store"] object (see
-    {!json_of_store_stats}) when a durable tier is attached. *)
+    tier is enabled, a ["store"] object (see {!json_of_store_stats})
+    when a durable tier is attached, and always a ["session"] object
+    (update/revalidation/eviction/reclaim counters). *)
+
+val update_outcome_fields : Service.update_outcome -> (string * Json.t) list
+(** The [session_update] reply payload: sequence number, new digest,
+    [changed], revalidated/evicted entry counts, artifact disposition
+    and elapsed milliseconds. *)
+
+val json_of_session_event : Service.session_event -> Json.t
+(** One [session_log] entry, mirroring {!Service.session_event}. *)
+
+val json_of_session_stats : Service.session_stats -> Json.t
 
 val json_of_store_stats : Rw_store.Store.stats -> Json.t
 (** The durable tier's counters: live/dead record counts,

@@ -130,6 +130,30 @@ let handle_request ?jobs:default_jobs service req =
       Log.warn (fun m -> m "load_kb failed: %s" msg);
       `Reply (Protocol.error_reply ?id msg)
   end
+  | Protocol.Session_update { action; src = usrc; _ } -> begin
+    match Service.update_src service action usrc with
+    | Ok outcome ->
+      Log.info (fun m ->
+          m "session_update %s seq=%d revalidated=%d evicted=%d %s"
+            (match action with
+            | Service.Assert -> "assert"
+            | Service.Retract -> "retract")
+            outcome.Service.useq outcome.Service.revalidated
+            outcome.Service.evicted usrc);
+      `Reply (Protocol.ok_reply ?id (Protocol.update_outcome_fields outcome))
+    | Error msg ->
+      Log.warn (fun m -> m "session_update failed: %s" msg);
+      `Reply (Protocol.error_reply ?id msg)
+  end
+  | Protocol.Session_log _ ->
+    let log = Service.session_log service in
+    Log.info (fun m -> m "session_log (%d entries)" (List.length log));
+    `Reply
+      (Protocol.ok_reply ?id
+         [
+           ("log", Json.List (List.map Protocol.json_of_session_event log));
+           ("count", Json.Int (List.length log));
+         ])
   | Protocol.Stats _ ->
     Log.info (fun m -> m "stats");
     `Reply
@@ -310,7 +334,12 @@ let listen_dispatch st req =
         in
         let results = List.map Rw_pool.Pool.await futures in
         batch_reply ?id srcs results ((Instr.now () -. t0) *. 1000.0))
-  | Protocol.Load_kb _ -> write_locked st (fun () -> handle_request st.service req)
+  | Protocol.Load_kb _ | Protocol.Session_update _ ->
+    (* Both mutate the KB slot and walk the caches: exclusive access,
+       like any writer. The revalidation walk's rules rechecks are
+       purely syntactic — cheap enough for the connection thread. *)
+    write_locked st (fun () -> handle_request st.service req)
+  | Protocol.Session_log _ -> handle_request st.service req
   | Protocol.Stats _ -> begin
     Log.info (fun m -> m "stats");
     let stats_json =

@@ -101,8 +101,51 @@ let latency_summary l =
    (when one was recorded), so a cached answer can explain itself
    without re-deriving anything. Entries computed with tracing off
    store [None]; an explained hit on such an entry re-derives once and
-   upgrades it. *)
-type entry = { answer : Answer.t; trace : Trace.event list option }
+   upgrades it.
+
+   For the session layer each entry also remembers the query it
+   answers and that query's vocabulary — the inputs of the delta-aware
+   invalidation walk — plus a provenance log of [revalidated] facts
+   accumulated as the entry survives KB updates. Provenance lives in
+   memory only; the durable store persists answer and trace. *)
+type entry = {
+  answer : Answer.t;
+  trace : Trace.event list option;
+  query : Syntax.formula;
+  qvocab : Vocab.t;
+  provenance : Trace.event list;
+}
+
+(* One line of the session log: a KB mutation (or full swap) with the
+   cache bookkeeping it caused. [action] is ["assert"], ["retract"] or
+   ["load"]; [artifact] says what happened to the compiled artifact —
+   ["carried"] (memo tables survived the delta), ["recompiled"],
+   ["absent"] (compiled tier off), or ["unchanged"] (canonical
+   no-op). *)
+type session_event = {
+  seq : int;
+  action : string;
+  src : string;
+  digest_before : string;
+  digest_after : string;
+  changed : bool;
+  revalidated : int;
+  evicted : int;
+  artifact : string;
+  elapsed_ms : float;
+}
+
+type update_action = Assert | Retract
+
+type update_outcome = {
+  useq : int;
+  digest : string;
+  changed : bool;
+  revalidated : int;
+  evicted : int;
+  artifact : string;
+  elapsed_ms : float;
+}
 
 type t = {
   config : config;
@@ -126,6 +169,22 @@ type t = {
   queries : int Atomic.t;
   timeouts : int Atomic.t;
   kb_loads : int Atomic.t;
+  (* Session state: the KB's conjunct list (the unit of assert/retract),
+     the mutation log, and the invalidation counters. All guarded by
+     [session_m]; like [load_kb], mutations concurrent with queries are
+     only safe when the caller serialises them (the listener's write
+     lock does). *)
+  session_m : Mutex.t;
+  mutable conjuncts : Syntax.formula list;
+  mutable session_log_rev : session_event list;
+  mutable seq : int;
+  mutable updates : int;
+  mutable asserts : int;
+  mutable retracts : int;
+  mutable revalidated_total : int;
+  mutable update_evicted_total : int;
+  mutable swap_reclaimed_total : int;
+  mutable artifact_carries : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -184,6 +243,17 @@ let create ?(config = default_config) ?store () =
     queries = Atomic.make 0;
     timeouts = Atomic.make 0;
     kb_loads = Atomic.make 0;
+    session_m = Mutex.create ();
+    conjuncts = [];
+    session_log_rev = [];
+    seq = 0;
+    updates = 0;
+    asserts = 0;
+    retracts = 0;
+    revalidated_total = 0;
+    update_evicted_total = 0;
+    swap_reclaimed_total = 0;
+    artifact_carries = 0;
   }
 
 let config t = t.config
@@ -193,10 +263,61 @@ let store t = t.store
 (* KB lifecycle                                                       *)
 (* ------------------------------------------------------------------ *)
 
+(* The KB's conjunct list — the granularity at which sessions assert
+   and retract. Matches the unary analyser's split, so the session's
+   reconstructed [Syntax.conj conjuncts] round-trips structurally. *)
+let rec split_conjuncts = function
+  | Syntax.And (f, g) -> split_conjuncts f @ split_conjuncts g
+  | Syntax.True -> []
+  | f -> [ f ]
+
+let log_event t ev = t.session_log_rev <- ev :: t.session_log_rev
+
+(* Swapping in a whole new KB retires every cache entry of the old one:
+   without this, a long-lived serve process that cycles KBs fills the
+   answer LRU and the compiled-artifact cache with unreachable
+   old-digest entries that squat on capacity until recency pressure
+   happens to evict them. Reloading the same KB (digest unchanged)
+   keeps everything — the entries are still valid. *)
 let load_kb t kb =
+  Mutex.protect t.session_m @@ fun () ->
+  let t0 = Instr.now () in
+  let before = t.kb_digest in
+  let digest = Canonical.digest kb in
+  let reclaimed =
+    if before <> "" && before <> digest then begin
+      let prefix = before ^ "|" in
+      let n =
+        Lru.Sync.remove_if t.cache (fun key _ ->
+            String.starts_with ~prefix key)
+      in
+      ignore (Lru.Sync.remove_if t.compiled (fun key _ -> key = before));
+      n
+    end
+    else 0
+  in
+  t.swap_reclaimed_total <- t.swap_reclaimed_total + reclaimed;
   t.kb <- Some kb;
-  t.kb_digest <- Canonical.digest kb;
-  Atomic.incr t.kb_loads
+  t.kb_digest <- digest;
+  t.conjuncts <- split_conjuncts kb;
+  Atomic.incr t.kb_loads;
+  t.seq <- t.seq + 1;
+  log_event t
+    {
+      seq = t.seq;
+      action = "load";
+      src = "";
+      digest_before = before;
+      digest_after = digest;
+      changed = before <> digest;
+      revalidated = 0;
+      evicted = reclaimed;
+      artifact =
+        (if t.config.compiled_capacity <= 0 then "absent"
+         else if before <> "" && before <> digest then "dropped"
+         else "unchanged");
+      elapsed_ms = (Instr.now () -. t0) *. 1000.0;
+    }
 
 let load_kb_string t src =
   match Kb_file.of_string src with
@@ -308,7 +429,10 @@ let cache_key t q = t.kb_digest ^ "|" ^ Canonical.digest q ^ "|" ^ t.opts_digest
    CRC-verified before they are indexed at all, and a payload that
    fails to decode (e.g. written by a future payload version) is
    treated as a miss, not an error. *)
-let store_probe t key =
+let mk_entry q answer trace =
+  { answer; trace; query = q; qvocab = Vocab.of_formula q; provenance = [] }
+
+let store_probe t key q =
   match t.store with
   | None -> None
   | Some store -> (
@@ -316,7 +440,7 @@ let store_probe t key =
     | None -> None
     | Some payload -> (
       match Codec.decode_payload payload with
-      | Ok (answer, trace) -> Some { answer; trace }
+      | Ok (answer, trace) -> Some (mk_entry q answer trace)
       | Error _ -> None))
 
 let store_put t key (e : entry) =
@@ -370,6 +494,208 @@ let compiled_for t kb =
              | Some _ | None -> fresh ()))
   end
 
+(* ------------------------------------------------------------------ *)
+(* Session updates                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Which cached answers may survive a KB delta? Exactly those the
+   dispatch pipeline would reproduce bit-identically on the updated KB
+   without running a numeric engine: definitive rules-engine answers.
+   Dispatch short-circuits on a rules Point / No_limit / Inconsistent
+   before any numeric engine runs, so if re-running the (cheap,
+   deterministic, purely syntactic) rules engine against the updated
+   KB returns a structurally identical answer, a cold re-dispatch
+   necessarily serves that same answer — revalidation is sound by
+   construction, with no appeal to vocabulary arguments about the
+   numeric engines. Everything else (maxent/unary/enum/mc answers,
+   rules intervals that dispatch may refine) is evicted and recomputed
+   on demand. The vocabulary-disjointness test is the cheap pre-filter
+   in front of the recheck: an update that touches a symbol of the
+   query's vocabulary is assumed to affect it and evicts outright. *)
+let rules_definitive (a : Answer.t) =
+  String.equal a.Answer.engine "rules"
+  &&
+  match a.Answer.result with
+  | Answer.Point _ | Answer.No_limit _ | Answer.Inconsistent -> true
+  | Answer.Within _ | Answer.Not_applicable _ -> false
+
+let short_digest d = if String.length d > 12 then String.sub d 0 12 else d
+
+let revalidated_fact ~seq ~before ~after =
+  Trace.Fact
+    {
+      tag = "revalidated";
+      fields =
+        [
+          ("seq", Trace.I seq);
+          ("kb_from", Trace.S (short_digest before));
+          ("kb_to", Trace.S (short_digest after));
+        ];
+    }
+
+(* Apply one assert/retract to the live KB. Deltas are matched against
+   the KB's conjunct list by canonical digest, so asserting an
+   already-present statement (or retracting an absent one) is a
+   recognised no-op that leaves every cache entry in place. A real
+   change recompiles-or-carries the compiled artifact
+   ({!Rw_compile.Compiled_kb.update}) and walks the old digest's cache
+   entries: disjoint-vocabulary definitive rules answers that recheck
+   identically are re-keyed to the new digest (gaining a [revalidated]
+   provenance fact and a durable-store record under the new key);
+   everything else is evicted. *)
+let update ?src t action f =
+  Mutex.protect t.session_m @@ fun () ->
+  match t.kb with
+  | None -> Error "no knowledge base loaded"
+  | Some _ -> (
+    let t0 = Instr.now () in
+    let src = match src with Some s -> s | None -> Pretty.to_string f in
+    let before = t.kb_digest in
+    let action_s = match action with Assert -> "assert" | Retract -> "retract" in
+    let delta_conjs = split_conjuncts f in
+    let conjuncts', delta =
+      match action with
+      | Assert ->
+        let have = List.map Canonical.digest t.conjuncts in
+        let fresh =
+          List.filter
+            (fun c -> not (List.mem (Canonical.digest c) have))
+            delta_conjs
+        in
+        (t.conjuncts @ fresh, fresh)
+      | Retract ->
+        let keys = List.map Canonical.digest delta_conjs in
+        let removed, kept =
+          List.partition
+            (fun c -> List.mem (Canonical.digest c) keys)
+            t.conjuncts
+        in
+        (kept, removed)
+    in
+    let record ~digest ~changed ~revalidated ~evicted ~artifact =
+      t.updates <- t.updates + 1;
+      (match action with
+      | Assert -> t.asserts <- t.asserts + 1
+      | Retract -> t.retracts <- t.retracts + 1);
+      t.revalidated_total <- t.revalidated_total + revalidated;
+      t.update_evicted_total <- t.update_evicted_total + evicted;
+      t.seq <- t.seq + 1;
+      let elapsed_ms = (Instr.now () -. t0) *. 1000.0 in
+      log_event t
+        {
+          seq = t.seq;
+          action = action_s;
+          src;
+          digest_before = before;
+          digest_after = digest;
+          changed;
+          revalidated;
+          evicted;
+          artifact;
+          elapsed_ms;
+        };
+      Ok
+        {
+          useq = t.seq;
+          digest;
+          changed;
+          revalidated;
+          evicted;
+          artifact;
+          elapsed_ms;
+        }
+    in
+    if delta = [] then
+      record ~digest:before ~changed:false ~revalidated:0 ~evicted:0
+        ~artifact:"unchanged"
+    else begin
+      let kb_new = Syntax.conj conjuncts' in
+      match Validate.errors kb_new with
+      | _ :: _ as errs ->
+        (* The delta is structurally incompatible with the resident KB
+           (e.g. reuses a symbol at another arity): refuse it whole,
+           mutating nothing. *)
+        Error
+          (String.concat "\n" (List.map (Fmt.str "%a" Validate.pp_issue) errs))
+      | [] ->
+        let after = Canonical.digest kb_new in
+        let module C = Rw_compile.Compiled_kb in
+        (* Artifact first: delta-aware recompile, carrying the maxent
+           schedule and memo tables across deltas that leave the
+           optimisation problem untouched (evidence-only updates). *)
+        let artifact, art_status =
+          if t.config.compiled_capacity <= 0 then (None, "absent")
+          else begin
+            let old_art =
+              match (Lru.Sync.find t.compiled before, t.kb) with
+              | Some c, Some kb_old when C.matches c kb_old -> Some c
+              | _ -> None
+            in
+            let art, carried =
+              match old_art with
+              | Some old -> C.update old kb_new
+              | None -> (
+                ( (match t.config.engine_options.Engine.tols with
+                  | Some schedule -> C.compile ~schedule kb_new
+                  | None -> C.compile kb_new),
+                  false ))
+            in
+            ignore (Lru.Sync.remove_if t.compiled (fun k _ -> k = before));
+            Lru.Sync.add t.compiled after art;
+            if carried then t.artifact_carries <- t.artifact_carries + 1
+            else begin
+              Atomic.incr t.compiles;
+              Mutex.protect t.compile_m (fun () ->
+                  t.compile_ms_total <- t.compile_ms_total +. C.compile_ms art)
+            end;
+            (Some art, if carried then "carried" else "recompiled")
+          end
+        in
+        (* The invalidation walk over the old digest's entries. *)
+        let dvocab = Vocab.of_formulas delta in
+        let prefix = before ^ "|" in
+        let plen = String.length prefix in
+        let next_seq = t.seq + 1 in
+        let revalidate key (e : entry) =
+          if not (Vocab.disjoint dvocab e.qvocab) then None
+          else if not (rules_definitive e.answer) then None
+          else begin
+            let a = Rules_engine.infer ?compiled:artifact ~kb:kb_new e.query in
+            if a = e.answer then begin
+              let key' =
+                after ^ "|" ^ String.sub key plen (String.length key - plen)
+              in
+              let e' =
+                {
+                  e with
+                  provenance =
+                    e.provenance
+                    @ [ revalidated_fact ~seq:next_seq ~before ~after ];
+                }
+              in
+              store_put t key' e';
+              Some (key', e')
+            end
+            else None
+          end
+        in
+        let revalidated, evicted = Lru.Sync.remap t.cache ~prefix revalidate in
+        t.kb <- Some kb_new;
+        t.kb_digest <- after;
+        t.conjuncts <- conjuncts';
+        record ~digest:after ~changed:true ~revalidated ~evicted
+          ~artifact:art_status
+    end)
+
+let update_src t action src =
+  match Kb_file.of_string src with
+  | Error errs ->
+    Error
+      (String.concat "\n" (List.map (Fmt.str "%a" Kb_file.pp_parse_error) errs))
+  | Ok f -> update ~src t action f
+
+let session_log t = Mutex.protect t.session_m (fun () -> List.rev t.session_log_rev)
+
 (* One budgeted engine run, choosing the alarm or the polled deadline
    as [query] always has (see the two [with_budget] variants above).
    The compiled artifact is fetched {e inside} the budgeted closure:
@@ -404,7 +730,7 @@ let query ?budget t q =
       match Lru.Sync.find t.cache key with
       | Some e -> (e.answer, Cached)
       | None -> (
-        match store_probe t key with
+        match store_probe t key q with
         | Some e ->
           (* Promote into the LRU so the next ask is a memory hit. *)
           Lru.Sync.add t.cache key e;
@@ -417,7 +743,7 @@ let query ?budget t q =
             (a, Degraded)
           end
           else begin
-            let e = { answer = a; trace = None } in
+            let e = mk_entry q a None in
             Lru.Sync.add t.cache key e;
             store_put t key e;
             (a, Computed)
@@ -471,7 +797,7 @@ let query_explained ?budget t q =
       end
       else begin
         let evs = Trace.events tr in
-        let e = { answer = a; trace = Some evs } in
+        let e = mk_entry q a (Some evs) in
         Lru.Sync.add t.cache key e;
         store_put t key e;
         { answer = a; origin; trace = evs }
@@ -479,14 +805,19 @@ let query_explained ?budget t q =
     in
     let result =
       match Lru.Sync.find t.cache key with
-      | Some { answer; trace = Some evs } ->
+      | Some { answer; trace = Some evs; provenance; _ } ->
         (* The stored trace explains the cached answer; the prepended
-           cache fact says how this particular reply was served. *)
-        { answer; origin = Cached; trace = cache_fact "hit" key :: evs }
+           cache fact says how this particular reply was served, and
+           the provenance facts how the entry survived KB updates. *)
+        {
+          answer;
+          origin = Cached;
+          trace = (cache_fact "hit" key :: provenance) @ evs;
+        }
       | Some ({ trace = None; _ } as e) -> upgrade ~tag:"hit" ~origin:Cached e
       | None -> (
-        match store_probe t key with
-        | Some ({ answer; trace = Some evs } as e) ->
+        match store_probe t key q with
+        | Some ({ answer; trace = Some evs; _ } as e) ->
           (* The persisted trace explains the persisted answer — the
              replay works even when the record was written by an
              earlier process (the warm-restart story). *)
@@ -511,7 +842,7 @@ let query_explained ?budget t q =
           end
           else begin
             let evs = Trace.events tr in
-            let e = { answer = a; trace = Some evs } in
+            let e = mk_entry q a (Some evs) in
             Lru.Sync.add t.cache key e;
             store_put t key e;
             { answer = a; origin = Computed; trace = evs }
@@ -559,6 +890,17 @@ type compiled_stats = {
   compile_ms_total : float;
 }
 
+type session_stats = {
+  updates : int;
+  asserts : int;
+  retracts : int;
+  revalidated : int;  (** entries re-keyed across updates, total *)
+  update_evicted : int;  (** entries dropped by update invalidation *)
+  swap_reclaimed : int;  (** entries reclaimed by full [load_kb] swaps *)
+  artifact_carries : int;  (** compiled artifacts carried across deltas *)
+  log_entries : int;
+}
+
 type stats = {
   cache : Lru.stats;
   compiled : compiled_stats option;
@@ -568,7 +910,21 @@ type stats = {
   kb_loads : int;
   latency : latency_summary;
   store : Rw_store.Store.stats option;
+  session : session_stats;
 }
+
+let session_stats t =
+  Mutex.protect t.session_m (fun () ->
+      {
+        updates = t.updates;
+        asserts = t.asserts;
+        retracts = t.retracts;
+        revalidated = t.revalidated_total;
+        update_evicted = t.update_evicted_total;
+        swap_reclaimed = t.swap_reclaimed_total;
+        artifact_carries = t.artifact_carries;
+        log_entries = List.length t.session_log_rev;
+      })
 
 let stats (t : t) =
   {
@@ -589,4 +945,5 @@ let stats (t : t) =
     kb_loads = Atomic.get t.kb_loads;
     latency = latency_summary t.latency;
     store = Option.map Rw_store.Store.stats t.store;
+    session = session_stats t;
   }

@@ -62,7 +62,30 @@
     batch a mutex makes compilation happen exactly once per KB.
     Answers are bit-identical with the tier on or off
     ({!Rw_compile.Compiled_kb}'s contract); [compiled_capacity = 0]
-    switches it off. *)
+    switches it off.
+
+    {b Belief-change sessions.} A loaded KB is a live object:
+    {!update} asserts or retracts statements (at conjunct granularity,
+    matched by canonical digest) without restarting the service. An
+    update classifies itself against the caches instead of flushing
+    them: cached answers whose query vocabulary is disjoint from the
+    delta's {e and} whose answer is a definitive rules-engine verdict
+    are rechecked against the updated KB — a recheck that reproduces
+    the answer re-keys the entry under the new digest (recording a
+    [revalidated] provenance fact served by later [--explain] hits,
+    and writing the entry through to the durable store under its new
+    key); every other entry of the old digest is evicted. Soundness is
+    by construction: dispatch short-circuits on definitive rules
+    answers before any numeric engine runs, so a revalidated entry is
+    bit-identical to what a cold re-dispatch on the updated KB would
+    compute. The compiled artifact is updated delta-aware too
+    ({!Rw_compile.Compiled_kb.update}): evidence-only deltas carry the
+    pre-solved maxent schedule and memo tables over instead of
+    re-solving. Every mutation (including full {!load_kb} swaps)
+    appends to a {!session_log}; {!stats} aggregates the session
+    counters. Like {!load_kb}, updates concurrent with in-flight
+    queries are not supported on the raw API — the serve listener
+    serialises them behind its write lock. *)
 
 open Rw_logic
 open Randworlds
@@ -108,7 +131,12 @@ val store : t -> Rw_store.Store.t option
 (** {2 KB lifecycle} *)
 
 val load_kb : t -> Syntax.formula -> unit
-(** Install an (assumed well-formed) KB, digesting it once. *)
+(** Install an (assumed well-formed) KB, digesting it once. When this
+    {e replaces} a different KB, every answer-cache entry and compiled
+    artifact of the old digest is reclaimed immediately (counted in
+    [Lru.stats.removed] and the session's [swap_reclaimed]) — they are
+    unreachable under the new digest and would otherwise squat on
+    cache capacity. Reloading the same KB keeps everything. *)
 
 val load_kb_string : t -> string -> (unit, string) result
 (** Parse ({!Kb_file.of_string}) + validate + install. The error
@@ -119,6 +147,62 @@ val load_kb_file : t -> string -> (unit, string) result
     reported, not raised. *)
 
 val kb : t -> Syntax.formula option
+
+(** {2 Belief-change sessions} *)
+
+type update_action = Assert | Retract
+
+type update_outcome = {
+  useq : int;  (** this mutation's sequence number in the session log *)
+  digest : string;  (** the KB digest after the update *)
+  changed : bool;
+      (** [false] for a canonical no-op — asserting an already-present
+          statement or retracting an absent one; nothing was evicted *)
+  revalidated : int;  (** cache entries re-keyed to the new digest *)
+  evicted : int;  (** cache entries invalidated by the delta *)
+  artifact : string;
+      (** what happened to the compiled artifact: ["carried"] (memo
+          tables survived an evidence-only delta), ["recompiled"],
+          ["absent"] (tier off) or ["unchanged"] (no-op) *)
+  elapsed_ms : float;
+}
+
+val update :
+  ?src:string ->
+  t ->
+  update_action ->
+  Syntax.formula ->
+  (update_outcome, string) result
+(** Apply one belief change to the resident KB. [Assert] conjoins the
+    formula's conjuncts (those not already present, by canonical
+    digest); [Retract] removes the KB conjuncts canonically matching
+    the formula's. [Error] when no KB is loaded, or when the asserted
+    delta makes the combined KB ill-formed (e.g. a symbol reused at
+    a different arity) — nothing is mutated on error. [?src] is the
+    source text recorded in the session log (defaults to the
+    pretty-printed formula). See the module docstring for the
+    delta-aware cache invalidation an update performs. *)
+
+val update_src : t -> update_action -> string -> (update_outcome, string) result
+(** Parse ({!Kb_file.of_string}, so multi-statement text asserts or
+    retracts several conjuncts at once), then {!update}. *)
+
+type session_event = {
+  seq : int;
+  action : string;  (** ["assert"], ["retract"] or ["load"] *)
+  src : string;  (** delta source text; empty for loads *)
+  digest_before : string;
+  digest_after : string;
+  changed : bool;
+  revalidated : int;
+  evicted : int;
+  artifact : string;
+  elapsed_ms : float;
+}
+
+val session_log : t -> session_event list
+(** Every KB mutation this service has performed, oldest first — full
+    {!load_kb} swaps and incremental {!update}s alike. *)
 
 (** {2 Queries} *)
 
@@ -207,6 +291,17 @@ type compiled_stats = {
   compile_ms_total : float;  (** wall-clock spent compiling, summed *)
 }
 
+type session_stats = {
+  updates : int;  (** {!update} calls applied (no-ops included) *)
+  asserts : int;
+  retracts : int;
+  revalidated : int;  (** entries re-keyed across updates, total *)
+  update_evicted : int;  (** entries dropped by update invalidation *)
+  swap_reclaimed : int;  (** entries reclaimed by full {!load_kb} swaps *)
+  artifact_carries : int;  (** compiled artifacts carried across deltas *)
+  log_entries : int;  (** {!session_log} length *)
+}
+
 type stats = {
   cache : Lru.stats;
   compiled : compiled_stats option;
@@ -223,6 +318,7 @@ type stats = {
       (** the durable tier's counters (probe hits/misses,
           write-throughs, live/dead records, recovery truncations)
           when one is attached *)
+  session : session_stats;
 }
 
 val stats : t -> stats

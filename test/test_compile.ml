@@ -137,9 +137,11 @@ let compiled_stats svc =
   | Some c -> c
   | None -> Alcotest.fail "compiled tier disabled unexpectedly"
 
-(* A capacity-1 artifact cache alternating between two KBs must evict
-   and recompile each time the KB changes — and keep answering
-   correctly throughout. *)
+(* A capacity-1 artifact cache alternating between two KBs must drop
+   the resident artifact and recompile each time the KB changes — and
+   keep answering correctly throughout.  Since the load_kb squatting
+   fix the stale artifact is reclaimed eagerly on swap (counted in
+   [removed]) rather than lingering until a capacity eviction. *)
 let test_eviction () =
   (* The answer LRU is disabled so the repeated question actually
      reaches the compiled tier instead of being served from the answer
@@ -164,8 +166,10 @@ let test_eviction () =
   let a2 = ask kb_a in
   let c = compiled_stats svc in
   Alcotest.(check int) "three compiles (kb_a evicted between)" 3 c.Service.compiles;
-  Alcotest.(check int) "two evictions" 2
+  Alcotest.(check int) "swap reclaims, not capacity evictions" 0
     c.Service.compiled_cache.Rw_service.Lru.evictions;
+  Alcotest.(check int) "two stale artifacts reclaimed on swap" 2
+    c.Service.compiled_cache.Rw_service.Lru.removed;
   Alcotest.(check int) "capacity one" 1
     c.Service.compiled_cache.Rw_service.Lru.capacity;
   (* The recompiled artifact answers exactly as the first one did. *)

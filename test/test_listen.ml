@@ -435,10 +435,70 @@ let test_shutdown_persists_store () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Belief-change session over the listener                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Two clients share one session: one mutates the KB (session_update
+   takes the write lock), the other observes coherent answers — a
+   disjoint update leaves its cached answer byte-identical and still
+   cached, an overlapping one forces a recompute, and the session log
+   is visible from any connection. *)
+let test_session_two_clients () =
+  let svc = make_service () in
+  let l = start_listener ~jobs:2 svc in
+  let a = connect l.path and b = connect l.path in
+  let ok_of reply =
+    match Json.of_string reply with
+    | Ok j -> Json.member "ok" j = Some (Json.Bool true)
+    | Error msg -> Alcotest.failf "unparsable reply %s: %s" reply msg
+  in
+  let cached_of reply =
+    match Json.of_string reply with
+    | Ok j ->
+      Option.bind (Json.member "answer" j) (Json.member "cached")
+      = Some (Json.Bool true)
+    | Error msg -> Alcotest.failf "unparsable reply %s: %s" reply msg
+  in
+  let r1 = request a (query_line "Hep(Eric)") in
+  Alcotest.(check bool) "client A's query ok" true (ok_of r1);
+  (* Client B asserts evidence disjoint from A's cached query. *)
+  let r =
+    request b {|{"op":"session_update","action":"assert","src":"Wet(Sam)"}|}
+  in
+  Alcotest.(check bool) "B's disjoint assert ok" true (ok_of r);
+  let r2 = request a (query_line "Hep(Eric)") in
+  Alcotest.(check bool) "A still served from cache" true (cached_of r2);
+  Alcotest.(check string) "verdict byte-identical across the update"
+    (comparable_answer r1) (comparable_answer r2);
+  (* An overlapping assert from B evicts A's entry. *)
+  let r =
+    request b {|{"op":"session_update","action":"assert","src":"Hep(Dana)"}|}
+  in
+  Alcotest.(check bool) "B's overlapping assert ok" true (ok_of r);
+  let r3 = request a (query_line "Hep(Eric)") in
+  Alcotest.(check bool) "A's query recomputed" false (cached_of r3);
+  Alcotest.(check bool) "recomputed query ok" true (ok_of r3);
+  (* The session log is shared state: A sees B's mutations. *)
+  let r = request a {|{"op":"session_log"}|} in
+  Alcotest.(check bool) "session_log ok" true (ok_of r);
+  (match Json.of_string r with
+  | Ok j ->
+    Alcotest.(check (option int))
+      "load + two updates logged" (Some 3)
+      (Option.bind (Json.member "count" j) Json.to_int)
+  | Error msg -> Alcotest.failf "session_log reply: %s" msg);
+  close a;
+  close b;
+  shutdown_server l.path;
+  Thread.join l.thread
+
 let suite =
   [
     ("listen: 4 concurrent clients, compile-once, identical answers",
       `Slow, test_concurrent_clients);
+    ("listen: two clients share one belief-change session",
+      `Quick, test_session_two_clients);
     ("listen: concurrent dispatch identical with the LRU off",
       `Slow, test_concurrent_no_cache);
     ("listen: truncated NDJSON line gets the error object",

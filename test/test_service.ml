@@ -421,6 +421,162 @@ let test_with_budget_nested () =
   Alcotest.(check bool) "outer not degraded" false degraded2
 
 (* ------------------------------------------------------------------ *)
+(* Belief-change sessions                                             *)
+(* ------------------------------------------------------------------ *)
+
+let upd svc action s =
+  match Service.update svc action (parse s) with
+  | Ok o -> o
+  | Error msg -> Alcotest.failf "update %S failed: %s" s msg
+
+(* The satellite bugfix: replacing the KB must reclaim every cache
+   entry of the old digest — they are unreachable under the new digest
+   and used to squat on LRU capacity until ordinary eviction pushed
+   them out. *)
+let test_session_swap_reclaims () =
+  let svc = hep_service () in
+  ignore (ask svc (parse "Hep(Eric)"));
+  ignore (ask svc (parse "~Hep(Eric)"));
+  Alcotest.(check int) "two entries resident" 2
+    (Service.stats svc).Service.cache.Lru.size;
+  Service.load_kb svc (parse "Wet(Sam)");
+  let st = Service.stats svc in
+  Alcotest.(check int) "old digest reclaimed from the LRU" 2
+    st.Service.cache.Lru.removed;
+  Alcotest.(check int) "cache empty after the swap" 0
+    st.Service.cache.Lru.size;
+  Alcotest.(check int) "session counts the reclaim" 2
+    st.Service.session.Service.swap_reclaimed;
+  (* Reloading the same KB must keep the cache intact. *)
+  ignore (ask svc (parse "Wet(Sam)"));
+  Service.load_kb svc (parse "Wet(Sam)");
+  let st = Service.stats svc in
+  Alcotest.(check int) "same-KB reload reclaims nothing" 2
+    st.Service.cache.Lru.removed;
+  Alcotest.(check int) "entry survives the same-KB reload" 1
+    st.Service.cache.Lru.size
+
+let test_session_disjoint_update_revalidates () =
+  let svc = hep_service () in
+  let q = parse "Hep(Eric)" in
+  let a1, _ = ask svc q in
+  Alcotest.(check string) "rules-engine case" "rules" a1.Answer.engine;
+  (* Vocabulary disjoint from the cached query: the entry must be
+     revalidated under the new digest, not recomputed. *)
+  let o = upd svc Service.Assert "Wet(Sam)" in
+  Alcotest.(check bool) "delta changed the KB" true o.Service.changed;
+  Alcotest.(check int) "entry revalidated" 1 o.Service.revalidated;
+  Alcotest.(check int) "nothing evicted" 0 o.Service.evicted;
+  let a2, org = ask svc q in
+  Alcotest.check origin "still served from the LRU" Service.Cached org;
+  Alcotest.(check bool) "answer identical across the update" true (a1 = a2);
+  (* The soundness gate: bit-identical to a cold dispatch on the
+     updated KB. *)
+  let cold =
+    Engine.degree_of_belief ~kb:(Option.get (Service.kb svc)) q
+  in
+  Alcotest.(check bool) "bit-identical to cold dispatch" true
+    (a2.Answer.result = cold.Answer.result);
+  Alcotest.(check string) "same signing engine" cold.Answer.engine
+    a2.Answer.engine
+
+let test_session_overlapping_update_evicts () =
+  let svc = hep_service () in
+  let q = parse "Hep(Eric)" in
+  ignore (ask svc q);
+  (* Shares the Hep predicate with the cached query: must evict. *)
+  let o = upd svc Service.Assert "Hep(Dana)" in
+  Alcotest.(check int) "entry evicted" 1 o.Service.evicted;
+  Alcotest.(check int) "nothing revalidated" 0 o.Service.revalidated;
+  let a, org = ask svc q in
+  Alcotest.check origin "recomputed after eviction" Service.Computed org;
+  let cold = Engine.degree_of_belief ~kb:(Option.get (Service.kb svc)) q in
+  Alcotest.(check bool) "recomputed answer matches cold dispatch" true
+    (a.Answer.result = cold.Answer.result)
+
+let test_session_retract_and_noops () =
+  let svc = hep_service () in
+  let o1 = upd svc Service.Assert "Wet(Sam)" in
+  Alcotest.(check bool) "assert changed" true o1.Service.changed;
+  (* Asserting a conjunct already present (canonically) is a no-op. *)
+  let o2 = upd svc Service.Assert "~~Wet(Sam)" in
+  Alcotest.(check bool) "canonical re-assert is a no-op" false
+    o2.Service.changed;
+  Alcotest.(check string) "no-op leaves the artifact alone" "unchanged"
+    o2.Service.artifact;
+  Alcotest.(check string) "no-op keeps the digest" o1.Service.digest
+    o2.Service.digest;
+  (* Retract takes the KB back to its pre-assert digest. *)
+  let o3 = upd svc Service.Retract "Wet(Sam)" in
+  Alcotest.(check bool) "retract changed" true o3.Service.changed;
+  Alcotest.(check bool) "digest moved" true
+    (o3.Service.digest <> o1.Service.digest);
+  let o4 = upd svc Service.Assert "Wet(Sam)" in
+  Alcotest.(check string) "assert-retract-assert round-trips the digest"
+    o1.Service.digest o4.Service.digest;
+  (* Retracting something absent is a no-op too. *)
+  let o5 = upd svc Service.Retract "Dry(Sam)" in
+  Alcotest.(check bool) "absent retract is a no-op" false o5.Service.changed
+
+let test_session_log_and_errors () =
+  let svc = Service.create () in
+  (match Service.update svc Service.Assert (parse "A(c)") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "update without a KB must be an error");
+  let svc = hep_service () in
+  ignore (upd svc Service.Assert "Wet(Sam)");
+  ignore (upd svc Service.Retract "Wet(Sam)");
+  (* An ill-formed delta (arity conflict) is rejected atomically. *)
+  let digest_before = (upd svc Service.Assert "Wet(Sam)").Service.digest in
+  (match Service.update svc Service.Assert (parse "Hep(Eric, Dana)") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "arity-conflicting assert must be an error");
+  Alcotest.(check string) "rejected update mutated nothing" digest_before
+    (upd svc Service.Retract "Dry(Sam)").Service.digest;
+  let log = Service.session_log svc in
+  (* load + assert + retract + assert + no-op retract. *)
+  Alcotest.(check int) "log length" 5 (List.length log);
+  Alcotest.(check (list string)) "log actions, oldest first"
+    [ "load"; "assert"; "retract"; "assert"; "retract" ]
+    (List.map (fun (e : Service.session_event) -> e.Service.action) log);
+  Alcotest.(check (list int)) "sequence numbers" [ 1; 2; 3; 4; 5 ]
+    (List.map (fun (e : Service.session_event) -> e.Service.seq) log);
+  (* The digest chain is connected: each event starts where the
+     previous one ended. *)
+  ignore
+    (List.fold_left
+       (fun prev (e : Service.session_event) ->
+         (match prev with
+         | Some d ->
+           Alcotest.(check string) "digest chain connected" d
+             e.Service.digest_before
+         | None -> ());
+         Some e.Service.digest_after)
+       None log);
+  let st = (Service.stats svc).Service.session in
+  Alcotest.(check int) "updates counted" 4 st.Service.updates;
+  Alcotest.(check int) "asserts counted" 2 st.Service.asserts;
+  Alcotest.(check int) "retracts counted" 2 st.Service.retracts;
+  Alcotest.(check int) "log_entries" 5 st.Service.log_entries
+
+let test_session_artifact_carried () =
+  let svc = hep_service () in
+  let q = parse "Hep(Eric)" in
+  ignore (ask svc q);
+  (* Evidence about an existing predicate leaves the solve problem
+     untouched: the compiled artifact's memo tables must carry over. *)
+  let o = upd svc Service.Assert "Jaun(Dana)" in
+  Alcotest.(check string) "evidence-only delta carries the artifact"
+    "carried" o.Service.artifact;
+  let st = Service.stats svc in
+  Alcotest.(check int) "carry counted" 1
+    st.Service.session.Service.artifact_carries;
+  (* A new predicate changes the atom universe: must recompile. *)
+  let o2 = upd svc Service.Assert "Wet(Sam)" in
+  Alcotest.(check string) "universe change recompiles" "recompiled"
+    o2.Service.artifact
+
+(* ------------------------------------------------------------------ *)
 (* Protocol / server                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -472,6 +628,47 @@ let test_server_session () =
     Alcotest.failf "stats cache.hits missing or too small: %s"
       (match other with Some j -> Json.to_string j | None -> "absent"))
 
+let test_server_session_ops () =
+  let svc = Service.create () in
+  let r = reply_of svc {|{"op":"session_update","action":"assert","src":"A(c)"}|} in
+  Alcotest.(check bool) "update without KB fails" false (get_bool "ok" r);
+  let r =
+    reply_of svc
+      {|{"op":"load_kb","kb":"Jaun(Eric) /\\ ||Hep(x) | Jaun(x)||_x ~=_1 0.8"}|}
+  in
+  Alcotest.(check bool) "load_kb ok" true (get_bool "ok" r);
+  let r = reply_of svc {|{"op":"query","query":"Hep(Eric)"}|} in
+  Alcotest.(check bool) "query ok" true (get_bool "ok" r);
+  let r =
+    reply_of svc
+      {|{"id":7,"op":"session_update","action":"assert","src":"Wet(Sam)"}|}
+  in
+  Alcotest.(check bool) "session_update ok" true (get_bool "ok" r);
+  Alcotest.check json "id echoed" (Json.Int 7)
+    (Option.value ~default:Json.Null (Json.member "id" r));
+  Alcotest.check json "disjoint update revalidates over the wire"
+    (Json.Int 1)
+    (Option.value ~default:Json.Null (Json.member "revalidated" r));
+  let r = reply_of svc {|{"op":"query","query":"Hep(Eric)"}|} in
+  let answer = Option.value ~default:Json.Null (Json.member "answer" r) in
+  Alcotest.(check bool) "answer survived the update in cache" true
+    (get_bool "cached" answer);
+  let r = reply_of svc {|{"op":"session_log"}|} in
+  Alcotest.(check bool) "session_log ok" true (get_bool "ok" r);
+  Alcotest.check json "log counts load + update" (Json.Int 2)
+    (Option.value ~default:Json.Null (Json.member "count" r));
+  let r =
+    reply_of svc {|{"op":"session_update","action":"frob","src":"A(c)"}|}
+  in
+  Alcotest.(check bool) "unknown action rejected" false (get_bool "ok" r);
+  let r = reply_of svc {|{"op":"session_update","action":"assert"}|} in
+  Alcotest.(check bool) "missing src rejected" false (get_bool "ok" r);
+  let r = reply_of svc {|{"op":"stats"}|} in
+  let stats = Option.value ~default:Json.Null (Json.member "stats" r) in
+  let session = Option.value ~default:Json.Null (Json.member "session" stats) in
+  Alcotest.check json "session stats on the wire" (Json.Int 1)
+    (Option.value ~default:Json.Null (Json.member "updates" session))
+
 let test_server_errors_and_shutdown () =
   let svc = Service.create () in
   let r = reply_of svc "this is not json" in
@@ -517,6 +714,20 @@ let suite =
      test_with_budget_no_stale_alarm);
     ("service: nested budgets restore the outer timer", `Quick,
      test_with_budget_nested);
+    ("session: KB swap reclaims the old digest's entries", `Quick,
+     test_session_swap_reclaims);
+    ("session: disjoint update revalidates, answer bit-identical", `Quick,
+     test_session_disjoint_update_revalidates);
+    ("session: overlapping update evicts", `Quick,
+     test_session_overlapping_update_evicts);
+    ("session: retract round-trips, no-ops change nothing", `Quick,
+     test_session_retract_and_noops);
+    ("session: log, stats and error atomicity", `Quick,
+     test_session_log_and_errors);
+    ("session: evidence-only delta carries the compiled artifact", `Quick,
+     test_session_artifact_carried);
     ("server: NDJSON session", `Quick, test_server_session);
+    ("server: session_update / session_log ops", `Quick,
+     test_server_session_ops);
     ("server: errors and shutdown", `Quick, test_server_errors_and_shutdown);
   ]
