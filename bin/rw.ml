@@ -10,6 +10,8 @@
      rw consistent --kb FILE
      rw zoo [--id ID]
      rw parse FORMULA
+     rw fuzz [--seed N] [--cases N] [--oracle NAME] [--corpus DIR]
+     rw sim [--seed N] [--steps N] [--faults] [--replay FILE] [--json]
 
    Knowledge-base files: the concrete syntax of L≈; lines starting with
    '#' are comments; every non-empty, non-comment line is a conjunct. *)
@@ -1191,10 +1193,36 @@ let parse_cmd =
   Cmd.v (Cmd.info "parse" ~doc ~exits:common_exits) Term.(const run_parse $ src_arg)
 
 (* ------------------------------------------------------------------ *)
+(* Shared --seed validation (fuzz + sim)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Seeds are replay handles: a seed that silently wrapped on parse
+   reproduces a different run from the one in the bug report. Both
+   replay tools take the seed as a string and validate through the one
+   shared parser, mapping rejection to the documented exit-code-2
+   usage error. *)
+let replay_seed_arg =
+  Arg.(
+    value & opt string "42"
+    & info [ "seed" ] ~docv:"INT"
+        ~doc:
+          "Root seed; the whole run is a pure function of it. Must be a \
+           non-negative decimal integer that fits 63 bits — anything else \
+           (including silent overflow) is rejected with exit code 2.")
+
+let parse_seed_or_exit s =
+  match Rw_sim.Seed.parse s with
+  | Ok n -> n
+  | Error msg ->
+    Fmt.epr "rw: %s@." msg;
+    exit 2
+
+(* ------------------------------------------------------------------ *)
 (* fuzz                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let run_fuzz seed cases max_size oracles corpus_dir jobs verbose =
+let run_fuzz seed_s cases max_size oracles corpus_dir jobs verbose =
+  let seed = parse_seed_or_exit seed_s in
   (match oracles with
   | [] -> ()
   | l ->
@@ -1243,12 +1271,6 @@ let fuzz_cmd =
          deterministic in $(b,--seed).";
     ]
   in
-  let fuzz_seed_arg =
-    Arg.(
-      value & opt int 42
-      & info [ "seed" ] ~docv:"INT"
-          ~doc:"Root seed; the whole run is a pure function of it.")
-  in
   let cases_arg =
     Arg.(
       value & opt int 200
@@ -1279,8 +1301,171 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc ~man ~exits:common_exits)
     Term.(
-      const run_fuzz $ fuzz_seed_arg $ cases_arg $ max_size_arg $ oracle_arg
+      const run_fuzz $ replay_seed_arg $ cases_arg $ max_size_arg $ oracle_arg
       $ corpus_arg $ pool_jobs_arg $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sim                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let run_sim seed_s steps max_size faults replay_path corpus_dir json =
+  let module Sim = Rw_sim.Sim in
+  let emit (r : Sim.report) =
+    if json then begin
+      List.iter
+        (fun e -> Fmt.pr {|{"event":"%s"}@.|} (json_escape e))
+        r.Sim.events;
+      Fmt.pr
+        {|{"steps":%d,"digest":"%s","violations":%d,"fired":[%s]}@.|}
+        r.Sim.steps r.Sim.digest
+        (List.length r.Sim.violations)
+        (String.concat ","
+           (List.map (fun p -> "\"" ^ json_escape p ^ "\"") r.Sim.fired))
+    end
+    else begin
+      List.iter print_endline r.Sim.events;
+      Fmt.pr "steps=%d digest=%s violations=%d fired=%s@." r.Sim.steps
+        r.Sim.digest
+        (List.length r.Sim.violations)
+        (match r.Sim.fired with [] -> "-" | l -> String.concat "," l)
+    end
+  in
+  match replay_path with
+  | Some path -> (
+    match Sim.load_case path with
+    | Error msg ->
+      Fmt.epr "rw sim: %s@." msg;
+      exit_kb_error
+    | Ok case ->
+      let r = Sim.replay case.Sim.ops in
+      emit r;
+      if r.Sim.violations = [] then 0 else 1)
+  | None ->
+    let seed = parse_seed_or_exit seed_s in
+    let r = Sim.run ~max_size ~faults ~seed ~steps () in
+    emit r;
+    if r.Sim.violations = [] then 0
+    else begin
+      (* Minimize the failing sequence; pin it when a corpus directory
+         was given, otherwise print the recipe. *)
+      let small = Sim.shrink r.Sim.ops r in
+      let classes =
+        List.sort_uniq Stdlib.compare
+          (List.map
+             (fun (_, v) -> v.Rw_sim.Invariant.invariant)
+             r.Sim.violations)
+      in
+      let description =
+        Printf.sprintf "seed %d, %d steps%s: %s violated" seed steps
+          (if faults then " (faults)" else "")
+          (String.concat "," classes)
+      in
+      (match corpus_dir with
+      | Some dir ->
+        (try Unix.mkdir dir 0o755
+         with Unix.Unix_error ((Unix.EEXIST | Unix.EISDIR), _, _) -> ());
+        let name =
+          let key = String.concat "\n" (List.map Rw_sim.Op.render small) in
+          Printf.sprintf "%s.sim"
+            (String.sub (Digest.to_hex (Digest.string key)) 0 16)
+        in
+        let path = Filename.concat dir name in
+        Sim.save_case ~path ~description ~seed ~faults small;
+        Fmt.epr "minimized %d ops -> %d; pinned as %s@."
+          (List.length r.Sim.ops) (List.length small) path
+      | None ->
+        Fmt.epr "minimized %d ops -> %d; reproduce with:@."
+          (List.length r.Sim.ops) (List.length small);
+        List.iter
+          (fun op -> Fmt.epr "op: %s@." (Rw_sim.Op.render op))
+          small);
+      1
+    end
+
+let sim_cmd =
+  let doc = "simulate whole-system op sequences under invariants" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Drives a seeded sequence of service operations — queries, \
+         batches, belief-change updates, KB swaps, evictions, persists, \
+         compactions, budget expiries and crash-restarts — against a real \
+         service over a real durable store in a scratch file, checking an \
+         invariant catalog after every step (see doc/SIMULATION.md). With \
+         $(b,--faults), named injection points (store write/fsync, \
+         compile, pool submit, torn mid-record writes) fail on \
+         deterministically chosen steps.";
+      `P
+        "The event log printed to stdout is deterministic: the same \
+         $(b,--seed)/$(b,--steps)/$(b,--faults) produce byte-identical \
+         output on any machine at any pool width, and the trailing digest \
+         line makes the comparison one string. Failing sequences are \
+         greedily minimized; $(b,--corpus) pins them as .sim files the \
+         test suite replays.";
+      `S Manpage.s_exit_status;
+      `P
+        "0 when every invariant held; 1 when violations were found; 2 on \
+         an invalid $(b,--seed) (usage error); 3 when $(b,--replay) names \
+         an unreadable or malformed file.";
+    ]
+  in
+  let steps_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "steps" ] ~docv:"INT" ~doc:"Number of ops to generate.")
+  in
+  let max_size_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "max-size" ] ~docv:"INT"
+          ~doc:"Maximum number of KB conjuncts per generated KB.")
+  in
+  let faults_arg =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:"Enable the fault-injection plane (~1 armed point per 8 steps).")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Replay a pinned .sim op sequence instead of generating one.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Write minimized failing sequences into DIR as .sim files.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit NDJSON events and summary instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc ~man ~exits:common_exits)
+    Term.(
+      const run_sim $ replay_seed_arg $ steps_arg $ max_size_arg $ faults_arg
+      $ replay_arg $ corpus_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1298,7 +1483,7 @@ let () =
            [
              query_cmd; batch_cmd; serve_cmd; client_cmd; session_cmd;
              compile_cmd; store_cmd; consistent_cmd; series_cmd; zoo_cmd;
-             parse_cmd; fuzz_cmd;
+             parse_cmd; fuzz_cmd; sim_cmd;
            ])
     with
     | Rw_kbzoo.Kbzoo.Parse_error (src, msg) ->

@@ -20,9 +20,11 @@ dune exec bin/rw.exe -- query \
 # convergence, parser totality, compiled-artifact answer identity,
 # belief-change session soundness).
 # Any violation fails the gate and the
-# report prints the shrunk counterexample. ~30s; the deeper 500-case
-# sweep is run manually (see EXPERIMENTS.md). Runs through the domain
-# pool (--jobs 2) so the parallel driver is part of the gate.
+# report prints the shrunk counterexample. ~8 min on a single-core box
+# (case cost is long-tailed — a few generated KBs dominate); the
+# deeper 500-case sweep is run manually (see EXPERIMENTS.md). Runs
+# through the domain pool (--jobs 2) so the parallel driver is part of
+# the gate.
 dune exec bin/rw.exe -- fuzz --seed 42 --cases 20 --jobs 2
 
 # Agreement pin: the 500-case agreement-oracle sweep that used to lose
@@ -42,6 +44,34 @@ dune exec bin/rw.exe -- fuzz --seed 42 --cases 500 --oracle agreement \
 # agreement pin above.
 dune exec bin/rw.exe -- fuzz --seed 42 --cases 500 --oracle update \
   --jobs 2
+
+# Whole-system simulation (doc/SIMULATION.md). Three gates:
+#
+# 1. Fault sweep: a pinned-seed 300-step run with the fault plane on —
+#    failed and torn store writes, failed fsyncs, failed compiles,
+#    rejected pool fan-outs, crash-restarts — must hold every
+#    invariant (exit 0; seed 3 was chosen because all five catalog
+#    points fire within it, which test_sim.ml also pins).
+dune exec bin/rw.exe -- sim --seed 3 --steps 300 --faults --max-size 4 \
+  > /dev/null
+# 2. Determinism: the same 200-step run twice must produce a
+#    byte-identical event log — digests, origins, fault firings, the
+#    summary line, everything.
+sim1=$(dune exec bin/rw.exe -- sim --seed 42 --steps 200 --max-size 4)
+sim2=$(dune exec bin/rw.exe -- sim --seed 42 --steps 200 --max-size 4)
+[ "$sim1" = "$sim2" ] \
+  || { echo "ci: sim event log is not deterministic" >&2; exit 1; }
+# 3. Seed validation (shared with fuzz): an overflowing --seed is a
+#    usage error (exit 2), never a silent wrap into a different run.
+seed_rc=0
+dune exec bin/rw.exe -- sim --seed 4611686018427387904 --steps 1 \
+  > /dev/null 2>&1 || seed_rc=$?
+[ "$seed_rc" -eq 2 ] \
+  || { echo "ci: overflowing --seed must exit 2 (got $seed_rc)" >&2; exit 1; }
+seed_rc=0
+dune exec bin/rw.exe -- fuzz --seed=-1 --cases 1 > /dev/null 2>&1 || seed_rc=$?
+[ "$seed_rc" -eq 2 ] \
+  || { echo "ci: fuzz bad --seed must exit 2 (got $seed_rc)" >&2; exit 1; }
 
 # Parallel batch smoke: the pool path end to end, answers printed in
 # input order.
@@ -101,6 +131,14 @@ wait "$serve_pid" 2> /dev/null || true
 # there is, no torn tail (the reply cannot precede its write-through).
 _build/default/bin/rw.exe store verify "$store" > /dev/null \
   || { echo "ci: store corrupt after kill -9" >&2; exit 1; }
+
+# The simulated version of the same story: an injected torn mid-record
+# append followed by a crash-restart, replayed from the pinned corpus
+# case — recovery must truncate exactly the torn tail and reproduce
+# every pre-crash answer (the sim's recovery + stability invariants).
+dune exec bin/rw.exe -- sim --replay test/sim_corpus/torn-restart.sim \
+  > /dev/null \
+  || { echo "ci: torn-restart sim replay found a violation" >&2; exit 1; }
 out2=$(printf '%s\n' '{"id":1,"op":"query","query":"Hep(Eric)","explain":true}' \
   | _build/default/bin/rw.exe serve --kb examples/kb/hepatitis.kb \
       --store "$store" 2> /dev/null)
@@ -185,6 +223,13 @@ case $warm in
      exit 1 ;;
 esac
 rm -rf "$listen_dir"
+
+# The simulated face of the batch/pool surface: a rejected parallel
+# fan-out must fail atomically and a sequential retry must answer —
+# replayed from the pinned corpus case.
+dune exec bin/rw.exe -- sim --replay test/sim_corpus/pool-submit-batch.sim \
+  > /dev/null \
+  || { echo "ci: pool-submit sim replay found a violation" >&2; exit 1; }
 
 # Belief-change session: a scripted session over --listen is SIGKILLed
 # mid-session; a restart from the same --store replaying the same

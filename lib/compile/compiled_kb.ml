@@ -188,6 +188,7 @@ let profile_table t parts ~n ~tol =
 (* ------------------------------------------------------------------ *)
 
 let compile ?(schedule = default_schedule) kb =
+  Rw_prelude.Hook.fire "compile.kb";
   let t0 = Unix.gettimeofday () in
   let digest = Canonical.digest kb in
   let conjuncts = Analysis.split_conjuncts kb in

@@ -121,6 +121,27 @@ let rec ground rng ~preds ~binary ~depth =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Reuse hooks for the simulator                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The whole-system simulator (lib/sim) drives these from its own
+   named RNG streams instead of a per-case seed: same distributions,
+   caller-owned generator. *)
+
+let kb_of_rng rng ~max_size =
+  let binary = Prng.int rng 5 = 0 in
+  let npreds = 1 + Prng.int rng (Array.length unary_pool) in
+  let preds = Array.sub unary_pool 0 npreds in
+  let size = 1 + Prng.int rng (max 1 max_size) in
+  List.init size (fun _ -> conjunct rng ~preds ~binary)
+
+let query_of_rng rng =
+  let binary = Prng.int rng 5 = 0 in
+  ground rng ~preds:unary_pool ~binary ~depth:(1 + Prng.int rng 2)
+
+let fact_of_rng rng = fact rng ~preds:unary_pool ~binary:false
+
+(* ------------------------------------------------------------------ *)
 (* Cases                                                              *)
 (* ------------------------------------------------------------------ *)
 

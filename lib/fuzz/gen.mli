@@ -29,3 +29,24 @@ val case : seed:int -> max_size:int -> int -> case
 (** [case ~seed ~max_size i] — the [i]-th case of the stream for
     [seed]. KBs carry between 1 and [max_size] conjuncts; queries are
     ground sentences over the same vocabulary. *)
+
+(** {2 Reuse hooks for the simulator}
+
+    {!Rw_sim} generates op-sequence payloads from its own named RNG
+    streams ({!Rw_sim.Rng_registry}) rather than a per-case seed.
+    These expose the case generator's distributions over a
+    caller-owned {!Rw_mc.Prng.t} — one KB, one query or one ground
+    fact at a time. *)
+
+val kb_of_rng : Rw_mc.Prng.t -> max_size:int -> Syntax.formula list
+(** A KB as 1–[max_size] conjuncts: the same mix of statistics,
+    defaults, facts and implications (with the same 1-in-5 binary
+    bias) as {!case} KBs. *)
+
+val query_of_rng : Rw_mc.Prng.t -> Syntax.formula
+(** A ground boolean-combination query over the full generator
+    vocabulary. *)
+
+val fact_of_rng : Rw_mc.Prng.t -> Syntax.formula
+(** A (possibly negated) ground unary fact — the assert/retract
+    payload unit for belief-change ops. *)

@@ -1,0 +1,38 @@
+(* Named fault-injection points — see the interface. *)
+
+exception Injected of string
+
+(* The fast path must cost one atomic load when no harness is attached:
+   these hooks sit on the store's append path and the service's compile
+   and fan-out paths, which are hot in production. Only when [enabled]
+   is set does [trip] take the mutex and consult the armed set. *)
+let enabled = Atomic.make false
+let m = Mutex.create ()
+let armed_points : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+let arm name =
+  Mutex.protect m (fun () -> Hashtbl.replace armed_points name ());
+  Atomic.set enabled true
+
+let disarm_all () =
+  Mutex.protect m (fun () -> Hashtbl.reset armed_points);
+  Atomic.set enabled false
+
+let armed () =
+  if not (Atomic.get enabled) then []
+  else
+    Mutex.protect m (fun () ->
+        List.sort String.compare
+          (Hashtbl.fold (fun k () acc -> k :: acc) armed_points []))
+
+let trip name =
+  Atomic.get enabled
+  && Mutex.protect m (fun () ->
+         if Hashtbl.mem armed_points name then begin
+           Hashtbl.remove armed_points name;
+           if Hashtbl.length armed_points = 0 then Atomic.set enabled false;
+           true
+         end
+         else false)
+
+let fire name = if trip name then raise (Injected name)

@@ -1,0 +1,51 @@
+(** Named fault-injection points, no-op by default.
+
+    The simulation harness ({!module:Rw_sim} upstack) needs to make the
+    store's write/fsync path, the compiler, and the pool fan-out fail
+    on demand — deterministically, at a step of its choosing. Rather
+    than threading an injection callback through every layer, each
+    failure-prone site declares a {e named point}:
+
+    {[ Hook.fire "store.append" ]}
+
+    which is free (one atomic load) until a harness {e arms} that name.
+    An armed point fires exactly once — {!trip} consumes the arming —
+    so one armed fault maps to one injected failure, and the harness
+    can tell whether a fault actually fired by checking what is still
+    {!armed} afterwards.
+
+    Production code never arms anything: the registry exists so tests
+    can reach otherwise-unreachable failure paths (torn writes, failed
+    fsyncs, compile aborts) without mocking the filesystem.
+
+    Domain-safe: arming, tripping and sweeping may happen on different
+    domains. *)
+
+exception Injected of string
+(** Raised by {!fire} at an armed point, carrying the point's name.
+    Sites that degrade rather than fail catch it locally; sites that
+    propagate let the harness observe the failure. *)
+
+val arm : string -> unit
+(** [arm name] primes the point [name] to fire once. Arming an
+    already-armed point is idempotent. Names are free-form; the
+    simulator's catalog ({!Rw_sim.Fault.points}) is the documented
+    vocabulary. *)
+
+val disarm_all : unit -> unit
+(** Return every point to the no-op state (harness teardown, and the
+    per-step sweep that makes unfired faults one-shot). *)
+
+val armed : unit -> string list
+(** The currently armed point names, sorted — what has {e not} fired
+    yet. *)
+
+val trip : string -> bool
+(** [trip name] — [true] iff [name] was armed; consumes the arming.
+    For sites that want to inject behaviour other than an exception
+    (e.g. the store's torn-write point, which must write a partial
+    record first). *)
+
+val fire : string -> unit
+(** [fire name] raises [Injected name] iff [name] was armed — the
+    one-line guard for ordinary "this operation fails here" points. *)

@@ -443,12 +443,19 @@ let store_probe t key q =
       | Ok (answer, trace) -> Some (mk_entry q answer trace)
       | Error _ -> None))
 
+(* A failed write-through ([Hook.Injected] from the store's append
+   points under fault injection) loses durability for this one answer,
+   nothing else: the caller already holds the answer and the LRU entry.
+   Swallowing the failure here is exactly the contract the simulator
+   verifies — the record is simply recomputed after a restart. *)
 let store_put t key (e : entry) =
   match t.store with
   | None -> ()
-  | Some store ->
-    Rw_store.Store.add store key
-      (Codec.encode_payload ~answer:e.answer ~trace:e.trace)
+  | Some store -> (
+    try
+      Rw_store.Store.add store key
+        (Codec.encode_payload ~answer:e.answer ~trace:e.trace)
+    with Rw_prelude.Hook.Injected _ -> ())
 
 let degraded_answer ~kb ~budget q =
   let a = Rules_engine.infer ~kb q in
@@ -471,6 +478,7 @@ let degraded_answer ~kb ~budget q =
 let compiled_for t kb =
   if t.config.compiled_capacity <= 0 then None
   else begin
+    try
     let digest = t.kb_digest in
     let module C = Rw_compile.Compiled_kb in
     let fresh () =
@@ -492,7 +500,22 @@ let compiled_for t kb =
              match Lru.Sync.find t.compiled digest with
              | Some c when C.matches c kb -> c
              | Some _ | None -> fresh ()))
+    with Rw_prelude.Hook.Injected _ ->
+      (* An injected compile failure degrades the tier, not the query:
+         the dispatch proceeds uncompiled, which by the compiled-KB
+         contract returns the bit-identical answer. *)
+      None
   end
+
+(* Drop every memory-tier entry. Correctness-neutral by construction:
+   the LRU and the artifact cache are pure memoisation, so the next
+   query recomputes (or re-probes the durable store) and must produce
+   the identical answer — the property the simulator's [evict] op
+   checks. *)
+let evict_all t =
+  let answers = Lru.Sync.remove_if t.cache (fun _ _ -> true) in
+  let artifacts = Lru.Sync.remove_if t.compiled (fun _ _ -> true) in
+  (answers, artifacts)
 
 (* ------------------------------------------------------------------ *)
 (* Session updates                                                    *)
@@ -868,7 +891,13 @@ let batch ?budget ?(jobs = 1) t qs =
   let one q = query ?budget t q in
   let jobs = batch_jobs t ~jobs (List.length qs) in
   if jobs <= 1 then List.map one qs
-  else Rw_pool.Pool.run ~jobs (fun p -> Rw_pool.Pool.map p one qs)
+  else begin
+    (* Injection point for a failed pool spin-up: fires before any
+       item has touched the service, so a failed fan-out answers
+       nothing and mutates nothing. *)
+    Rw_prelude.Hook.fire "pool.submit";
+    Rw_pool.Pool.run ~jobs (fun p -> Rw_pool.Pool.map p one qs)
+  end
 
 let batch_srcs ?budget ?(jobs = 1) t srcs =
   let one src =
@@ -878,7 +907,10 @@ let batch_srcs ?budget ?(jobs = 1) t srcs =
   in
   let jobs = batch_jobs t ~jobs (List.length srcs) in
   if jobs <= 1 then List.map one srcs
-  else Rw_pool.Pool.run ~jobs (fun p -> Rw_pool.Pool.map p one srcs)
+  else begin
+    Rw_prelude.Hook.fire "pool.submit";
+    Rw_pool.Pool.run ~jobs (fun p -> Rw_pool.Pool.map p one srcs)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Observability                                                      *)

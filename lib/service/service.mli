@@ -148,6 +148,14 @@ val load_kb_file : t -> string -> (unit, string) result
 
 val kb : t -> Syntax.formula option
 
+val evict_all : t -> int * int
+(** Flush both memory tiers: every answer-cache entry and every
+    compiled-KB artifact, regardless of digest. Returns
+    [(answers_dropped, artifacts_dropped)], counted in
+    [Lru.stats.removed]. The durable store is untouched — subsequent
+    queries re-probe it (or recompute) and serve identical answers;
+    the simulator's [evict] op exists to check exactly that. *)
+
 (** {2 Belief-change sessions} *)
 
 type update_action = Assert | Retract

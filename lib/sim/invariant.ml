@@ -1,0 +1,168 @@
+(* Post-step invariants — see the interface for the catalog. *)
+
+open Rw_logic
+open Randworlds
+module Service = Rw_service.Service
+module Trace = Rw_trace.Trace
+
+type violation = { invariant : string; detail : string }
+
+let pp_violation ppf v = Fmt.pf ppf "[%s] %s" v.invariant v.detail
+
+type expected = {
+  queries : int;
+  timeouts : int;
+  kb_loads : int;
+  updates : int;
+  log_entries : int;
+}
+
+let v invariant fmt = Printf.ksprintf (fun detail -> { invariant; detail }) fmt
+
+let answers_agree (a : Answer.t) (b : Answer.t) =
+  String.equal a.Answer.engine b.Answer.engine
+  && a.Answer.result = b.Answer.result
+
+let short d = if String.length d > 12 then String.sub d 0 12 else d
+
+let check_shadow svc ~shadow =
+  match (Service.kb svc, shadow) with
+  | None, [] -> []
+  | None, _ :: _ -> [ v "kb-digest" "service has no KB but shadow is non-empty" ]
+  | Some kb, shadow ->
+    (* Retracting the last conjunct legitimately leaves the empty
+       conjunction resident: [Syntax.conj []] is [True]. *)
+    let got = Canonical.digest kb in
+    let want = Canonical.digest (Syntax.conj shadow) in
+    if String.equal got want then []
+    else
+      [
+        v "kb-digest" "service KB digest %s != shadow digest %s" (short got)
+          (short want);
+      ]
+
+let check_counters svc (e : expected) =
+  let s = Service.stats svc in
+  let mism name got want =
+    if got = want then None
+    else Some (v "stats" "%s = %d, expected %d" name got want)
+  in
+  List.filter_map Fun.id
+    [
+      mism "queries" s.Service.queries e.queries;
+      mism "timeouts" s.Service.timeouts e.timeouts;
+      mism "kb_loads" s.Service.kb_loads e.kb_loads;
+      mism "session.updates" s.Service.session.Service.updates e.updates;
+      mism "session.log_entries" s.Service.session.Service.log_entries
+        e.log_entries;
+    ]
+
+let check_session_chain svc =
+  let log = Service.session_log svc in
+  let rec walk prev = function
+    | [] -> []
+    | (ev : Service.session_event) :: rest ->
+      if not (String.equal ev.Service.digest_before prev) then
+        [
+          v "session-chain"
+            "event %d: digest_before %s != previous digest_after %s"
+            ev.Service.seq
+            (short ev.Service.digest_before)
+            (short prev);
+        ]
+      else walk ev.Service.digest_after rest
+  in
+  match log with
+  | [] -> []
+  | _ :: _ -> (
+    match walk "" log with
+    | _ :: _ as broken -> broken
+    | [] -> (
+      let last = List.nth log (List.length log - 1) in
+      match Service.kb svc with
+      | Some kb
+        when not (String.equal (Canonical.digest kb) last.Service.digest_after)
+        ->
+        [
+          v "session-chain" "last digest_after %s != resident digest %s"
+            (short last.Service.digest_after)
+            (short (Canonical.digest kb));
+        ]
+      | _ -> []))
+
+let check_agreement ~options ~shadow q (a : Answer.t) =
+  let kb = Syntax.conj shadow in
+  match Engine.degree_of_belief ~options ~kb q with
+  | cold ->
+    if answers_agree a cold then []
+    else
+      [
+        v "agreement"
+          "query %s: service says %s (%s), cold dispatch says %s (%s)"
+          (Pretty.to_string q)
+          (Fmt.str "%a" Answer.pp_result a.Answer.result)
+          a.Answer.engine
+          (Fmt.str "%a" Answer.pp_result cold.Answer.result)
+          cold.Answer.engine;
+      ]
+  | exception exn ->
+    [
+      v "agreement" "cold dispatch raised %s on %s" (Printexc.to_string exn)
+        (Pretty.to_string q);
+    ]
+
+let check_degrade (a : Answer.t) =
+  if String.equal a.Answer.engine "rules" then []
+  else
+    [
+      v "degrade" "degraded answer signed by %s, expected the rules engine"
+        a.Answer.engine;
+    ]
+
+let check_trace (a : Answer.t) events =
+  if events = [] then [ v "trace" "explained answer carries an empty trace" ]
+  else
+    match Trace.selected_engine events with
+    | Some e when String.equal e a.Answer.engine -> []
+    | Some e ->
+      [
+        v "trace" "trace selects engine %s but the answer is signed by %s" e
+          a.Answer.engine;
+      ]
+    | None -> [ v "trace" "trace has no engine-selected fact" ]
+
+let check_recovery ~before ~after ~truncated ~torn_expected =
+  let blen = String.length before and alen = String.length after in
+  if truncated = 0 then
+    if String.equal before after then []
+    else
+      [
+        v "recovery"
+          "clean recovery changed the file (%d bytes -> %d bytes)" blen alen;
+      ]
+  else if not torn_expected then
+    [
+      v "recovery" "recovery truncated %d bytes with no torn append injected"
+        truncated;
+    ]
+  else if alen + truncated <> blen then
+    [
+      v "recovery"
+        "torn recovery dropped %d bytes but reported truncating %d"
+        (blen - alen) truncated;
+    ]
+  else if not (String.equal (String.sub before 0 alen) after) then
+    [ v "recovery" "recovered file is not a prefix of the damaged file" ]
+  else []
+
+let check_compaction ~live_before (s : Rw_store.Store.stats) =
+  List.filter_map Fun.id
+    [
+      (if s.Rw_store.Store.dead = 0 then None
+       else Some (v "compaction" "%d dead records survived compaction" s.dead));
+      (if s.Rw_store.Store.live = live_before then None
+       else
+         Some
+           (v "compaction" "live records changed %d -> %d across compaction"
+              live_before s.live));
+    ]

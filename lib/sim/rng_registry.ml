@@ -1,0 +1,37 @@
+(* Named-stream RNG registry — see the interface. *)
+
+module Prng = Rw_mc.Prng
+
+type t = {
+  seed : int;
+  m : Mutex.t;
+  streams : (string, Prng.t) Hashtbl.t;
+}
+
+let create seed = { seed; m = Mutex.create (); streams = Hashtbl.create 16 }
+let seed t = t.seed
+
+(* The per-name seed must depend on nothing but (root, name): MD5 the
+   pair and take the first 8 bytes. SplitMix64's [create] re-mixes, so
+   structure in the digest bytes is harmless. *)
+let derive root name =
+  let d = Stdlib.Digest.string (string_of_int root ^ ":" ^ name) in
+  let h = ref 0 in
+  for i = 0 to 7 do
+    h := (!h lsl 8) lor Char.code d.[i]
+  done;
+  !h land max_int
+
+let stream t name =
+  Mutex.protect t.m (fun () ->
+      match Hashtbl.find_opt t.streams name with
+      | Some g -> g
+      | None ->
+        let g = Prng.create (derive t.seed name) in
+        Hashtbl.replace t.streams name g;
+        g)
+
+let names t =
+  Mutex.protect t.m (fun () ->
+      List.sort String.compare
+        (Hashtbl.fold (fun k _ acc -> k :: acc) t.streams []))

@@ -1,0 +1,47 @@
+(** A named-stream RNG registry: one root seed, one independent
+    SplitMix64 stream per component.
+
+    The property the simulator needs is {e interleaving independence}:
+    a multi-component run must replay bit-identically even when the
+    components consume randomness in a different order (a batch fans
+    out across domains, a fault changes which code paths draw next).
+    A single shared generator cannot give that — every draw perturbs
+    every later draw. So each component owns a {e named} stream
+    ([{"gen.kb"}], [{"gen.query"}], [{"sched"}], [{"fault"}], …) whose
+    state is a pure function of [(root seed, name)] — {e not} of when
+    the stream was first requested or of what other streams consumed.
+    Draws within one stream are sequential as usual; draws across
+    streams commute.
+
+    Stream derivation: the per-name seed is the first 8 bytes of
+    [MD5(root ^ ":" ^ name)], fed to {!Rw_mc.Prng.create} (the
+    SplitMix64 constructor, which re-mixes it). Distinct names get
+    statistically unrelated streams; the same [(seed, name)] pair
+    always denotes the same stream, in any process, at any pool width.
+
+    Naming convention: dot-separated, component-first —
+    [{"gen.kb"}] / [{"gen.query"}] (payload generation), [{"sched"}]
+    (op-kind scheduling), [{"fault"}] (fault-plane coin flips). New
+    components add ["component.purpose"] names rather than sharing an
+    existing stream, so adding a draw in one component can never shift
+    another's. *)
+
+type t
+
+val create : int -> t
+(** [create seed] — a registry rooted at [seed]. No streams exist yet;
+    they materialize on first {!stream} request. *)
+
+val seed : t -> int
+(** The root seed — the only input a replay needs. *)
+
+val stream : t -> string -> Rw_mc.Prng.t
+(** [stream t name] — the generator for [name], created on first
+    request and the {e same object} thereafter: callers advance it by
+    drawing. Domain-safe to call concurrently; the returned generator
+    itself must be drawn from by one domain at a time (give each
+    domain its own name instead). *)
+
+val names : t -> string list
+(** The streams materialized so far, sorted — introspection for logs
+    and tests. *)

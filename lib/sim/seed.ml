@@ -1,0 +1,16 @@
+(* Shared --seed validation — see the interface. *)
+
+let parse s =
+  let s = String.trim s in
+  if s = "" || not (String.for_all (fun c -> c >= '0' && c <= '9') s) then
+    Error
+      (Printf.sprintf "invalid seed %S: expected a non-negative decimal integer"
+         s)
+  else
+    (* All-digit strings can still overflow the native int —
+       [int_of_string_opt] returns [None] exactly then. *)
+    match int_of_string_opt s with
+    | Some n -> Ok n
+    | None ->
+      Error
+        (Printf.sprintf "invalid seed %S: does not fit a 63-bit integer" s)

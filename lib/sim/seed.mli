@@ -1,0 +1,16 @@
+(** The one [--seed] parser shared by [rw fuzz] and [rw sim].
+
+    Seeds are replay handles: a seed that silently wrapped or truncated
+    on parse reproduces {e a} run, just not the one in the bug report.
+    Before this module, [rw fuzz] fell back through
+    [int_of_string_opt], so an overflowing seed quietly became the
+    default — the worst possible failure mode for a replay tool. Both
+    subcommands now reject anything that is not an exactly
+    representable non-negative decimal integer, with the CLI's
+    documented exit-code-2 usage error. *)
+
+val parse : string -> (int, string) result
+(** [parse s] — [Ok n] iff [s] is a non-negative decimal integer that
+    fits OCaml's native [int] (63-bit). Rejects signs, radix prefixes,
+    [_] separators, and anything that would overflow; the [Error]
+    string is display-ready. *)

@@ -256,6 +256,18 @@ let add t key payload =
   check_open t;
   let record = encode_record key payload in
   Mutex.protect t.append_m (fun () ->
+      Rw_prelude.Hook.fire "store.append";
+      (* Torn-write injection: leave a strict prefix of the record on
+         the file — exactly what a crash mid-append leaves behind —
+         without publishing anything in the index. The file is damaged
+         from this offset on (recovery will truncate here); the harness
+         that armed the point restarts the store before appending
+         again. *)
+      if Rw_prelude.Hook.trip "store.append.torn" then begin
+        really_write t.write_fd
+          (Bytes.sub record 0 (max 1 (Bytes.length record / 2)));
+        raise (Rw_prelude.Hook.Injected "store.append.torn")
+      end;
       (* Write (one syscall — no userspace buffer to tear), flush if
          asked, and only then publish in the index: a reader can never
          be pointed at bytes that are not all on the file. *)
@@ -295,7 +307,9 @@ let find t key =
 
 let sync t =
   check_open t;
-  Mutex.protect t.append_m (fun () -> Unix.fsync t.write_fd)
+  Mutex.protect t.append_m (fun () ->
+      Rw_prelude.Hook.fire "store.sync";
+      Unix.fsync t.write_fd)
 
 let compact t =
   check_open t;

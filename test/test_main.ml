@@ -21,6 +21,7 @@ let () =
       ("listen", Test_listen.suite);
       ("store", Test_store.suite);
       ("fuzz", Test_fuzz.suite);
+      ("sim", Test_sim.suite);
       ("pool", Test_pool.suite);
       ("trace", Test_trace.suite);
     ]
